@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper at bench scale.
+//!
+//! `cargo bench --bench figures` prints the same rows/series the paper
+//! reports (Figures 2–6), from a reduced environment (50 nodes, 40 s,
+//! 2 trials) so the whole set completes in minutes. The full-scale results,
+//! with the paper-vs-measured comparison, are recorded in EXPERIMENTS.md;
+//! regenerate them with:
+//!
+//! ```text
+//! cargo run --release -p rica-harness --bin figures -- --full all
+//! ```
+
+use rica_harness::experiments::{run_all, Scale};
+
+fn main() {
+    let scale = Scale {
+        nodes: 50,
+        flows: 10,
+        duration_secs: 40.0,
+        trials: 2,
+        speeds: vec![0.0, 36.0, 72.0],
+        seed: 1,
+    };
+    println!(
+        "# bench scale: {} nodes, {} flows, {} s, {} trials, speeds {:?}",
+        scale.nodes, scale.flows, scale.duration_secs, scale.trials, scale.speeds
+    );
+    let t0 = std::time::Instant::now();
+    for (id, table) in run_all(&scale) {
+        println!("== {id} ==\n{table}");
+    }
+    println!("# figures bench completed in {:.1} s", t0.elapsed().as_secs_f64());
+}

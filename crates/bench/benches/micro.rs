@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the simulation substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rica_bench::bench_scenario;
+use rica_channel::{ChannelConfig, ChannelModel};
+use rica_harness::ProtocolKind;
+use rica_mobility::{Field, Vec2, Waypoint};
+use rica_sim::{EventQueue, Rng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter_batched(
+            || {
+                let times: Vec<u64> = (0..10_000).map(|_| rng.u64_below(1_000_000)).collect();
+                times
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_nanos(t), i);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/normal_1k", |b| {
+        let mut rng = Rng::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.normal();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("rng/exp_1k", |b| {
+        let mut rng = Rng::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.exp(0.1);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    c.bench_function("channel/class_sample_1k_sequential", |b| {
+        let mut model = ChannelModel::new(ChannelConfig::default(), Rng::new(3));
+        let a = Vec2::new(0.0, 0.0);
+        let p = Vec2::new(120.0, 40.0);
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1000 {
+                t += 1_000_000; // 1 ms steps
+                if let Some(cl) = model.class_between(0, 1, a, p, SimTime::from_nanos(t)) {
+                    acc += cl.level() as u32;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    c.bench_function("mobility/position_1k_steps", |b| {
+        let mut w = Waypoint::new(Field::PAPER, 20.0, 3.0, Rng::new(5));
+        let mut t = 0.0f64;
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                t += 0.05;
+                let p = w.position_at(SimTime::from_secs_f64(t));
+                acc += p.x;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20s_30_nodes");
+    group.sample_size(10);
+    for kind in [ProtocolKind::Rica, ProtocolKind::Aodv, ProtocolKind::LinkState] {
+        group.bench_function(kind.name(), |b| {
+            let scenario = bench_scenario().build();
+            b.iter(|| black_box(scenario.run(kind)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_channel,
+    bench_mobility,
+    bench_full_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # rica-bench — benchmark harnesses
+//!
+//! Three bench families, all runnable with `cargo bench`:
+//!
+//! * `micro` — criterion microbenchmarks of the substrates (event queue,
+//!   RNG, channel sampling, mobility evaluation, MAC collision checks,
+//!   full simulation steps per protocol).
+//! * `figures` — regenerates every table/figure of the paper at a reduced
+//!   scale and prints the series (the full-scale numbers live in
+//!   EXPERIMENTS.md).
+//! * `ablation` — sensitivity sweeps over the design parameters DESIGN.md
+//!   calls out (CSI-check period, TTL margin, BGCA guard factor, RICA
+//!   promotion window).
+//!
+//! This library crate only hosts shared helpers.
+
+#![warn(missing_docs)]
+
+use rica_harness::{Scenario, ScenarioBuilder};
+
+/// A small but non-trivial scenario used by several benches: 30 nodes,
+/// 5 flows, 36 km/h — large enough to exercise multi-hop routing, small
+/// enough to iterate.
+pub fn bench_scenario() -> ScenarioBuilder {
+    Scenario::builder()
+        .nodes(30)
+        .flows(5)
+        .rate_pps(10.0)
+        .mean_speed_kmh(36.0)
+        .duration_secs(20.0)
+        .seed(99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_harness::ProtocolKind;
+
+    #[test]
+    fn bench_scenario_is_runnable() {
+        let r = bench_scenario().duration_secs(5.0).build().run(ProtocolKind::Rica);
+        assert!(r.generated > 0);
+    }
+}

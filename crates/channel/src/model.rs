@@ -1,0 +1,286 @@
+//! The network-wide channel model: one composite SNR process per node pair.
+
+use std::collections::HashMap;
+
+use rica_mobility::Vec2;
+use rica_sim::{Rng, SimTime};
+
+use crate::{ChannelClass, ChannelConfig, OuProcess};
+
+/// Per-pair state: the two OU components and their private random stream.
+#[derive(Debug)]
+struct PairState {
+    shadow: OuProcess,
+    fade: OuProcess,
+    rng: Rng,
+}
+
+/// The time-varying channel between every pair of terminals.
+///
+/// Channels are reciprocal (the paper's CSI measurement assumes symmetric
+/// links), so state is keyed by the *unordered* node pair: querying `(a, b)`
+/// and `(b, a)` at the same instant returns the same class.
+///
+/// Pair state is created lazily on first query, with a random stream forked
+/// deterministically from the model seed and the pair id — so the channel
+/// realisation of pair `(3, 7)` is identical no matter how many other pairs
+/// exist or in what order they are queried.
+#[derive(Debug)]
+pub struct ChannelModel {
+    config: ChannelConfig,
+    master: Rng,
+    pairs: HashMap<(u32, u32), PairState>,
+}
+
+impl ChannelModel {
+    /// Creates a model with the given configuration and master seed stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ChannelConfig::validate`]).
+    pub fn new(config: ChannelConfig, master: Rng) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid ChannelConfig: {e}");
+        }
+        ChannelModel { config, master, pairs: HashMap::new() }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    fn pair_key(a: u32, b: u32) -> (u32, u32) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn pair_state(&mut self, a: u32, b: u32) -> &mut PairState {
+        let key = Self::pair_key(a, b);
+        let (config, master) = (&self.config, &self.master);
+        self.pairs.entry(key).or_insert_with(|| {
+            // Stable stream id from the pair: works for any node count < 2^32.
+            let stream = ((key.0 as u64) << 32) | key.1 as u64;
+            let mut rng = master.fork(stream);
+            let shadow = OuProcess::new(config.shadow_sigma_db, config.shadow_tau_s, &mut rng);
+            let fade = OuProcess::new(config.fade_sigma_db, config.fade_tau_s, &mut rng);
+            PairState { shadow, fade, rng }
+        })
+    }
+
+    /// Composite SNR (dB) of the link between nodes `a` and `b` at instant
+    /// `t`, given their positions — regardless of range.
+    ///
+    /// Queries for a given pair must be non-decreasing in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn snr_db(&mut self, a: u32, b: u32, pos_a: Vec2, pos_b: Vec2, t: SimTime) -> f64 {
+        assert_ne!(a, b, "no self-channel");
+        let mean = self.config.mean_snr_db(pos_a.distance(pos_b));
+        let st = self.pair_state(a, b);
+        // Split borrows: sample each process with the pair's own rng.
+        let PairState { shadow, fade, rng } = st;
+        mean + shadow.sample(t, rng) + fade.sample(t, rng)
+    }
+
+    /// The channel class between `a` and `b` at instant `t`, or `None` if
+    /// the nodes are out of radio range (> `tx_range_m` apart).
+    ///
+    /// This is the "CSI measurement" every protocol performs on packet
+    /// reception.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn class_between(
+        &mut self,
+        a: u32,
+        b: u32,
+        pos_a: Vec2,
+        pos_b: Vec2,
+        t: SimTime,
+    ) -> Option<ChannelClass> {
+        if pos_a.distance_sq(pos_b) > self.config.tx_range_m * self.config.tx_range_m {
+            return None;
+        }
+        let thresholds = self.config.class_thresholds_db;
+        let snr = self.snr_db(a, b, pos_a, pos_b, t);
+        Some(ChannelClass::from_snr_db(snr, thresholds))
+    }
+
+    /// Whether `a` and `b` are within radio range.
+    pub fn in_range(&self, pos_a: Vec2, pos_b: Vec2) -> bool {
+        pos_a.distance_sq(pos_b) <= self.config.tx_range_m * self.config.tx_range_m
+    }
+
+    /// Number of pair processes instantiated so far (diagnostics).
+    pub fn active_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(seed: u64) -> ChannelModel {
+        ChannelModel::new(ChannelConfig::default(), Rng::new(seed))
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let mut m = model(1);
+        let class =
+            m.class_between(0, 1, Vec2::ZERO, Vec2::new(250.1, 0.0), SimTime::ZERO);
+        assert!(class.is_none());
+        let class = m.class_between(0, 1, Vec2::ZERO, Vec2::new(250.0, 0.0), SimTime::ZERO);
+        assert!(class.is_some(), "exactly at range boundary is still a link");
+    }
+
+    #[test]
+    fn reciprocal_channel() {
+        let mut m = model(2);
+        let pa = Vec2::new(10.0, 10.0);
+        let pb = Vec2::new(110.0, 60.0);
+        for i in 0..20 {
+            let t = secs(i as f64 * 0.3);
+            let ab = m.class_between(3, 7, pa, pb, t);
+            let ba = m.class_between(7, 3, pb, pa, t);
+            assert_eq!(ab, ba);
+        }
+        assert_eq!(m.active_pairs(), 1);
+    }
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        // Pair (0,1) sees the same realisation whether or not pair (2,3)
+        // was queried first.
+        let sample = |query_other_first: bool| {
+            let mut m = model(42);
+            if query_other_first {
+                m.class_between(2, 3, Vec2::ZERO, Vec2::new(50.0, 0.0), SimTime::ZERO);
+            }
+            (0..50)
+                .map(|i| {
+                    m.snr_db(0, 1, Vec2::ZERO, Vec2::new(80.0, 0.0), secs(i as f64 * 0.1))
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(sample(false), sample(true));
+    }
+
+    #[test]
+    fn close_links_mostly_class_a_far_links_mostly_cd() {
+        let mut near_a = 0;
+        let mut far_cd = 0;
+        let n = 400;
+        for seed in 0..n {
+            let mut m = model(10_000 + seed);
+            let near = m
+                .class_between(0, 1, Vec2::ZERO, Vec2::new(30.0, 0.0), SimTime::ZERO)
+                .unwrap();
+            let far = m
+                .class_between(2, 3, Vec2::ZERO, Vec2::new(240.0, 0.0), SimTime::ZERO)
+                .unwrap();
+            if near == ChannelClass::A {
+                near_a += 1;
+            }
+            if far >= ChannelClass::C {
+                far_cd += 1;
+            }
+        }
+        assert!(near_a as f64 / n as f64 > 0.8, "near class-A fraction {near_a}/{n}");
+        assert!(far_cd as f64 / n as f64 > 0.8, "far C/D fraction {far_cd}/{n}");
+    }
+
+    #[test]
+    fn mid_distance_has_class_diversity() {
+        // At ~110 m every class should appear with non-trivial probability —
+        // this diversity is what gives CSI-aware routing something to exploit.
+        let mut counts = [0usize; 4];
+        let n = 2000;
+        for seed in 0..n {
+            let mut m = model(77_000 + seed as u64);
+            let c = m
+                .class_between(0, 1, Vec2::ZERO, Vec2::new(110.0, 0.0), SimTime::ZERO)
+                .unwrap();
+            counts[match c {
+                ChannelClass::A => 0,
+                ChannelClass::B => 1,
+                ChannelClass::C => 2,
+                ChannelClass::D => 3,
+            }] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c as f64 / n as f64 > 0.03, "class {i} too rare: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn class_dwell_time_is_of_order_seconds() {
+        // Average dwell time in a class at fixed mid distance should be
+        // between ~0.3 s and ~10 s: long enough that a 1 s CSI check period
+        // can track it, short enough that adaptation matters.
+        let mut m = model(5);
+        let dt = 0.05;
+        let mut last = None;
+        let mut switches = 0u32;
+        let steps = 40_000; // 2000 s
+        for i in 0..steps {
+            let c = m
+                .class_between(0, 1, Vec2::ZERO, Vec2::new(110.0, 0.0), secs(i as f64 * dt))
+                .unwrap();
+            if last.is_some() && last != Some(c) {
+                switches += 1;
+            }
+            last = Some(c);
+        }
+        let total_secs = steps as f64 * dt;
+        let dwell = total_secs / switches.max(1) as f64;
+        assert!((0.3..10.0).contains(&dwell), "mean dwell {dwell} s ({switches} switches)");
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-channel")]
+    fn self_channel_panics() {
+        let mut m = model(1);
+        m.snr_db(4, 4, Vec2::ZERO, Vec2::ZERO, SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rica_sim::Rng;
+
+    proptest! {
+        /// For any geometry within range, a class is always produced and
+        /// reciprocity holds.
+        #[test]
+        fn class_total_within_range(
+            seed in any::<u64>(),
+            ax in 0.0f64..1000.0, ay in 0.0f64..1000.0,
+            dx in -176.0f64..176.0, dy in -176.0f64..176.0,
+            t in 0.0f64..500.0,
+        ) {
+            let pa = Vec2::new(ax, ay);
+            let pb = Vec2::new(ax + dx, ay + dy); // at most ~249 m away
+            let mut m = ChannelModel::new(ChannelConfig::default(), Rng::new(seed));
+            let c1 = m.class_between(1, 2, pa, pb, SimTime::from_secs_f64(t));
+            prop_assert!(c1.is_some());
+            let c2 = m.class_between(2, 1, pb, pa, SimTime::from_secs_f64(t));
+            prop_assert_eq!(c1, c2);
+        }
+    }
+}

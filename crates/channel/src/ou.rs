@@ -1,0 +1,205 @@
+//! Lazily-evaluated Ornstein–Uhlenbeck process.
+
+use rica_sim::{Rng, SimTime};
+
+/// A stationary, zero-mean Ornstein–Uhlenbeck process sampled lazily at
+/// arbitrary (non-decreasing) instants.
+///
+/// The OU process is the standard model for temporally correlated dB-domain
+/// channel components (shadowing, slow fading): it is Gaussian, mean
+/// reverting, and has autocorrelation `exp(-Δt/τ)`.
+///
+/// Sampling uses the *exact* conditional law, not Euler integration:
+///
+/// ```text
+/// x(t+Δ) | x(t)  ~  N( x(t)·ρ,  σ²(1 − ρ²) ),   ρ = exp(−Δ/τ)
+/// ```
+///
+/// so any event-driven query pattern yields statistically identical
+/// trajectories — there is no simulation time step to tune.
+///
+/// ```
+/// use rica_channel::OuProcess;
+/// use rica_sim::{Rng, SimTime};
+///
+/// let mut ou = OuProcess::new(6.0, 10.0, &mut Rng::new(5));
+/// let x0 = ou.sample(SimTime::ZERO, &mut Rng::new(6));
+/// // Queries far in the future decorrelate towards N(0, σ²).
+/// let x1 = ou.sample(SimTime::from_secs_f64(1000.0), &mut Rng::new(7));
+/// assert!(x0.is_finite() && x1.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OuProcess {
+    sigma: f64,
+    tau: f64,
+    value: f64,
+    last: SimTime,
+}
+
+impl OuProcess {
+    /// Creates a process with stationary standard deviation `sigma` (dB) and
+    /// time constant `tau` (seconds), drawing the initial state from the
+    /// stationary distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0` or `tau <= 0` (or either is non-finite).
+    pub fn new(sigma: f64, tau: f64, rng: &mut Rng) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0, got {sigma}");
+        assert!(tau.is_finite() && tau > 0.0, "tau must be > 0, got {tau}");
+        OuProcess { sigma, tau, value: rng.normal_with(0.0, sigma), last: SimTime::ZERO }
+    }
+
+    /// The value at instant `t`, advancing the internal state.
+    ///
+    /// Queries must be non-decreasing in `t`; repeated queries at the same
+    /// instant return the same value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous query.
+    pub fn sample(&mut self, t: SimTime, rng: &mut Rng) -> f64 {
+        assert!(t >= self.last, "non-monotonic OU query: {t} < {}", self.last);
+        let dt = (t - self.last).as_secs_f64();
+        if dt > 0.0 {
+            let rho = (-dt / self.tau).exp();
+            let cond_sigma = self.sigma * (1.0 - rho * rho).sqrt();
+            self.value = self.value * rho + rng.normal_with(0.0, cond_sigma);
+            self.last = t;
+        }
+        self.value
+    }
+
+    /// The last sampled value (without advancing time).
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Stationary standard deviation (dB).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Mean-reversion time constant (seconds).
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn constant_when_sigma_zero() {
+        let mut seed = Rng::new(1);
+        let mut ou = OuProcess::new(0.0, 5.0, &mut seed);
+        let mut rng = Rng::new(2);
+        for i in 0..100 {
+            assert_eq!(ou.sample(secs(i as f64), &mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn repeated_query_same_instant_is_stable() {
+        let mut seed = Rng::new(3);
+        let mut ou = OuProcess::new(4.0, 2.0, &mut seed);
+        let mut rng = Rng::new(4);
+        let a = ou.sample(secs(1.0), &mut rng);
+        let b = ou.sample(secs(1.0), &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(ou.current(), a);
+    }
+
+    #[test]
+    fn stationary_moments() {
+        // Ensemble statistics over many independent processes.
+        let sigma = 6.0;
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for i in 0..n {
+            let mut seed = Rng::new(1000 + i);
+            let mut ou = OuProcess::new(sigma, 3.0, &mut seed);
+            let mut rng = Rng::new(2000 + i);
+            let x = ou.sample(secs(7.0), &mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - sigma * sigma).abs() < sigma * sigma * 0.05, "var {var}");
+    }
+
+    #[test]
+    fn autocorrelation_decays_as_exp() {
+        // E[x(t)x(t+dt)] = sigma^2 * exp(-dt/tau).
+        let sigma = 5.0;
+        let tau = 2.0;
+        let dt = 1.0;
+        let n = 40_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let mut seed = Rng::new(500 + i);
+            let mut ou = OuProcess::new(sigma, tau, &mut seed);
+            let mut rng = Rng::new(900 + i);
+            let x0 = ou.sample(secs(0.0), &mut rng);
+            let x1 = ou.sample(secs(dt), &mut rng);
+            acc += x0 * x1;
+        }
+        let got = acc / n as f64;
+        let expect = sigma * sigma * (-dt / tau as f64).exp();
+        assert!((got - expect).abs() < 1.0, "got {got} expect {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonic")]
+    fn backwards_query_panics() {
+        let mut seed = Rng::new(8);
+        let mut ou = OuProcess::new(1.0, 1.0, &mut seed);
+        let mut rng = Rng::new(9);
+        ou.sample(secs(5.0), &mut rng);
+        ou.sample(secs(4.0), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be > 0")]
+    fn zero_tau_panics() {
+        OuProcess::new(1.0, 0.0, &mut Rng::new(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rica_sim::Rng;
+
+    proptest! {
+        /// The process never produces non-finite values, for arbitrary
+        /// (sorted) query schedules.
+        #[test]
+        fn always_finite(
+            seed in any::<u64>(),
+            sigma in 0.0f64..20.0,
+            tau in 0.01f64..100.0,
+            mut ts in proptest::collection::vec(0.0f64..10_000.0, 1..100),
+        ) {
+            ts.sort_by(f64::total_cmp);
+            let mut seeder = Rng::new(seed);
+            let mut ou = OuProcess::new(sigma, tau, &mut seeder);
+            let mut rng = Rng::new(seed ^ 0xABCD);
+            for &t in &ts {
+                let x = ou.sample(SimTime::from_secs_f64(t), &mut rng);
+                prop_assert!(x.is_finite());
+                // 8-sigma bound: astronomically unlikely to fail by chance.
+                prop_assert!(x.abs() <= 8.0 * sigma + 1e-9);
+            }
+        }
+    }
+}

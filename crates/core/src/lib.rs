@@ -1,0 +1,50 @@
+//! # rica-core — the RICA protocol (Receiver-Initiated Channel Adaptive)
+//!
+//! The paper's primary contribution (§II): an on-demand ad hoc routing
+//! protocol that adapts the *entire route* to the time-varying channel.
+//!
+//! ## Mechanisms
+//!
+//! 1. **Route discovery (§II.B)** — the source floods a RREQ; every relay
+//!    measures the CSI class of the incoming link and adds its CSI-based hop
+//!    distance (A/B/C/D → 1/1.67/3.33/5) to the packet's hop count. The
+//!    *destination* collects the arriving copies briefly and unicasts a RREP
+//!    back along the reverse pointers of the copy with the smallest CSI
+//!    distance.
+//!
+//! 2. **Receiver-initiated CSI checking (§II.C)** — while the flow is
+//!    active, the destination periodically broadcasts a *CSI checking
+//!    packet* with TTL = the known topological hop distance of the current
+//!    path. Relays re-broadcast each check once, accumulating CSI hops, and
+//!    remember the neighbour they first received it from as their
+//!    *possible downstream* (and, by overhearing, the PN code of the
+//!    possible upstream — modelled by the possible-route entry with its
+//!    100 ms detection window). The source thus receives fresh end-to-end
+//!    CSI metrics every period and, after a 40 ms combining window, switches
+//!    to the best candidate by sending a **RUPD** to the new next hop; the
+//!    first data packet carries an *update flag* that promotes the
+//!    possible entries along the new path. The old route simply expires
+//!    after ~1 s of disuse.
+//!
+//! 3. **Route maintenance (§II.D)** — per-packet ACKs on the reverse PN
+//!    code detect broken links; the detecting terminal unicasts a REER
+//!    towards the source. A terminal ignores REERs from non-downstream
+//!    neighbours (they come from expired routes). The source arbitrates
+//!    between in-flight CSI checks and a fresh RREQ flood exactly as the
+//!    paper's three scenarios prescribe: candidates arriving within the
+//!    40 ms window are combined (best CSI metric wins) and *later
+//!    information always replaces earlier routes*.
+//!
+//! ## Using the protocol
+//!
+//! [`Rica`] implements [`rica_net::RoutingProtocol`] and is driven entirely
+//! through that trait — see `rica-harness` for the full simulator, or unit
+//! tests here for driving it with [`rica_net::testing::ScriptedCtx`].
+
+#![warn(missing_docs)]
+
+mod protocol;
+mod state;
+
+pub use protocol::Rica;
+pub use state::{PossibleRoute, RouteEntry};

@@ -1,0 +1,222 @@
+//! Deeper RICA behaviour: multi-wave dynamics, arbitration corner cases and
+//! the paper's Figure 1 walkthrough, driven on scripted contexts.
+
+use rica_channel::ChannelClass;
+use rica_core::Rica;
+use rica_net::testing::ScriptedCtx;
+use rica_net::{
+    ControlKind, ControlPacket, DataPacket, FlowId, NodeCtx, NodeId, RoutingProtocol, RxInfo,
+    Timer,
+};
+use rica_sim::SimDuration;
+
+fn rx(from: u32, class: ChannelClass) -> RxInfo {
+    RxInfo { from: NodeId(from), class }
+}
+
+fn data(src: u32, dst: u32, seq: u64) -> DataPacket {
+    DataPacket::new(FlowId(0), seq, NodeId(src), NodeId(dst), 512, rica_sim::SimTime::ZERO)
+}
+
+/// The paper's Figure 1(a)–(b): three RREQ copies with CSI distances 6, 7
+/// and 4.33 reach the destination; the reply follows the 4.33 route.
+#[test]
+fn figure_1_route_discovery() {
+    let mut dst = ScriptedCtx::new(NodeId(9));
+    let mut p = Rica::new();
+    // Copies arrive with accumulated metric just before the final link;
+    // the final links are (B=1.67), (C=3.33), (A=1.0) so the totals become
+    // 6, 7, and 4.33 like the figure.
+    p.on_control(
+        &mut dst,
+        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 6.0 - 1.67, topo_hops: 3 },
+        rx(1, ChannelClass::B),
+    );
+    p.on_control(
+        &mut dst,
+        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 7.0 - 3.33, topo_hops: 2 },
+        rx(2, ChannelClass::C),
+    );
+    p.on_control(
+        &mut dst,
+        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 4.33 - 1.0, topo_hops: 4 },
+        rx(3, ChannelClass::A),
+    );
+    let t = dst.fire_next_timer();
+    assert_eq!(t, Timer::ReplyWindow { src: NodeId(0), dst: NodeId(9) });
+    p.on_timer(&mut dst, t);
+    assert_eq!(dst.unicasts.len(), 1);
+    let (to, pkt) = &dst.unicasts[0];
+    assert_eq!(*to, NodeId(3), "the 4.33 route wins (Figure 1(b))");
+    match pkt {
+        ControlPacket::Rrep { csi_hops, .. } => assert!((csi_hops - 4.33).abs() < 0.01),
+        other => panic!("expected RREP, got {other:?}"),
+    }
+}
+
+/// Consecutive CSI waves switch the route each time a better neighbour
+/// appears, and each switch emits exactly one RUPD.
+#[test]
+fn repeated_waves_track_the_best_neighbour() {
+    let mut ctx = ScriptedCtx::new(NodeId(0));
+    let mut p = Rica::new();
+    // Establish a first route via n5.
+    p.on_control(
+        &mut ctx,
+        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 5.0, topo_hops: 3 },
+        rx(5, ChannelClass::A),
+    );
+    let mut expected = NodeId(5);
+    for wave in 0..4u64 {
+        let better = NodeId(4 + (wave % 2) as u32); // alternate n4 / n5
+        ctx.clear_actions();
+        p.on_control(
+            &mut ctx,
+            ControlPacket::CsiCheck {
+                src: NodeId(0), dst: NodeId(9), bcast_id: wave, csi_hops: 1.0, ttl: 3,
+                received_from: Some(better),
+            },
+            rx(better.raw(), ChannelClass::A),
+        );
+        let t = ctx.fire_next_timer();
+        p.on_timer(&mut ctx, t);
+        let rupds =
+            ctx.unicasts.iter().filter(|(_, p)| p.kind() == ControlKind::Rupd).count();
+        if better == expected {
+            assert_eq!(rupds, 0, "wave {wave}: no RUPD when the next hop is unchanged");
+        } else {
+            assert_eq!(rupds, 1, "wave {wave}: exactly one RUPD per switch");
+            expected = better;
+        }
+        assert_eq!(p.next_hop_to(NodeId(9)), Some(expected));
+        ctx.advance(SimDuration::from_millis(900));
+    }
+}
+
+/// §II.D scenario 1+3 combined: a REER arrives while checks are fresh, so
+/// no flood happens; the next wave re-establishes the route by itself.
+#[test]
+fn rerr_recovery_via_next_wave() {
+    let mut ctx = ScriptedCtx::new(NodeId(0));
+    let mut p = Rica::new();
+    p.on_control(
+        &mut ctx,
+        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 5.0, topo_hops: 3 },
+        rx(5, ChannelClass::A),
+    );
+    // A check confirms the wave machinery is alive.
+    p.on_control(
+        &mut ctx,
+        ControlPacket::CsiCheck {
+            src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 2.0, ttl: 3,
+            received_from: Some(NodeId(5)),
+        },
+        rx(5, ChannelClass::A),
+    );
+    let t = ctx.fire_next_timer();
+    p.on_timer(&mut ctx, t);
+    ctx.clear_actions();
+    // Route dies.
+    p.on_control(
+        &mut ctx,
+        ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
+        rx(5, ChannelClass::A),
+    );
+    assert!(ctx.broadcasts.is_empty(), "scenario 1: no flood while checks flow");
+    assert_eq!(p.next_hop_to(NodeId(9)), None);
+    // Data arriving meanwhile buffers silently.
+    p.on_data(&mut ctx, data(0, 9, 0), None);
+    assert!(ctx.sent_data.is_empty());
+    assert!(ctx.broadcasts.is_empty(), "still within the wave-trust window");
+    // Next wave arrives via n6: route re-established, buffer flushed.
+    ctx.advance(SimDuration::from_millis(400));
+    p.on_control(
+        &mut ctx,
+        ControlPacket::CsiCheck {
+            src: NodeId(0), dst: NodeId(9), bcast_id: 1, csi_hops: 1.5, ttl: 3,
+            received_from: Some(NodeId(6)),
+        },
+        rx(6, ChannelClass::A),
+    );
+    let t = ctx.fire_next_timer();
+    p.on_timer(&mut ctx, t);
+    assert_eq!(p.next_hop_to(NodeId(9)), Some(NodeId(6)));
+    assert_eq!(ctx.sent_data.len(), 1, "buffered packet rode the new route");
+    assert!(ctx.sent_data[0].1.route_update, "first packet on a new route is flagged");
+}
+
+/// A destination keeps distinct per-source CSI broadcast schedules.
+#[test]
+fn destination_handles_multiple_sources() {
+    let mut ctx = ScriptedCtx::new(NodeId(9));
+    let mut p = Rica::new();
+    p.on_data(&mut ctx, data(0, 9, 0), Some(rx(5, ChannelClass::A)));
+    p.on_data(&mut ctx, data(1, 9, 0), Some(rx(6, ChannelClass::A)));
+    let csi_timers: Vec<Timer> = ctx
+        .pending_timers()
+        .iter()
+        .map(|t| t.timer)
+        .filter(|t| matches!(t, Timer::CsiBroadcast { .. }))
+        .collect();
+    assert_eq!(csi_timers.len(), 2, "one periodic check stream per source");
+    assert!(csi_timers.contains(&Timer::CsiBroadcast { src: NodeId(0) }));
+    assert!(csi_timers.contains(&Timer::CsiBroadcast { src: NodeId(1) }));
+}
+
+/// TTL margin is applied on top of the learned path length.
+#[test]
+fn csi_check_ttl_tracks_delivered_hops() {
+    let mut ctx = ScriptedCtx::new(NodeId(9));
+    let mut p = Rica::new();
+    let mut pkt = data(0, 9, 0);
+    pkt.hops = 5;
+    p.on_data(&mut ctx, pkt, Some(rx(7, ChannelClass::A)));
+    let t = ctx.fire_next_timer();
+    p.on_timer(&mut ctx, t);
+    let margin = ctx.config().csi_ttl_margin;
+    match &ctx.broadcasts[0] {
+        ControlPacket::CsiCheck { ttl, .. } => assert_eq!(*ttl, 5 + margin),
+        other => panic!("expected CsiCheck, got {other:?}"),
+    }
+}
+
+/// Duplicate RREQs of an already-answered flood do not re-open the reply
+/// window.
+#[test]
+fn destination_ignores_answered_floods() {
+    let mut ctx = ScriptedCtx::new(NodeId(9));
+    let mut p = Rica::new();
+    let rreq = ControlPacket::Rreq {
+        src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 1.0, topo_hops: 1,
+    };
+    p.on_control(&mut ctx, rreq.clone(), rx(1, ChannelClass::A));
+    let t = ctx.fire_next_timer();
+    p.on_timer(&mut ctx, t);
+    assert_eq!(ctx.unicasts.len(), 1);
+    // Late copy of the same flood: no second reply window, no second RREP.
+    p.on_control(&mut ctx, rreq, rx(2, ChannelClass::A));
+    assert!(
+        !ctx.pending_timers().iter().any(|t| matches!(t.timer, Timer::ReplyWindow { .. })),
+        "no new window for an answered flood"
+    );
+}
+
+/// The wave dedup is monotone: an old wave arriving after a newer one is
+/// discarded and does not overwrite the possible downstream.
+#[test]
+fn old_wave_cannot_regress_possible_route() {
+    let mut ctx = ScriptedCtx::new(NodeId(5));
+    let mut p = Rica::new();
+    let check = |bcast: u64, from: u32| ControlPacket::CsiCheck {
+        src: NodeId(0), dst: NodeId(9), bcast_id: bcast, csi_hops: 0.0, ttl: 3,
+        received_from: Some(NodeId(from)),
+    };
+    p.on_control(&mut ctx, check(5, 7), rx(7, ChannelClass::A));
+    assert_eq!(p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream, NodeId(7));
+    // Stale wave 3 via n8: must not regress.
+    p.on_control(&mut ctx, check(3, 8), rx(8, ChannelClass::A));
+    assert_eq!(p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream, NodeId(7));
+    // Newer wave 6 via n8: updates.
+    p.on_control(&mut ctx, check(6, 8), rx(8, ChannelClass::A));
+    assert_eq!(p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream, NodeId(8));
+}

@@ -1,0 +1,75 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p rica-harness --bin figures -- [--full|--quick|--smoke] [fig2a fig3b … | all]
+//! ```
+//!
+//! `--quick` (default) runs a scaled-down environment (60 s, 3 trials);
+//! `--full` runs the paper's exact §III.A environment (500 s, 25 trials,
+//! 50 nodes — expect minutes per figure). Results print to stdout; see
+//! EXPERIMENTS.md for the recorded full-scale outputs.
+
+use rica_harness::experiments::{figure, run_all, Scale, FIGURE_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut scale_name = "quick";
+    let mut ids: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut trials_override: Option<usize> = None;
+    let mut args_iter = args.iter().peekable();
+    while let Some(a) = args_iter.next() {
+        match a.as_str() {
+            "--trials" => {
+                trials_override = args_iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| panic!("--trials needs a number"));
+                continue;
+            }
+            _ => {}
+        }
+        match a.as_str() {
+            "--full" => {
+                scale = Scale::full();
+                scale_name = "full";
+            }
+            "--quick" => {
+                scale = Scale::quick();
+                scale_name = "quick";
+            }
+            "--smoke" => {
+                scale = Scale::smoke();
+                scale_name = "smoke";
+            }
+            "all" => all = true,
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        all = true;
+    }
+    if let Some(t) = trials_override {
+        scale.trials = t;
+    }
+    eprintln!(
+        "# scale: {scale_name} ({} nodes, {} flows, {} s, {} trials, speeds {:?})",
+        scale.nodes, scale.flows, scale.duration_secs, scale.trials, scale.speeds
+    );
+    let t0 = std::time::Instant::now();
+    if all {
+        // Shared sweeps: far cheaper than per-figure regeneration.
+        for (id, out) in run_all(&scale) {
+            let _ = FIGURE_IDS; // ids come from run_all in paper order
+            println!("== {id} ==\n{out}");
+        }
+    } else {
+        ids.dedup();
+        for id in ids {
+            let out = figure(&id, &scale);
+            println!("== {id} ==\n{out}");
+        }
+    }
+    eprintln!("# total {:.1} s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,50 @@
+//! Diagnostic: run one trial and dump the full metric breakdown.
+//!
+//! ```text
+//! cargo run --release -p rica-harness --bin inspect -- [protocol] [speed_kmh] [rate_pps] [secs]
+//! ```
+
+use rica_harness::{ProtocolKind, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.first().map(|s| s.to_lowercase()) {
+        Some(ref s) if s == "bgca" => ProtocolKind::Bgca,
+        Some(ref s) if s == "abr" => ProtocolKind::Abr,
+        Some(ref s) if s == "aodv" => ProtocolKind::Aodv,
+        Some(ref s) if s == "linkstate" || s == "ls" => ProtocolKind::LinkState,
+        _ => ProtocolKind::Rica,
+    };
+    let speed: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(36.0);
+    let rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60.0);
+    let s = Scenario::builder()
+        .mean_speed_kmh(speed)
+        .rate_pps(rate)
+        .duration_secs(secs)
+        .seed(1)
+        .build();
+    let r = s.run(kind);
+    println!("protocol            {}", kind.name());
+    println!("generated           {}", r.generated);
+    println!("delivered           {} ({:.1}%)", r.delivered, r.delivery_pct());
+    println!("in flight           {}", r.in_flight());
+    println!("delay               {:.1} ± {:.1} ms", r.delay_mean_ms, r.delay_std_ms);
+    println!("delay p50/p95/max   {:.1} / {:.1} / {:.1} ms", r.delay_p50_ms, r.delay_p95_ms, r.delay_max_ms);
+    println!("avg hops            {:.2}", r.avg_hops);
+    println!("avg link throughput {:.1} kbps", r.avg_link_throughput_kbps);
+    println!("overhead            {:.1} kbps", r.overhead_kbps);
+    println!("ack bits            {} ({:.1} kbps)", r.ack_bits, r.ack_bits as f64 / secs / 1e3);
+    println!("collisions          {}", r.collisions);
+    println!("link breaks         {}", r.link_breaks);
+    println!("ctrl queue drops    {}", r.ctrl_queue_drops);
+    println!("control tx count    {}", r.control_tx_count);
+    println!("-- drops by reason");
+    for (reason, count) in &r.drops {
+        println!("   {reason:<18} {count}");
+    }
+    println!("-- control bits by kind (kbps)");
+    for (kind, bits) in &r.control_bits {
+        println!("   {kind:<10?} {:>8.2}", *bits as f64 / secs / 1e3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Multi-trial execution (the paper averages 25 seeded trials per point).
+
+use rica_metrics::{Aggregate, TrialSummary};
+
+use crate::{ProtocolKind, Scenario, World};
+
+/// Runs `trials` independent trials (seeds `scenario.seed + 0..trials`),
+/// fanned out over available CPU cores, in deterministic result order.
+pub fn run_trials(scenario: &Scenario, kind: ProtocolKind, trials: usize) -> Vec<TrialSummary> {
+    assert!(trials > 0, "need at least one trial");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = threads.min(trials);
+    if threads <= 1 {
+        return (0..trials)
+            .map(|i| World::new(scenario, kind, scenario.seed + i as u64).run())
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<TrialSummary>> = vec![None; trials];
+    let slots: Vec<std::sync::Mutex<&mut Option<TrialSummary>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let summary = World::new(scenario, kind, scenario.seed + i as u64).run();
+                **slots[i].lock().expect("slot lock") = Some(summary);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("every trial ran")).collect()
+}
+
+/// Runs `trials` trials and aggregates them (mean ± std per metric), as the
+/// paper's plotted points do.
+pub fn run_aggregate(scenario: &Scenario, kind: ProtocolKind, trials: usize) -> Aggregate {
+    Aggregate::from_trials(&run_trials(scenario, kind, trials))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::builder()
+            .nodes(8)
+            .flows(2)
+            .duration_secs(8.0)
+            .mean_speed_kmh(18.0)
+            .seed(100)
+            .build()
+    }
+
+    #[test]
+    fn parallel_trials_match_sequential() {
+        let s = tiny();
+        let parallel = run_trials(&s, ProtocolKind::Aodv, 4);
+        let sequential: Vec<_> = (0..4)
+            .map(|i| World::new(&s, ProtocolKind::Aodv, s.seed + i as u64).run())
+            .collect();
+        assert_eq!(parallel, sequential, "threading must not change results");
+    }
+
+    #[test]
+    fn aggregate_counts_trials() {
+        let a = run_aggregate(&tiny(), ProtocolKind::Rica, 3);
+        assert_eq!(a.trials, 3);
+        assert!(a.delivery_pct.mean() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        run_trials(&tiny(), ProtocolKind::Rica, 0);
+    }
+}

@@ -1,0 +1,811 @@
+//! The discrete-event world: nodes, MAC, data plane, dispatch loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use rica_channel::{ChannelClass, ChannelModel};
+use rica_mac::{backoff_delay, CommonMedium, TxId};
+use rica_mobility::{kmh_to_ms, Vec2, Waypoint};
+use rica_metrics::{Metrics, TrialSummary};
+use rica_net::{
+    ControlPacket, DataPacket, DropReason, FlowId, LinkQueue, NodeCtx, NodeId, ProtocolConfig,
+    RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
+};
+use rica_sim::{EventToken, Rng, SimDuration, SimTime, Simulator};
+
+use crate::scenario::{Flow, ProtocolKind, Scenario};
+
+/// Extra wall time modelled for a failed (unacknowledged) data attempt.
+const ACK_TIMEOUT: SimDuration = SimDuration::from_millis(5);
+/// Backoff between data retransmission attempts.
+const DATA_RETRY_BACKOFF: SimDuration = SimDuration::from_millis(5);
+
+#[derive(Debug)]
+enum Event {
+    /// A flow generates its next packet.
+    Traffic { flow: usize },
+    /// A node attempts to transmit the head of its control queue (CSMA).
+    MacAttempt { node: usize },
+    /// A common-channel transmission finished.
+    MacTxEnd { node: usize, tx: TxId },
+    /// A data-plane transmission on the PN link `from → to` finished.
+    DataTxEnd { from: usize, to: usize },
+    /// A protocol timer fires.
+    ProtoTimer { node: usize, timer: Timer, token: u64 },
+    /// Failure injection: the node crashes.
+    Crash { node: usize },
+}
+
+#[derive(Debug)]
+struct OutgoingCtrl {
+    pkt: ControlPacket,
+    /// `None` = broadcast; `Some(t)` = MAC-addressed unicast to `t`.
+    target: Option<NodeId>,
+    /// MAC retransmissions already performed (unicast only).
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    pkt: DataPacket,
+    /// Attempts already made (0 = first attempt in progress).
+    tries: u32,
+    /// The ABICM class the attempt was launched at (`None` = the receiver
+    /// was out of range at start; the attempt is doomed).
+    class: Option<ChannelClass>,
+}
+
+#[derive(Debug, Default)]
+struct DataLink {
+    queue: LinkQueue,
+    in_flight: Option<InFlight>,
+}
+
+struct NodeState {
+    mobility: Waypoint,
+    rng: Rng,
+    ctrl_queue: VecDeque<OutgoingCtrl>,
+    /// Whether a `MacAttempt`/`MacTxEnd` event is pending for this node.
+    mac_scheduled: bool,
+    /// Consecutive busy carrier senses for the head packet.
+    mac_attempts: u32,
+    links: HashMap<usize, DataLink>,
+}
+
+/// One fully-wired simulation run: 50 mobile terminals, the channel, the
+/// MAC and one routing protocol instance per terminal.
+///
+/// Create with [`World::new`] and execute with [`World::run`]; or use the
+/// [`Scenario`] convenience wrappers.
+pub struct World<'s> {
+    scenario: &'s Scenario,
+    sim: Simulator<Event>,
+    nodes: Vec<NodeState>,
+    protos: Vec<Box<dyn RoutingProtocol>>,
+    channel: ChannelModel,
+    medium: CommonMedium,
+    metrics: Metrics,
+    flows: Vec<Flow>,
+    flow_seq: Vec<u64>,
+    flow_rng: Vec<Rng>,
+    timer_tokens: HashMap<u64, EventToken>,
+    next_timer_token: u64,
+    /// Crashed terminals (failure injection).
+    dead: Vec<bool>,
+    end: SimTime,
+    /// Safety valve against pathological event storms.
+    max_events: u64,
+}
+
+impl<'s> std::fmt::Debug for World<'s> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("nodes", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl<'s> World<'s> {
+    /// Builds a world for one trial of `scenario` under `kind`, seeded with
+    /// `seed` (every random stream is forked deterministically from it).
+    pub fn new(scenario: &'s Scenario, kind: ProtocolKind, seed: u64) -> Self {
+        let master = Rng::new(seed);
+        let mut flow_master = master.fork(3);
+        let flows = scenario.trial_flows(&mut flow_master);
+        let max_speed_ms = kmh_to_ms(scenario.mean_speed_kmh * 2.0);
+        let nodes: Vec<NodeState> = (0..scenario.nodes)
+            .map(|i| {
+                let mobility = match &scenario.pinned_positions {
+                    Some(ps) => Waypoint::pinned(scenario.field, ps[i], master.fork(1_000 + i as u64)),
+                    None => Waypoint::new(
+                        scenario.field,
+                        max_speed_ms,
+                        scenario.pause_secs,
+                        master.fork(1_000 + i as u64),
+                    ),
+                };
+                NodeState {
+                    mobility,
+                    rng: master.fork(2_000 + i as u64),
+                    ctrl_queue: VecDeque::new(),
+                    mac_scheduled: false,
+                    mac_attempts: 0,
+                    links: HashMap::new(),
+                }
+            })
+            .collect();
+        let protos: Vec<Box<dyn RoutingProtocol>> =
+            (0..scenario.nodes).map(|_| kind.make()).collect();
+        let flow_rng: Vec<Rng> =
+            (0..flows.len()).map(|i| master.fork(4_000 + i as u64)).collect();
+        World {
+            scenario,
+            sim: Simulator::new(),
+            nodes,
+            protos,
+            channel: ChannelModel::new(scenario.channel.clone(), master.fork(1)),
+            medium: CommonMedium::new(&scenario.mac),
+            metrics: Metrics::new(),
+            flow_seq: vec![0; flows.len()],
+            flows,
+            flow_rng,
+            timer_tokens: HashMap::new(),
+            next_timer_token: 0,
+            dead: vec![false; scenario.nodes],
+            end: SimTime::ZERO + scenario.duration,
+            max_events: 500_000_000,
+        }
+    }
+
+    fn position(&mut self, i: usize) -> Vec2 {
+        let now = self.sim.now();
+        self.nodes[i].mobility.position_at(now)
+    }
+
+    fn link_class(&mut self, a: usize, b: usize) -> Option<ChannelClass> {
+        let now = self.sim.now();
+        let pa = self.position(a);
+        let pb = self.position(b);
+        self.channel.class_between(a as u32, b as u32, pa, pb, now)
+    }
+
+    /// Runs the trial to completion and produces the metric summary.
+    pub fn run(mut self) -> TrialSummary {
+        self.start();
+        self.step_until(self.end);
+        self.finish()
+    }
+
+    /// Initialises protocols, the topology snapshot, injected failures and
+    /// the traffic processes. Called automatically by [`World::run`]; call
+    /// it explicitly when driving the world incrementally with
+    /// [`World::step_until`].
+    pub fn start(&mut self) {
+        // Start protocols and install the initial accurate topology view
+        // (link state uses it; on-demand protocols ignore it, §III.A).
+        let snapshot = self.build_snapshot();
+        for i in 0..self.nodes.len() {
+            self.dispatch(i, |proto, ctx| proto.on_start(ctx));
+            let snap = snapshot.clone();
+            self.dispatch(i, move |proto, ctx| proto.on_topology_snapshot(ctx, &snap));
+        }
+        // Schedule injected failures.
+        for &(secs, node) in &self.scenario.node_failures {
+            self.sim.schedule_at(
+                SimTime::from_secs_f64(secs),
+                Event::Crash { node: node.index() },
+            );
+        }
+        // Prime the traffic processes.
+        for f in 0..self.flows.len() {
+            let gap = rica_net::poisson::next_interarrival(
+                &mut self.flow_rng[f],
+                self.flows[f].rate_pps,
+            );
+            self.sim.schedule_in(gap, Event::Traffic { flow: f });
+        }
+    }
+
+    /// Processes events up to (and including) instant `until`, capped at
+    /// the scenario end. Returns the number of events handled.
+    pub fn step_until(&mut self, until: SimTime) -> u64 {
+        let until = until.min(self.end);
+        let mut events = 0u64;
+        while let Some(t) = self.sim.peek_time() {
+            if t > until {
+                break;
+            }
+            events += 1;
+            if events > self.max_events {
+                break; // safety valve; results remain valid up to `t`
+            }
+            let (_, ev) = self.sim.step().expect("peeked");
+            self.handle(ev);
+        }
+        events
+    }
+
+    /// Freezes the metrics into the trial summary.
+    pub fn finish(self) -> TrialSummary {
+        self.metrics.finish(self.scenario.duration)
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Observability: walks the per-node `current_downstream` pointers of
+    /// the flow `(src, dst)` from the source, yielding the route as this
+    /// instant's protocol state describes it. Stops at the destination, at
+    /// a terminal with no pointer, or after `nodes` hops (loop guard — a
+    /// truncated walk whose last element is not `dst` indicates a broken or
+    /// looping route).
+    pub fn trace_route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut at = src;
+        for _ in 0..self.nodes.len() {
+            if at == dst {
+                break;
+            }
+            let Some(next) = self.protos[at.index()].current_downstream(src, dst) else {
+                break;
+            };
+            if path.contains(&next) {
+                path.push(next); // make the loop visible, then stop
+                break;
+            }
+            path.push(next);
+            at = next;
+        }
+        path
+    }
+
+    fn build_snapshot(&mut self) -> TopologySnapshot {
+        let mut snap = TopologySnapshot::default();
+        let n = self.nodes.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if let Some(class) = self.link_class(a, b) {
+                    snap.links.push((NodeId(a as u32), NodeId(b as u32), class));
+                }
+            }
+        }
+        snap
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Traffic { flow } => self.on_traffic(flow),
+            Event::MacAttempt { node } => self.on_mac_attempt(node),
+            Event::MacTxEnd { node, tx } => self.on_mac_tx_end(node, tx),
+            Event::DataTxEnd { from, to } => self.on_data_tx_end(from, to),
+            Event::ProtoTimer { node, timer, token } => {
+                self.timer_tokens.remove(&token);
+                self.dispatch(node, move |proto, ctx| proto.on_timer(ctx, timer));
+            }
+            Event::Crash { node } => {
+                self.dead[node] = true;
+                // The radio goes silent: queued control traffic dies with
+                // the node, data links are torn down (upstream neighbours
+                // discover the break through their own retransmissions).
+                self.nodes[node].ctrl_queue.clear();
+                self.nodes[node].links.clear();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- traffic
+
+    fn on_traffic(&mut self, flow: usize) {
+        let now = self.sim.now();
+        let f = self.flows[flow];
+        if self.dead[f.src.index()] {
+            return; // a crashed source generates nothing, ever again
+        }
+        let seq = self.flow_seq[flow];
+        self.flow_seq[flow] += 1;
+        let pkt =
+            DataPacket::new(FlowId(flow as u32), seq, f.src, f.dst, f.packet_bytes, now);
+        self.metrics.on_generated();
+        self.dispatch(f.src.index(), move |proto, ctx| proto.on_data(ctx, pkt, None));
+        let gap = rica_net::poisson::next_interarrival(&mut self.flow_rng[flow], f.rate_pps);
+        self.sim.schedule_in(gap, Event::Traffic { flow });
+    }
+
+    // ----------------------------------------------------- common channel
+
+    fn enqueue_ctrl(&mut self, node: usize, pkt: ControlPacket, target: Option<NodeId>) {
+        let cap = self.scenario.mac.ctrl_queue_cap;
+        let st = &mut self.nodes[node];
+        if st.ctrl_queue.len() >= cap {
+            self.metrics.on_ctrl_queue_drop();
+            return;
+        }
+        st.ctrl_queue.push_back(OutgoingCtrl { pkt, target, retries: 0 });
+        if !st.mac_scheduled {
+            st.mac_scheduled = true;
+            let jitter_max = match target {
+                None => self.scenario.mac.broadcast_jitter,
+                Some(_) => self.scenario.mac.unicast_jitter,
+            };
+            let jitter =
+                SimDuration::from_nanos(st.rng.u64_below(jitter_max.as_nanos().max(1)) + 1);
+            self.sim.schedule_in(jitter, Event::MacAttempt { node });
+        }
+    }
+
+    fn on_mac_attempt(&mut self, node: usize) {
+        let now = self.sim.now();
+        if self.dead[node] {
+            self.nodes[node].mac_scheduled = false;
+            self.nodes[node].mac_attempts = 0;
+            return;
+        }
+        if self.nodes[node].ctrl_queue.is_empty() {
+            self.nodes[node].mac_scheduled = false;
+            self.nodes[node].mac_attempts = 0;
+            return;
+        }
+        let pos = self.position(node);
+        if self.medium.is_busy_near(node as u32, pos, now) {
+            let mac = self.scenario.mac.clone();
+            let st = &mut self.nodes[node];
+            st.mac_attempts += 1;
+            if st.mac_attempts > mac.max_attempts {
+                // Channel hopeless for this packet: abandon it.
+                st.ctrl_queue.pop_front();
+                st.mac_attempts = 0;
+                self.metrics.on_ctrl_queue_drop();
+                self.sim.schedule_in(mac.ifs, Event::MacAttempt { node });
+            } else {
+                let delay = backoff_delay(&mac, st.mac_attempts - 1, &mut st.rng);
+                self.sim.schedule_in(delay, Event::MacAttempt { node });
+            }
+            return;
+        }
+        // Clear channel: transmit the head packet.
+        let (bits, kind) = {
+            let head = self.nodes[node].ctrl_queue.front().expect("checked non-empty");
+            (head.pkt.size_bits(), head.pkt.kind())
+        };
+        let dur = self.scenario.mac.tx_duration(bits);
+        let tx = self.medium.begin_tx(node as u32, pos, now, now + dur);
+        self.metrics.on_control_tx(kind, bits);
+        self.sim.schedule_in(dur, Event::MacTxEnd { node, tx });
+    }
+
+    fn on_mac_tx_end(&mut self, node: usize, tx: TxId) {
+        let now = self.sim.now();
+        let out = self.nodes[node].ctrl_queue.pop_front().expect("tx had a head packet");
+        self.nodes[node].mac_attempts = 0;
+        let range = self.scenario.mac.range_m;
+        let p_tx = self.position(node);
+        // Determine the outcome at every potential receiver first, then
+        // dispatch (dispatching mutates the world).
+        let n = self.nodes.len();
+        let mut receivers: Vec<(usize, RxInfo)> = Vec::new();
+        let mut target_delivered = false;
+        for j in 0..n {
+            if j == node || self.dead[j] {
+                continue;
+            }
+            let pj = self.position(j);
+            if pj.distance(p_tx) > range {
+                continue;
+            }
+            if !self.medium.delivered(tx, j as u32, pj) {
+                self.metrics.on_collision();
+                continue;
+            }
+            let class = self
+                .channel
+                .class_between(node as u32, j as u32, p_tx, pj, now)
+                .expect("receiver in range has a class");
+            let info = RxInfo { from: NodeId(node as u32), class };
+            match out.target {
+                None => receivers.push((j, info)),
+                Some(t) if t.index() == j => {
+                    target_delivered = true;
+                    receivers.push((j, info));
+                }
+                Some(_) => {} // MAC-filtered: not addressed to j
+            }
+        }
+        // Unicast MAC-level retransmission on failure.
+        if let Some(_t) = out.target {
+            if !target_delivered && out.retries < self.scenario.mac.ctrl_retry_limit {
+                let retry =
+                    OutgoingCtrl { pkt: out.pkt.clone(), target: out.target, retries: out.retries + 1 };
+                self.nodes[node].ctrl_queue.push_front(retry);
+            }
+        }
+        self.medium.prune_before(now);
+        // Keep the MAC pipeline going.
+        if self.nodes[node].ctrl_queue.is_empty() {
+            self.nodes[node].mac_scheduled = false;
+        } else {
+            let ifs = self.scenario.mac.ifs;
+            self.sim.schedule_in(ifs, Event::MacAttempt { node });
+        }
+        // Deliver to the receiving protocols.
+        for (j, info) in receivers {
+            let pkt = out.pkt.clone();
+            self.dispatch(j, move |proto, ctx| proto.on_control(ctx, pkt, info));
+        }
+    }
+
+    // ---------------------------------------------------------- data plane
+
+    fn enqueue_data(&mut self, from: usize, to: usize, pkt: DataPacket) {
+        let now = self.sim.now();
+        let cfg = &self.scenario.protocol;
+        let link = self.nodes[from].links.entry(to).or_insert_with(|| DataLink {
+            queue: LinkQueue::new(cfg.link_queue_cap, cfg.max_queue_residency),
+            in_flight: None,
+        });
+        if let Some(rejected) = link.queue.push(now, pkt) {
+            drop(rejected);
+            self.metrics.on_dropped(DropReason::BufferOverflow);
+        }
+        self.try_start_data(from, to);
+    }
+
+    /// Starts transmitting the next queued packet on `from → to`, if idle.
+    fn try_start_data(&mut self, from: usize, to: usize) {
+        let now = self.sim.now();
+        let Some(link) = self.nodes[from].links.get_mut(&to) else { return };
+        if link.in_flight.is_some() {
+            return;
+        }
+        let mut expired = Vec::new();
+        let pkt = link.queue.pop_fresh(now, &mut expired);
+        for _ in &expired {
+            self.metrics.on_dropped(DropReason::BufferTimeout);
+        }
+        let Some(pkt) = pkt else { return };
+        let class = self.link_class(from, to);
+        let dur = Self::attempt_duration(&pkt, class);
+        self.nodes[from]
+            .links
+            .get_mut(&to)
+            .expect("link exists")
+            .in_flight = Some(InFlight { pkt, tries: 0, class });
+        self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
+    }
+
+    fn attempt_duration(pkt: &DataPacket, class: Option<ChannelClass>) -> SimDuration {
+        match class {
+            Some(c) => SimDuration::from_secs_f64(c.tx_secs(pkt.size_bits())),
+            // Receiver unreachable: the sender transmits at the most robust
+            // rate and waits out the ACK timeout.
+            None => {
+                SimDuration::from_secs_f64(ChannelClass::D.tx_secs(pkt.size_bits())) + ACK_TIMEOUT
+            }
+        }
+    }
+
+    fn on_data_tx_end(&mut self, from: usize, to: usize) {
+        if self.dead[from] {
+            return; // link state was cleared at crash time
+        }
+        let p_from = self.position(from);
+        let p_to = self.position(to);
+        let in_range = self.channel.in_range(p_from, p_to) && !self.dead[to];
+        let Some(link) = self.nodes[from].links.get_mut(&to) else { return };
+        let Some(inflight) = link.in_flight.take() else { return };
+        match inflight.class {
+            Some(class) if in_range => {
+                // Success: the receiver ACKs on the reverse PN code.
+                let mut pkt = inflight.pkt;
+                pkt.record_hop(class);
+                self.metrics.on_ack_tx(DATA_ACK_BYTES as u64 * 8);
+                self.try_start_data(from, to);
+                let info = RxInfo { from: NodeId(from as u32), class };
+                self.dispatch(to, move |proto, ctx| proto.on_data(ctx, pkt, Some(info)));
+            }
+            _ => {
+                // No ACK. Retry or declare the link broken.
+                let tries = inflight.tries + 1;
+                if tries > self.scenario.protocol.data_retry_limit {
+                    self.metrics.on_link_break();
+                    let mut undelivered = vec![inflight.pkt];
+                    undelivered.extend(link.queue.drain_all());
+                    self.nodes[from].links.remove(&to);
+                    self.dispatch(from, move |proto, ctx| {
+                        proto.on_link_failure(ctx, NodeId(to as u32), undelivered)
+                    });
+                } else {
+                    let class = self.link_class(from, to);
+                    let dur =
+                        Self::attempt_duration(&inflight.pkt, class) + DATA_RETRY_BACKOFF;
+                    self.nodes[from]
+                        .links
+                        .get_mut(&to)
+                        .expect("link exists")
+                        .in_flight = Some(InFlight { pkt: inflight.pkt, tries, class });
+                    self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ timers
+
+    fn set_timer(&mut self, node: usize, delay: SimDuration, timer: Timer) -> TimerToken {
+        let token = self.next_timer_token;
+        self.next_timer_token += 1;
+        let ev = self.sim.schedule_in(delay, Event::ProtoTimer { node, timer, token });
+        self.timer_tokens.insert(token, ev);
+        TimerToken(token)
+    }
+
+    fn cancel_timer(&mut self, token: TimerToken) {
+        if let Some(ev) = self.timer_tokens.remove(&token.0) {
+            self.sim.cancel(ev);
+        }
+    }
+
+    // ---------------------------------------------------------- dispatch
+
+    /// Runs a protocol callback with a [`NodeCtx`] view of this world. The
+    /// protocol instance is temporarily detached so the context can borrow
+    /// the world mutably; context operations never re-enter a protocol.
+    fn dispatch<F>(&mut self, node: usize, f: F)
+    where
+        F: FnOnce(&mut dyn RoutingProtocol, &mut dyn NodeCtx),
+    {
+        if self.dead[node] {
+            return; // crashed terminals process nothing
+        }
+        let mut proto = std::mem::replace(&mut self.protos[node], Box::new(NullProto));
+        {
+            let mut ctx = Ctx { world: self, node };
+            f(proto.as_mut(), &mut ctx);
+        }
+        self.protos[node] = proto;
+    }
+}
+
+/// Per-dispatch [`NodeCtx`] implementation.
+struct Ctx<'w, 's> {
+    world: &'w mut World<'s>,
+    node: usize,
+}
+
+impl NodeCtx for Ctx<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.world.sim.now()
+    }
+
+    fn id(&self) -> NodeId {
+        NodeId(self.node as u32)
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        &mut self.world.nodes[self.node].rng
+    }
+
+    fn config(&self) -> &ProtocolConfig {
+        &self.world.scenario.protocol
+    }
+
+    fn broadcast(&mut self, pkt: ControlPacket) {
+        self.world.enqueue_ctrl(self.node, pkt, None);
+    }
+
+    fn unicast(&mut self, to: NodeId, pkt: ControlPacket) {
+        self.world.enqueue_ctrl(self.node, pkt, Some(to));
+    }
+
+    fn send_data(&mut self, next_hop: NodeId, pkt: DataPacket) {
+        self.world.enqueue_data(self.node, next_hop.index(), pkt);
+    }
+
+    fn deliver_local(&mut self, pkt: DataPacket) {
+        let now = self.world.sim.now();
+        self.world.metrics.on_delivered(&pkt, now);
+    }
+
+    fn drop_data(&mut self, pkt: DataPacket, reason: DropReason) {
+        drop(pkt);
+        self.world.metrics.on_dropped(reason);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, timer: Timer) -> TimerToken {
+        self.world.set_timer(self.node, delay, timer)
+    }
+
+    fn cancel_timer(&mut self, token: TimerToken) {
+        self.world.cancel_timer(token);
+    }
+
+    fn link_class_to(&mut self, neighbor: NodeId) -> Option<ChannelClass> {
+        if neighbor.index() == self.node {
+            return None;
+        }
+        self.world.link_class(self.node, neighbor.index())
+    }
+
+    fn data_queue_len(&self, neighbor: NodeId) -> usize {
+        self.world.nodes[self.node]
+            .links
+            .get(&neighbor.index())
+            .map_or(0, |l| l.queue.len())
+    }
+
+    fn data_queue_total(&self) -> usize {
+        self.world.nodes[self.node].links.values().map(|l| l.queue.len()).sum()
+    }
+}
+
+/// Placeholder protocol installed while the real one is detached for a
+/// dispatch; it is never invoked.
+struct NullProto;
+
+impl RoutingProtocol for NullProto {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+    fn on_control(&mut self, _: &mut dyn NodeCtx, _: ControlPacket, _: RxInfo) {
+        unreachable!("re-entrant protocol dispatch");
+    }
+    fn on_data(&mut self, _: &mut dyn NodeCtx, _: DataPacket, _: Option<RxInfo>) {
+        unreachable!("re-entrant protocol dispatch");
+    }
+    fn on_timer(&mut self, _: &mut dyn NodeCtx, _: Timer) {
+        unreachable!("re-entrant protocol dispatch");
+    }
+    fn on_link_failure(&mut self, _: &mut dyn NodeCtx, _: NodeId, _: Vec<DataPacket>) {
+        unreachable!("re-entrant protocol dispatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    fn small_static(protocols: bool) -> Scenario {
+        let mut b = Scenario::builder()
+            .nodes(2)
+            .flows(1)
+            .rate_pps(10.0)
+            .duration_secs(10.0)
+            .mean_speed_kmh(0.0)
+            .seed(42)
+            .pinned_positions(vec![Vec2::new(100.0, 100.0), Vec2::new(180.0, 100.0)]);
+        if protocols {
+            b = b.flows(1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn two_nodes_in_range_deliver_most_packets() {
+        for kind in ProtocolKind::ALL {
+            let report = small_static(true).run(kind);
+            assert!(report.generated > 50, "{kind}: generated {}", report.generated);
+            assert!(
+                report.delivery_ratio() > 0.9,
+                "{kind}: delivery {:.1}% of {}",
+                report.delivery_pct(),
+                report.generated
+            );
+            assert!(report.delay_mean_ms > 0.0, "{kind}: zero delay?");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let s = small_static(false);
+        let a = s.run(ProtocolKind::Rica);
+        let b = s.run(ProtocolKind::Rica);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = small_static(false);
+        let a = s.run_seeded(ProtocolKind::Rica, 1);
+        let b = s.run_seeded(ProtocolKind::Rica, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn packet_conservation() {
+        for kind in ProtocolKind::ALL {
+            let s = Scenario::builder()
+                .nodes(12)
+                .flows(3)
+                .duration_secs(20.0)
+                .mean_speed_kmh(36.0)
+                .seed(7)
+                .build();
+            let r = s.run(kind);
+            assert!(
+                r.delivered + r.dropped() <= r.generated,
+                "{kind}: delivered {} + dropped {} > generated {}",
+                r.delivered,
+                r.dropped(),
+                r.generated
+            );
+        }
+    }
+
+    #[test]
+    fn multihop_chain_delivers_with_multiple_hops() {
+        // 0 —— 1 —— 2 —— 3: 220 m spacing forces 3 hops.
+        let s = Scenario::builder()
+            .nodes(4)
+            .duration_secs(20.0)
+            .mean_speed_kmh(0.0)
+            .seed(5)
+            .pinned_positions(vec![
+                Vec2::new(50.0, 500.0),
+                Vec2::new(270.0, 500.0),
+                Vec2::new(490.0, 500.0),
+                Vec2::new(710.0, 500.0),
+            ])
+            .explicit_flows(vec![Flow {
+                src: NodeId(0),
+                dst: NodeId(3),
+                rate_pps: 5.0,
+                packet_bytes: 512,
+            }])
+            .build();
+        for kind in ProtocolKind::ALL {
+            let r = s.run(kind);
+            assert!(r.delivered > 0, "{kind}: nothing delivered");
+            assert!(
+                (r.avg_hops - 3.0).abs() < 0.01,
+                "{kind}: expected 3 hops, got {}",
+                r.avg_hops
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_accounts_control_and_acks() {
+        let r = small_static(true).run(ProtocolKind::Rica);
+        assert!(r.control_bits_total() > 0, "no control traffic recorded");
+        assert!(r.ack_bits > 0, "no ACKs recorded");
+        assert!(r.overhead_kbps > 0.0);
+    }
+
+    #[test]
+    fn rica_emits_csi_checks_and_aodv_does_not() {
+        use rica_net::ControlKind;
+        let s = small_static(true);
+        let rica = s.run(ProtocolKind::Rica);
+        let aodv = s.run(ProtocolKind::Aodv);
+        assert!(
+            rica.control_bits.get(&ControlKind::CsiCheck).copied().unwrap_or(0) > 0,
+            "RICA's destination must broadcast CSI checks"
+        );
+        assert_eq!(aodv.control_bits.get(&ControlKind::CsiCheck).copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn out_of_range_pair_delivers_nothing() {
+        let s = Scenario::builder()
+            .nodes(2)
+            .duration_secs(5.0)
+            .mean_speed_kmh(0.0)
+            .seed(9)
+            .pinned_positions(vec![Vec2::new(0.0, 0.0), Vec2::new(900.0, 900.0)])
+            .explicit_flows(vec![Flow {
+                src: NodeId(0),
+                dst: NodeId(1),
+                rate_pps: 10.0,
+                packet_bytes: 512,
+            }])
+            .build();
+        for kind in ProtocolKind::ALL {
+            let r = s.run(kind);
+            assert_eq!(r.delivered, 0, "{kind}: delivered across a partitioned network?");
+            assert!(r.generated > 0);
+        }
+    }
+}

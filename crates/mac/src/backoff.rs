@@ -1,0 +1,65 @@
+//! CSMA/CA binary exponential backoff.
+
+use rica_sim::{Rng, SimDuration};
+
+use crate::MacConfig;
+
+/// Draws the random backoff before retrying after the `attempt`-th busy
+/// carrier sense (0-based): uniform in `[0, min(slot · 2^attempt, cw_max))`,
+/// never less than one microsecond so retries always make progress.
+///
+/// ```
+/// use rica_mac::{backoff_delay, MacConfig};
+/// use rica_sim::Rng;
+///
+/// let cfg = MacConfig::default();
+/// let mut rng = Rng::new(1);
+/// let d = backoff_delay(&cfg, 0, &mut rng);
+/// assert!(d <= cfg.slot);
+/// ```
+pub fn backoff_delay(cfg: &MacConfig, attempt: u32, rng: &mut Rng) -> SimDuration {
+    let window = cfg.slot * 2u64.saturating_pow(attempt.min(16));
+    let window = window.min(cfg.cw_max).max(SimDuration::from_micros(1));
+    let ns = rng.u64_below(window.as_nanos().max(1)) + 1;
+    SimDuration::from_nanos(ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_grows_then_caps() {
+        let cfg = MacConfig::default();
+        let mut rng = Rng::new(3);
+        // Empirical max over many draws approximates the window.
+        let max_for = |attempt: u32, rng: &mut Rng| {
+            (0..2000).map(|_| backoff_delay(&cfg, attempt, rng)).max().unwrap()
+        };
+        let m0 = max_for(0, &mut rng);
+        let m2 = max_for(2, &mut rng);
+        let m10 = max_for(10, &mut rng);
+        assert!(m0 <= cfg.slot);
+        assert!(m2 > m0, "window should grow: {m2} vs {m0}");
+        assert!(m10 <= cfg.cw_max, "window capped at cw_max");
+    }
+
+    #[test]
+    fn always_positive() {
+        let cfg = MacConfig::default();
+        let mut rng = Rng::new(4);
+        for attempt in 0..20 {
+            for _ in 0..100 {
+                assert!(backoff_delay(&cfg, attempt, &mut rng) > SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let cfg = MacConfig::default();
+        let mut rng = Rng::new(5);
+        let d = backoff_delay(&cfg, u32::MAX, &mut rng);
+        assert!(d <= cfg.cw_max);
+    }
+}

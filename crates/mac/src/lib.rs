@@ -1,0 +1,34 @@
+//! # rica-mac — the multi-code CDMA MAC layer
+//!
+//! The paper assumes "a multi-code CDMA MAC layer is used in all the
+//! protocols" (§II) with two kinds of channels:
+//!
+//! * **The common channel** — 250 kbps, shared by *all* routing/control
+//!   traffic, arbitrated by **unslotted CSMA/CA** (§III.A). This channel is
+//!   where flooding storms hurt: carrier sensing is local, so hidden
+//!   terminals collide, and a congested common channel is precisely what
+//!   breaks the link-state protocol in the paper's experiments.
+//!   [`CommonMedium`] models it: active transmissions are tracked with their
+//!   geometry, senders carrier-sense within radio range, and a receiver
+//!   loses a packet if two overlapping transmissions are both in its range.
+//! * **Data channels** — one per directed terminal pair, separated by PN
+//!   (pseudo-random noise) codes ([`PnCode`]); code separation means data
+//!   transmissions do not contend with each other or with the common
+//!   channel. Their instantaneous bit rate is the link's ABICM class rate.
+//!
+//! The *policy* half of CSMA/CA (queues, attempt scheduling) lives in the
+//! harness, which owns the event loop; this crate provides the mechanism —
+//! the medium bookkeeping, backoff arithmetic, and code assignment — in a
+//! form that is directly unit-testable.
+
+#![warn(missing_docs)]
+
+mod backoff;
+mod config;
+mod medium;
+mod pn;
+
+pub use backoff::backoff_delay;
+pub use config::MacConfig;
+pub use medium::{CommonMedium, TxId};
+pub use pn::PnCode;

@@ -1,0 +1,94 @@
+//! CDMA PN (pseudo-random noise) code assignment.
+//!
+//! The paper dedicates one PN code per *directed* terminal pair: "A sends
+//! packet to B using the PN code PN(A, B), while B sends packet to A using
+//! PN code PN(B, A), these two codes are different" (§II.D). Overhearing a
+//! CSI checking packet tells a terminal which code its possible upstream
+//! will use (§II.C), which is why the code must be derivable from the pair
+//! alone.
+
+use rica_net::NodeId;
+
+/// A CDMA spreading code identifying one directed data channel.
+///
+/// Codes are assigned deterministically from the (transmitter, receiver)
+/// pair, so any terminal that learns the pair can tune to the code —
+/// exactly the property RICA's overhearing mechanism needs.
+///
+/// ```
+/// use rica_mac::PnCode;
+/// use rica_net::NodeId;
+///
+/// let ab = PnCode::between(NodeId(3), NodeId(7));
+/// let ba = PnCode::between(NodeId(7), NodeId(3));
+/// assert_ne!(ab, ba, "forward and reverse codes differ (§II.D)");
+/// assert_eq!(ab, PnCode::between(NodeId(3), NodeId(7)), "deterministic");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PnCode(u64);
+
+impl PnCode {
+    /// The code terminal `tx` uses to send data to terminal `rx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx == rx` (no self-channel).
+    pub fn between(tx: NodeId, rx: NodeId) -> PnCode {
+        assert_ne!(tx, rx, "no PN code for a self-channel");
+        PnCode(((tx.raw() as u64) << 32) | rx.raw() as u64)
+    }
+
+    /// The transmitter this code belongs to.
+    pub fn tx(self) -> NodeId {
+        NodeId((self.0 >> 32) as u32)
+    }
+
+    /// The receiver this code belongs to.
+    pub fn rx(self) -> NodeId {
+        NodeId(self.0 as u32)
+    }
+
+    /// The code of the reverse channel (used for per-packet data ACKs).
+    pub fn reverse(self) -> PnCode {
+        PnCode::between(self.rx(), self.tx())
+    }
+}
+
+impl std::fmt::Display for PnCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PN({},{})", self.tx(), self.rx())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_for_distinct_pairs() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                if a != b {
+                    assert!(seen.insert(PnCode::between(NodeId(a), NodeId(b))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_reverse() {
+        let c = PnCode::between(NodeId(5), NodeId(9));
+        assert_eq!(c.tx(), NodeId(5));
+        assert_eq!(c.rx(), NodeId(9));
+        assert_eq!(c.reverse(), PnCode::between(NodeId(9), NodeId(5)));
+        assert_eq!(c.reverse().reverse(), c);
+        assert_eq!(c.to_string(), "PN(n5,n9)");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channel")]
+    fn self_channel_panics() {
+        PnCode::between(NodeId(1), NodeId(1));
+    }
+}

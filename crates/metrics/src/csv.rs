@@ -1,0 +1,57 @@
+//! Minimal CSV rendering for experiment outputs (no external deps — the
+//! values are all numeric or simple labels).
+
+/// Renders a CSV document from a header row and data rows.
+///
+/// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+///
+/// ```
+/// let doc = rica_metrics::csv_document(
+///     &["speed", "delay"],
+///     &[vec!["0".into(), "403.9".into()], vec!["36".into(), "315.4".into()]],
+/// );
+/// assert!(doc.starts_with("speed,delay\n0,403.9\n"));
+/// ```
+pub fn csv_document(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let escape = |field: &str| -> String {
+        if field.contains([',', '"', '\n']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    };
+    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        let doc = csv_document(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(doc, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let doc = csv_document(
+            &["label"],
+            &[vec!["has,comma".into()], vec!["has\"quote".into()]],
+        );
+        assert_eq!(doc, "label\n\"has,comma\"\n\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let doc = csv_document(&["x"], &[]);
+        assert_eq!(doc, "x\n");
+    }
+}

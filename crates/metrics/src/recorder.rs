@@ -1,0 +1,331 @@
+//! The live per-trial metrics recorder and its frozen summary.
+
+use std::collections::BTreeMap;
+
+use rica_net::{ControlKind, DataPacket, DropReason};
+use rica_sim::{SimDuration, SimTime};
+
+use crate::Welford;
+
+/// Width of the aggregate-throughput bins (Fig. 6: "every 4 seconds").
+pub const THROUGHPUT_BIN: SimDuration = SimDuration::from_secs(4);
+
+/// Live metrics recorder for one simulation trial.
+///
+/// The harness calls the `on_*` hooks as events happen; [`Metrics::finish`]
+/// freezes everything into a [`TrialSummary`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    generated: u64,
+    delivered: u64,
+    delay: Welford,
+    delays_ms: Vec<f64>,
+    drops: BTreeMap<DropReason, u64>,
+    control_bits: BTreeMap<ControlKind, u64>,
+    control_tx_count: u64,
+    ack_bits: u64,
+    hops_total: u64,
+    rate_sum_total_kbps: f64,
+    throughput_bins_bits: Vec<u64>,
+    collisions: u64,
+    link_breaks: u64,
+    ctrl_queue_drops: u64,
+}
+
+impl Metrics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// A source generated a data packet.
+    pub fn on_generated(&mut self) {
+        self.generated += 1;
+    }
+
+    /// A data packet reached its destination at `now`.
+    pub fn on_delivered(&mut self, pkt: &DataPacket, now: SimTime) {
+        self.delivered += 1;
+        let delay_ms = now.saturating_since(pkt.created_at).as_secs_f64() * 1e3;
+        self.delay.push(delay_ms);
+        self.delays_ms.push(delay_ms);
+        self.hops_total += pkt.hops as u64;
+        self.rate_sum_total_kbps += pkt.rate_sum_kbps;
+        let bin = (now.as_nanos() / THROUGHPUT_BIN.as_nanos()) as usize;
+        if self.throughput_bins_bits.len() <= bin {
+            self.throughput_bins_bits.resize(bin + 1, 0);
+        }
+        self.throughput_bins_bits[bin] += pkt.size_bits();
+    }
+
+    /// A data packet was dropped.
+    pub fn on_dropped(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// A control packet of `kind` was transmitted on the common channel
+    /// (each transmission counts, per §III.A).
+    pub fn on_control_tx(&mut self, kind: ControlKind, bits: u64) {
+        *self.control_bits.entry(kind).or_insert(0) += bits;
+        self.control_tx_count += 1;
+    }
+
+    /// A data acknowledgment was transmitted on a reverse PN channel.
+    pub fn on_ack_tx(&mut self, bits: u64) {
+        self.ack_bits += bits;
+    }
+
+    /// A common-channel reception was lost to a collision.
+    pub fn on_collision(&mut self) {
+        self.collisions += 1;
+    }
+
+    /// The data plane declared a link broken.
+    pub fn on_link_break(&mut self) {
+        self.link_breaks += 1;
+    }
+
+    /// A control packet was dropped because a node's MAC queue overflowed.
+    pub fn on_ctrl_queue_drop(&mut self) {
+        self.ctrl_queue_drops += 1;
+    }
+
+    /// Packets generated so far (for conservation checks).
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets dropped so far (all reasons).
+    pub fn dropped(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Freezes the recorder into a summary for a run of length `duration`.
+    pub fn finish(self, duration: SimDuration) -> TrialSummary {
+        let control_bits_total: u64 = self.control_bits.values().sum();
+        let secs = duration.as_secs_f64().max(f64::MIN_POSITIVE);
+        let bins = (duration.as_nanos() / THROUGHPUT_BIN.as_nanos()) as usize;
+        let mut tput = self.throughput_bins_bits.clone();
+        tput.resize(bins.max(tput.len()), 0);
+        let mut delays = self.delays_ms;
+        delays.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            if delays.is_empty() {
+                0.0
+            } else {
+                let idx = ((delays.len() - 1) as f64 * q).round() as usize;
+                delays[idx]
+            }
+        };
+        TrialSummary {
+            duration,
+            generated: self.generated,
+            delivered: self.delivered,
+            drops: self.drops,
+            delay_mean_ms: self.delay.mean(),
+            delay_std_ms: self.delay.population_std(),
+            delay_p50_ms: pct(0.50),
+            delay_p95_ms: pct(0.95),
+            delay_max_ms: delays.last().copied().unwrap_or(0.0),
+            control_bits: self.control_bits,
+            control_tx_count: self.control_tx_count,
+            ack_bits: self.ack_bits,
+            overhead_kbps: (control_bits_total + self.ack_bits) as f64 / secs / 1e3,
+            avg_link_throughput_kbps: if self.hops_total == 0 {
+                0.0
+            } else {
+                self.rate_sum_total_kbps / self.hops_total as f64
+            },
+            avg_hops: if self.delivered == 0 {
+                0.0
+            } else {
+                self.hops_total as f64 / self.delivered as f64
+            },
+            throughput_kbps: tput
+                .iter()
+                .map(|&bits| bits as f64 / THROUGHPUT_BIN.as_secs_f64() / 1e3)
+                .collect(),
+            collisions: self.collisions,
+            link_breaks: self.link_breaks,
+            ctrl_queue_drops: self.ctrl_queue_drops,
+        }
+    }
+}
+
+/// Frozen results of one simulation trial — the paper's metric set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSummary {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Data packets generated at sources.
+    pub generated: u64,
+    /// Data packets delivered to destinations.
+    pub delivered: u64,
+    /// Drop counts by reason.
+    pub drops: BTreeMap<DropReason, u64>,
+    /// Mean end-to-end delay of delivered packets (ms) — Fig. 2.
+    pub delay_mean_ms: f64,
+    /// Standard deviation of the end-to-end delay (ms).
+    pub delay_std_ms: f64,
+    /// Median end-to-end delay (ms).
+    pub delay_p50_ms: f64,
+    /// 95th-percentile end-to-end delay (ms) — loop/queue tail visibility.
+    pub delay_p95_ms: f64,
+    /// Worst observed end-to-end delay (ms).
+    pub delay_max_ms: f64,
+    /// Control bits transmitted, by packet kind.
+    pub control_bits: BTreeMap<ControlKind, u64>,
+    /// Number of control transmissions on the common channel.
+    pub control_tx_count: u64,
+    /// Data-ACK bits transmitted on reverse PN channels.
+    pub ack_bits: u64,
+    /// Routing overhead in kbps (control + ACK bits over duration) — Fig. 4.
+    pub overhead_kbps: f64,
+    /// Average traversed-link throughput (kbps) — Fig. 5(a).
+    pub avg_link_throughput_kbps: f64,
+    /// Average hops per delivered packet — Fig. 5(b).
+    pub avg_hops: f64,
+    /// Delivered kbps per 4-second bin — Fig. 6.
+    pub throughput_kbps: Vec<f64>,
+    /// Common-channel receptions lost to collisions.
+    pub collisions: u64,
+    /// Link breaks declared by the data plane.
+    pub link_breaks: u64,
+    /// Control packets dropped at full MAC queues.
+    pub ctrl_queue_drops: u64,
+}
+
+impl TrialSummary {
+    /// Delivery ratio in `[0, 1]` (1 if nothing was generated).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Delivery percentage (Fig. 3).
+    pub fn delivery_pct(&self) -> f64 {
+        self.delivery_ratio() * 100.0
+    }
+
+    /// Total drops across reasons.
+    pub fn dropped(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Packets neither delivered nor dropped (still in flight at the end).
+    pub fn in_flight(&self) -> u64 {
+        self.generated.saturating_sub(self.delivered + self.dropped())
+    }
+
+    /// Total control bits across kinds.
+    pub fn control_bits_total(&self) -> u64 {
+        self.control_bits.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_net::{FlowId, NodeId};
+    use rica_channel::ChannelClass;
+
+    fn pkt_with_hops(classes: &[ChannelClass], created: f64) -> DataPacket {
+        let mut p = DataPacket::new(
+            FlowId(0),
+            0,
+            NodeId(0),
+            NodeId(1),
+            512,
+            SimTime::from_secs_f64(created),
+        );
+        for &c in classes {
+            p.record_hop(c);
+        }
+        p
+    }
+
+    #[test]
+    fn delay_and_delivery() {
+        let mut m = Metrics::new();
+        for _ in 0..4 {
+            m.on_generated();
+        }
+        m.on_delivered(&pkt_with_hops(&[ChannelClass::A], 1.0), SimTime::from_secs_f64(1.1));
+        m.on_delivered(&pkt_with_hops(&[ChannelClass::A], 2.0), SimTime::from_secs_f64(2.3));
+        m.on_dropped(DropReason::BufferOverflow);
+        let s = m.finish(SimDuration::from_secs(10));
+        assert_eq!(s.generated, 4);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.in_flight(), 1);
+        assert!((s.delay_mean_ms - 200.0).abs() < 1e-6, "mean of 100 and 300 ms");
+        assert_eq!(s.delivery_pct(), 50.0);
+    }
+
+    #[test]
+    fn route_quality_metrics() {
+        let mut m = Metrics::new();
+        m.on_generated();
+        m.on_generated();
+        // One packet over A+D (2 hops, 300 kbps summed), one over B (1 hop).
+        m.on_delivered(
+            &pkt_with_hops(&[ChannelClass::A, ChannelClass::D], 0.0),
+            SimTime::from_secs_f64(0.5),
+        );
+        m.on_delivered(&pkt_with_hops(&[ChannelClass::B], 0.0), SimTime::from_secs_f64(0.5));
+        let s = m.finish(SimDuration::from_secs(8));
+        // total rate = 250+50+150 = 450 over 3 hops.
+        assert!((s.avg_link_throughput_kbps - 150.0).abs() < 1e-9);
+        assert!((s.avg_hops - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_counts_control_and_acks() {
+        let mut m = Metrics::new();
+        m.on_control_tx(ControlKind::Rreq, 192);
+        m.on_control_tx(ControlKind::CsiCheck, 192);
+        m.on_ack_tx(128);
+        let s = m.finish(SimDuration::from_secs(1));
+        assert_eq!(s.control_bits_total(), 384);
+        assert_eq!(s.ack_bits, 128);
+        assert!((s.overhead_kbps - 0.512).abs() < 1e-9);
+        assert_eq!(s.control_tx_count, 2);
+        assert_eq!(s.control_bits[&ControlKind::Rreq], 192);
+    }
+
+    #[test]
+    fn throughput_binning() {
+        let mut m = Metrics::new();
+        m.on_generated();
+        m.on_generated();
+        m.on_generated();
+        let p = pkt_with_hops(&[ChannelClass::A], 0.0);
+        m.on_delivered(&p, SimTime::from_secs_f64(1.0)); // bin 0
+        m.on_delivered(&p, SimTime::from_secs_f64(5.0)); // bin 1
+        m.on_delivered(&p, SimTime::from_secs_f64(6.0)); // bin 1
+        let s = m.finish(SimDuration::from_secs(12));
+        assert_eq!(s.throughput_kbps.len(), 3);
+        let bits = p.size_bits() as f64;
+        assert!((s.throughput_kbps[0] - bits / 4.0 / 1e3).abs() < 1e-9);
+        assert!((s.throughput_kbps[1] - 2.0 * bits / 4.0 / 1e3).abs() < 1e-9);
+        assert_eq!(s.throughput_kbps[2], 0.0, "empty trailing bin padded");
+    }
+
+    #[test]
+    fn empty_trial_is_well_defined() {
+        let s = Metrics::new().finish(SimDuration::from_secs(10));
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.delay_mean_ms, 0.0);
+        assert_eq!(s.avg_hops, 0.0);
+        assert_eq!(s.avg_link_throughput_kbps, 0.0);
+        assert_eq!(s.overhead_kbps, 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table formatting for experiment reports.
+
+/// Column alignment for [`format_table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// Formats rows as an aligned plain-text table with a header rule.
+///
+/// ```
+/// use rica_metrics::{format_table, Align};
+/// let t = format_table(
+///     &["proto", "delay"],
+///     &[Align::Left, Align::Right],
+///     &[vec!["RICA".into(), "118.2".into()], vec!["AODV".into(), "204.9".into()]],
+/// );
+/// assert!(t.contains("RICA"));
+/// assert!(t.lines().count() == 4);
+/// ```
+pub fn format_table(headers: &[&str], aligns: &[Align], rows: &[Vec<String>]) -> String {
+    assert_eq!(headers.len(), aligns.len(), "one alignment per column");
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            match aligns[i] {
+                Align::Left => line.push_str(&format!("{:<width$}", cell, width = widths[i])),
+                Align::Right => line.push_str(&format!("{:>width$}", cell, width = widths[i])),
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = fmt_row(&header_cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = format_table(
+            &["name", "value"],
+            &[Align::Left, Align::Right],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "123.45".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        // Right-aligned numbers end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        format_table(&["a", "b"], &[Align::Left, Align::Left], &[vec!["x".into()]]);
+    }
+}

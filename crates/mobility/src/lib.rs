@@ -1,0 +1,41 @@
+//! # rica-mobility — random-waypoint mobility model
+//!
+//! The paper's mobility model (§III.A): terminals move in a 1000 m × 1000 m
+//! field; each terminal picks a uniformly random destination point, travels
+//! there at a speed drawn uniformly from `[0, MAXSPEED]`, pauses for 3
+//! seconds, and repeats.
+//!
+//! The implementation is *analytic*: a [`Waypoint`] trajectory is a lazy,
+//! deterministic sequence of legs, and [`Waypoint::position_at`] evaluates
+//! the position at any (monotonically queried) instant in O(legs advanced).
+//! This keeps the discrete-event simulator free of per-tick "move" events.
+//!
+//! ```
+//! use rica_mobility::{Field, Waypoint};
+//! use rica_sim::{Rng, SimTime};
+//!
+//! let field = Field::new(1000.0, 1000.0);
+//! let mut w = Waypoint::new(field, 20.0, 3.0, Rng::new(42));
+//! let p0 = w.position_at(SimTime::ZERO);
+//! let p5 = w.position_at(SimTime::from_secs_f64(5.0));
+//! assert!(field.contains(p0) && field.contains(p5));
+//! ```
+
+#![warn(missing_docs)]
+
+mod field;
+mod vec2;
+mod waypoint;
+
+pub use field::Field;
+pub use vec2::Vec2;
+pub use waypoint::Waypoint;
+
+/// Converts a speed in km/h (the paper's unit) to m/s (the model's unit).
+///
+/// ```
+/// assert_eq!(rica_mobility::kmh_to_ms(72.0), 20.0);
+/// ```
+pub fn kmh_to_ms(kmh: f64) -> f64 {
+    kmh / 3.6
+}

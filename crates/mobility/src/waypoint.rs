@@ -1,0 +1,338 @@
+//! The random-waypoint trajectory.
+
+use crate::{Field, Vec2};
+use rica_sim::{Rng, SimTime};
+
+/// One leg of the trajectory: either paused at the current point or moving
+/// towards a destination.
+#[derive(Debug, Clone, Copy)]
+enum Leg {
+    /// Paused at the current point until the given instant.
+    Paused { until: SimTime },
+    /// Moving linearly towards `to`, arriving at `arrive`.
+    Moving { to: Vec2, arrive: SimTime },
+}
+
+/// A random-waypoint trajectory for one mobile terminal.
+///
+/// The model follows §III.A of the paper exactly:
+///
+/// * the initial position is uniform in the field;
+/// * the terminal travels in a straight line to a uniformly random
+///   destination at a speed drawn uniformly from `[0, max_speed]`;
+/// * on arrival it pauses for `pause_secs` (3 s in the paper) and repeats.
+///
+/// Positions are evaluated analytically with [`Waypoint::position_at`];
+/// queries must be *non-decreasing in time* (past legs are discarded), which
+/// is exactly the access pattern of a discrete-event simulation.
+///
+/// A `max_speed` of `0` produces a static terminal.
+#[derive(Debug, Clone)]
+pub struct Waypoint {
+    field: Field,
+    max_speed: f64,
+    pause: f64,
+    rng: Rng,
+    /// Where the current leg started.
+    from: Vec2,
+    /// When the current leg started.
+    leg_start: SimTime,
+    leg: Leg,
+}
+
+/// Speeds below this (m/s) are clamped so a leg always terminates.
+/// 1 mm/s crosses the paper's field in at most ~1.4 × 10⁶ s — effectively
+/// static for a 500 s run, without producing infinite event horizons.
+const MIN_SPEED_MS: f64 = 1e-3;
+
+impl Waypoint {
+    /// Creates a trajectory.
+    ///
+    /// * `max_speed` — MAXSPEED in m/s; each leg's speed is uniform in
+    ///   `[0, max_speed]` (clamped away from exactly zero).
+    /// * `pause_secs` — pause at each waypoint (the paper uses 3 s).
+    /// * `rng` — private random stream for this terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_speed` or `pause_secs` is negative or non-finite.
+    pub fn new(field: Field, max_speed: f64, pause_secs: f64, mut rng: Rng) -> Self {
+        assert!(
+            max_speed.is_finite() && max_speed >= 0.0,
+            "max_speed must be finite and >= 0, got {max_speed}"
+        );
+        assert!(
+            pause_secs.is_finite() && pause_secs >= 0.0,
+            "pause_secs must be finite and >= 0, got {pause_secs}"
+        );
+        let from = field.random_point(&mut rng);
+        let mut w = Waypoint {
+            field,
+            max_speed,
+            pause: pause_secs,
+            rng,
+            from,
+            leg_start: SimTime::ZERO,
+            leg: Leg::Paused { until: SimTime::MAX },
+        };
+        if max_speed > 0.0 {
+            w.leg = w.draw_moving_leg(SimTime::ZERO);
+        }
+        w
+    }
+
+    /// Creates a static terminal pinned at `at` (used by tests and examples
+    /// that need exact topologies).
+    pub fn pinned(field: Field, at: Vec2, rng: Rng) -> Self {
+        assert!(field.contains(at), "pinned position {at} outside the field");
+        Waypoint {
+            field,
+            max_speed: 0.0,
+            pause: 0.0,
+            rng,
+            from: at,
+            leg_start: SimTime::ZERO,
+            leg: Leg::Paused { until: SimTime::MAX },
+        }
+    }
+
+    fn draw_moving_leg(&mut self, start: SimTime) -> Leg {
+        let to = self.field.random_point(&mut self.rng);
+        let speed = self.rng.range_f64(0.0, self.max_speed).max(MIN_SPEED_MS);
+        let dist = self.from.distance(to);
+        let travel_secs = dist / speed;
+        let arrive = if travel_secs.is_finite() {
+            start.saturating_add(rica_sim::SimDuration::from_secs_f64(travel_secs))
+        } else {
+            SimTime::MAX
+        };
+        Leg::Moving { to, arrive }
+    }
+
+    /// Advances internal legs so that the current leg covers time `t`.
+    fn advance_to(&mut self, t: SimTime) {
+        loop {
+            match self.leg {
+                Leg::Paused { until } => {
+                    if t < until || until == SimTime::MAX {
+                        return;
+                    }
+                    self.leg_start = until;
+                    self.leg = self.draw_moving_leg(until);
+                }
+                Leg::Moving { to, arrive } => {
+                    if t < arrive {
+                        return;
+                    }
+                    self.from = to;
+                    self.leg_start = arrive;
+                    let until = arrive.saturating_add(rica_sim::SimDuration::from_secs_f64(self.pause));
+                    self.leg = Leg::Paused { until };
+                }
+            }
+        }
+    }
+
+    /// The terminal's position at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes an earlier query by more than the current leg
+    /// (queries must be non-decreasing across legs; within the current leg
+    /// any order is fine).
+    pub fn position_at(&mut self, t: SimTime) -> Vec2 {
+        assert!(
+            t >= self.leg_start,
+            "non-monotonic mobility query: {t} precedes current leg start {}",
+            self.leg_start
+        );
+        self.advance_to(t);
+        match self.leg {
+            Leg::Paused { .. } => self.from,
+            Leg::Moving { to, arrive } => {
+                let total = (arrive - self.leg_start).as_secs_f64();
+                let done = (t - self.leg_start).as_secs_f64();
+                if total <= 0.0 {
+                    to
+                } else {
+                    self.from.lerp(to, (done / total).min(1.0))
+                }
+            }
+        }
+    }
+
+    /// The instant the current leg ends (arrival or end of pause);
+    /// [`SimTime::MAX`] for a permanently static terminal.
+    pub fn current_leg_end(&self) -> SimTime {
+        match self.leg {
+            Leg::Paused { until } => until,
+            Leg::Moving { arrive, .. } => arrive,
+        }
+    }
+
+    /// Whether the terminal is currently paused (at the queried leg).
+    pub fn is_paused(&self) -> bool {
+        matches!(self.leg, Leg::Paused { .. })
+    }
+
+    /// The field this trajectory lives in.
+    pub fn field(&self) -> Field {
+        self.field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_sim::SimDuration;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn static_terminal_never_moves() {
+        let mut w = Waypoint::new(Field::PAPER, 0.0, 3.0, Rng::new(1));
+        let p0 = w.position_at(SimTime::ZERO);
+        for s in [1.0, 10.0, 499.0] {
+            assert_eq!(w.position_at(secs(s)), p0);
+        }
+        assert!(w.is_paused());
+        assert_eq!(w.current_leg_end(), SimTime::MAX);
+    }
+
+    #[test]
+    fn pinned_terminal_sits_at_given_point() {
+        let at = Vec2::new(123.0, 456.0);
+        let mut w = Waypoint::pinned(Field::PAPER, at, Rng::new(9));
+        assert_eq!(w.position_at(secs(100.0)), at);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the field")]
+    fn pinned_outside_field_panics() {
+        Waypoint::pinned(Field::PAPER, Vec2::new(-1.0, 0.0), Rng::new(9));
+    }
+
+    #[test]
+    fn positions_stay_in_field() {
+        for seed in 0..20 {
+            let mut w = Waypoint::new(Field::PAPER, 40.0, 3.0, Rng::new(seed));
+            for i in 0..500 {
+                let p = w.position_at(secs(i as f64));
+                assert!(Field::PAPER.contains(p), "seed {seed} t {i}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn speed_never_exceeds_max() {
+        let max = 20.0; // m/s
+        let mut w = Waypoint::new(Field::PAPER, max, 3.0, Rng::new(77));
+        let dt = 0.5;
+        let mut prev = w.position_at(SimTime::ZERO);
+        for i in 1..2000 {
+            let p = w.position_at(secs(i as f64 * dt));
+            let v = prev.distance(p) / dt;
+            assert!(v <= max + 1e-9, "instant speed {v} > max {max}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn pause_holds_position_for_pause_secs() {
+        let mut w = Waypoint::new(Field::PAPER, 30.0, 3.0, Rng::new(5));
+        // Find the first arrival: the end of the initial moving leg.
+        let arrive = w.current_leg_end();
+        assert!(arrive < SimTime::MAX);
+        let at_arrival = w.position_at(arrive);
+        // During the 3 s pause the position is frozen.
+        let mid_pause = arrive + SimDuration::from_millis(1500);
+        assert_eq!(w.position_at(mid_pause), at_arrival);
+        assert!(w.is_paused());
+        // After the pause the terminal moves again.
+        let after = arrive + SimDuration::from_secs_f64(3.1);
+        let later = w.position_at(after + SimDuration::from_secs(5));
+        assert_ne!(later, at_arrival);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Waypoint::new(Field::PAPER, 25.0, 3.0, Rng::new(123));
+        let mut b = Waypoint::new(Field::PAPER, 25.0, 3.0, Rng::new(123));
+        for i in 0..300 {
+            let t = secs(i as f64 * 1.7);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonic")]
+    fn non_monotonic_query_panics() {
+        let mut w = Waypoint::new(Field::PAPER, 30.0, 0.0, Rng::new(2));
+        let far = w.current_leg_end() + SimDuration::from_secs(10);
+        w.position_at(far);
+        w.position_at(SimTime::ZERO);
+    }
+
+    #[test]
+    fn movement_is_continuous() {
+        // No teleporting: displacement over 10 ms bounded by max_speed * dt.
+        let max = 40.0;
+        let mut w = Waypoint::new(Field::PAPER, max, 3.0, Rng::new(31));
+        let dt = 0.01;
+        let mut prev = w.position_at(SimTime::ZERO);
+        for i in 1..10_000 {
+            let p = w.position_at(secs(i as f64 * dt));
+            assert!(prev.distance(p) <= max * dt + 1e-9);
+            prev = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rica_sim::Rng;
+
+    proptest! {
+        /// For arbitrary seeds, speeds and (sorted) query times, the
+        /// trajectory stays inside the field.
+        #[test]
+        fn always_in_field(
+            seed in any::<u64>(),
+            max_speed in 0.0f64..60.0,
+            mut times in proptest::collection::vec(0.0f64..2000.0, 1..50),
+        ) {
+            times.sort_by(f64::total_cmp);
+            let mut w = Waypoint::new(Field::PAPER, max_speed, 3.0, Rng::new(seed));
+            for &s in &times {
+                let p = w.position_at(SimTime::from_secs_f64(s));
+                prop_assert!(Field::PAPER.contains(p));
+            }
+        }
+
+        /// Displacement between consecutive queries is bounded by
+        /// max_speed × elapsed.
+        #[test]
+        fn displacement_bounded(
+            seed in any::<u64>(),
+            max_speed in 0.1f64..60.0,
+            mut times in proptest::collection::vec(0.0f64..500.0, 2..40),
+        ) {
+            times.sort_by(f64::total_cmp);
+            let mut w = Waypoint::new(Field::PAPER, max_speed, 3.0, Rng::new(seed));
+            let mut prev_t = times[0];
+            let mut prev_p = w.position_at(SimTime::from_secs_f64(prev_t));
+            for &s in &times[1..] {
+                let p = w.position_at(SimTime::from_secs_f64(s));
+                let bound = max_speed * (s - prev_t) + 1e-6;
+                prop_assert!(prev_p.distance(p) <= bound,
+                    "moved {} in {}s (max {})", prev_p.distance(p), s - prev_t, bound);
+                prev_t = s;
+                prev_p = p;
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// Identifier of a mobile terminal (0-based, dense).
+///
+/// ```
+/// use rica_net::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.to_string(), "n3");
+/// assert_eq!(n.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw id value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a traffic flow (source → destination pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId(7).raw(), 7);
+        assert_eq!(FlowId(2).to_string(), "f2");
+        assert_eq!(FlowId(2).index(), 2);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(NodeId(1) < NodeId(2));
+        let mut v = vec![NodeId(3), NodeId(1), NodeId(2)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # rica-net — the network vocabulary: packets, queues, traffic, routing traits
+//!
+//! This crate defines everything the five routing protocols (RICA, BGCA,
+//! ABR, AODV, link state) and the simulation harness share:
+//!
+//! * [`NodeId`] / [`FlowId`] — identifiers.
+//! * [`ControlPacket`] — every routing/control packet any protocol sends on
+//!   the common channel, with on-air sizes.
+//! * [`DataPacket`] — the 512-byte store-and-forward data unit, carrying the
+//!   bookkeeping the paper's metrics need (creation time, hops traversed,
+//!   sum of traversed link rates).
+//! * [`LinkQueue`] — the per-connection FCFS buffer: capacity 10 packets,
+//!   3-second maximum residency (§III.A).
+//! * [`PendingBuffer`] — source-side packets awaiting route discovery.
+//! * [`RoutingProtocol`] / [`NodeCtx`] — the protocol ↔ node boundary. A
+//!   protocol is a *pure state machine* over packets and timers; the context
+//!   supplies every side effect (transmission, timers, CSI measurement).
+//!   This is what makes each protocol unit-testable without a simulator —
+//!   see [`testing::ScriptedCtx`].
+//! * [`ProtocolConfig`] — every tunable constant of every protocol, with the
+//!   paper's values as defaults.
+//! * [`poisson`] — Poisson traffic helpers (§III.A: exponential
+//!   inter-arrivals).
+//!
+//! The crate deliberately contains **no protocol logic and no event loop**.
+
+#![warn(missing_docs)]
+
+mod config;
+mod ids;
+mod packet;
+mod pending;
+mod queue;
+pub mod poisson;
+mod routing;
+pub mod testing;
+
+pub use config::ProtocolConfig;
+pub use ids::{FlowId, NodeId};
+pub use packet::{ControlKind, ControlPacket, DataPacket, LsuEntry, DATA_ACK_BYTES, DATA_HEADER_BYTES};
+pub use pending::PendingBuffer;
+pub use queue::LinkQueue;
+pub use routing::{DropReason, NodeCtx, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot};

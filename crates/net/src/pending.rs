@@ -1,0 +1,154 @@
+//! Source-side buffer for data packets awaiting route discovery.
+
+use std::collections::{HashMap, VecDeque};
+
+use rica_sim::{SimDuration, SimTime};
+
+use crate::{DataPacket, NodeId};
+
+/// Packets generated at the source while no route to their destination
+/// exists yet, grouped by destination.
+///
+/// Like the link queues, pending packets expire after the maximum residency
+/// (3 s in the paper) — a discovery that takes longer than that cannot save
+/// them anyway.
+#[derive(Debug, Default)]
+pub struct PendingBuffer {
+    cap_per_dst: usize,
+    max_residency: SimDuration,
+    by_dst: HashMap<NodeId, VecDeque<(DataPacket, SimTime)>>,
+}
+
+impl PendingBuffer {
+    /// Creates a buffer holding at most `cap_per_dst` packets per
+    /// destination, each for at most `max_residency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_per_dst` is zero.
+    pub fn new(cap_per_dst: usize, max_residency: SimDuration) -> Self {
+        assert!(cap_per_dst > 0, "pending capacity must be > 0");
+        PendingBuffer { cap_per_dst, max_residency, by_dst: HashMap::new() }
+    }
+
+    /// Buffers `pkt` at time `now`. Returns the packet back if the
+    /// per-destination buffer is full.
+    pub fn push(&mut self, now: SimTime, pkt: DataPacket) -> Option<DataPacket> {
+        let q = self.by_dst.entry(pkt.dst).or_default();
+        if q.len() >= self.cap_per_dst {
+            return Some(pkt);
+        }
+        q.push_back((pkt, now));
+        None
+    }
+
+    /// Takes every still-fresh packet destined to `dst` (in FIFO order),
+    /// pushing expired ones into `expired`.
+    pub fn take_for(
+        &mut self,
+        dst: NodeId,
+        now: SimTime,
+        expired: &mut Vec<DataPacket>,
+    ) -> Vec<DataPacket> {
+        let Some(q) = self.by_dst.remove(&dst) else {
+            return Vec::new();
+        };
+        let mut fresh = Vec::with_capacity(q.len());
+        for (pkt, at) in q {
+            if now.saturating_since(at) > self.max_residency {
+                expired.push(pkt);
+            } else {
+                fresh.push(pkt);
+            }
+        }
+        fresh
+    }
+
+    /// Discards everything waiting for `dst` (e.g. discovery gave up),
+    /// returning the packets so the caller can record the drops.
+    pub fn drop_for(&mut self, dst: NodeId) -> Vec<DataPacket> {
+        self.by_dst
+            .remove(&dst)
+            .map(|q| q.into_iter().map(|(p, _)| p).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of packets waiting for `dst`.
+    pub fn len_for(&self, dst: NodeId) -> usize {
+        self.by_dst.get(&dst).map_or(0, |q| q.len())
+    }
+
+    /// Whether any packet is waiting for `dst`.
+    pub fn has_pending(&self, dst: NodeId) -> bool {
+        self.len_for(dst) > 0
+    }
+
+    /// Total packets waiting across all destinations.
+    pub fn total(&self) -> usize {
+        self.by_dst.values().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowId;
+
+    fn pkt(seq: u64, dst: u32) -> DataPacket {
+        DataPacket::new(FlowId(0), seq, NodeId(0), NodeId(dst), 512, SimTime::ZERO)
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn groups_by_destination() {
+        let mut b = PendingBuffer::new(8, SimDuration::from_secs(3));
+        b.push(secs(0.0), pkt(0, 5));
+        b.push(secs(0.0), pkt(1, 6));
+        b.push(secs(0.0), pkt(2, 5));
+        assert_eq!(b.len_for(NodeId(5)), 2);
+        assert_eq!(b.len_for(NodeId(6)), 1);
+        assert_eq!(b.total(), 3);
+        let mut expired = Vec::new();
+        let five = b.take_for(NodeId(5), secs(1.0), &mut expired);
+        assert_eq!(five.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0, 2]);
+        assert!(expired.is_empty());
+        assert!(!b.has_pending(NodeId(5)));
+        assert!(b.has_pending(NodeId(6)));
+    }
+
+    #[test]
+    fn per_destination_cap() {
+        let mut b = PendingBuffer::new(2, SimDuration::from_secs(3));
+        assert!(b.push(secs(0.0), pkt(0, 5)).is_none());
+        assert!(b.push(secs(0.0), pkt(1, 5)).is_none());
+        assert!(b.push(secs(0.0), pkt(2, 5)).is_some(), "cap reached");
+        assert!(b.push(secs(0.0), pkt(3, 6)).is_none(), "other dst unaffected");
+    }
+
+    #[test]
+    fn expiry_on_take() {
+        let mut b = PendingBuffer::new(8, SimDuration::from_secs(3));
+        b.push(secs(0.0), pkt(0, 5));
+        b.push(secs(2.5), pkt(1, 5));
+        let mut expired = Vec::new();
+        let fresh = b.take_for(NodeId(5), secs(4.0), &mut expired);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].seq, 1);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].seq, 0);
+    }
+
+    #[test]
+    fn drop_for_returns_all() {
+        let mut b = PendingBuffer::new(8, SimDuration::from_secs(3));
+        b.push(secs(0.0), pkt(0, 5));
+        b.push(secs(0.0), pkt(1, 5));
+        let dropped = b.drop_for(NodeId(5));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(b.total(), 0);
+        assert!(b.drop_for(NodeId(5)).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Poisson traffic helpers (§III.A: "The generation of data packets in each
+//! source terminal follows a Poisson arrival process, i.e., the
+//! inter-arrival of two packets is exponential distributed").
+
+use rica_sim::{Rng, SimDuration};
+
+/// Draws the next packet inter-arrival time for a flow of `rate_pps`
+/// packets per second.
+///
+/// # Panics
+///
+/// Panics if `rate_pps` is not strictly positive and finite.
+///
+/// ```
+/// use rica_sim::Rng;
+/// let mut rng = Rng::new(1);
+/// let gap = rica_net::poisson::next_interarrival(&mut rng, 10.0);
+/// assert!(gap.as_secs_f64() > 0.0);
+/// ```
+pub fn next_interarrival(rng: &mut Rng, rate_pps: f64) -> SimDuration {
+    assert!(rate_pps.is_finite() && rate_pps > 0.0, "rate must be > 0, got {rate_pps}");
+    SimDuration::from_secs_f64(rng.exp(1.0 / rate_pps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let mut rng = Rng::new(42);
+        let rate = 20.0;
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| next_interarrival(&mut rng, rate).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn counts_are_poisson_distributed() {
+        // Count arrivals in 1-second windows at 10 pps; the variance of a
+        // Poisson count equals its mean.
+        let mut rng = Rng::new(7);
+        let rate = 10.0;
+        let windows = 20_000;
+        let mut counts = vec![0u32; windows];
+        let mut t = 0.0;
+        loop {
+            t += next_interarrival(&mut rng, rate).as_secs_f64();
+            let w = t as usize;
+            if w >= windows {
+                break;
+            }
+            counts[w] += 1;
+        }
+        let n = counts.len() as f64;
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+        let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!((mean - rate).abs() < 0.2, "mean {mean}");
+        assert!((var / mean - 1.0).abs() < 0.1, "fano {}", var / mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be > 0")]
+    fn zero_rate_panics() {
+        next_interarrival(&mut Rng::new(1), 0.0);
+    }
+}

@@ -1,0 +1,735 @@
+//! ABR (associativity-based routing), as characterised by the paper:
+//! beacon-counted link stability, stability-first route selection with load
+//! awareness, and localized-query (LQ) repair at the break point while data
+//! waits in the repairing terminal.
+
+use std::collections::HashMap;
+
+use rica_net::{
+    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
+    RxInfo, Timer, TimerToken,
+};
+use rica_sim::SimTime;
+
+use crate::common::{FlowEntry, FlowKey, Repair};
+
+/// Route score under ABR's selection rules: prefer more stable links, then
+/// lighter load, then fewer hops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Score {
+    stable_links: u8,
+    load: u32,
+    topo: u8,
+}
+
+impl Score {
+    fn better_than(&self, other: &Score) -> bool {
+        (self.stable_links, std::cmp::Reverse(self.load), std::cmp::Reverse(self.topo))
+            > (other.stable_links, std::cmp::Reverse(other.load), std::cmp::Reverse(other.topo))
+    }
+}
+
+/// The ABR baseline.
+#[derive(Debug, Default)]
+pub struct Abr {
+    /// Associativity ticks per neighbour: (consecutive beacons, last heard).
+    ticks: HashMap<NodeId, (u32, SimTime)>,
+    /// BQ dedup + reverse pointers: `(flow, bcast) → upstream`.
+    reverse: HashMap<(FlowKey, u64), NodeId>,
+    /// LQ dedup + reverse pointers: `(flow, origin, bcast) → towards origin`.
+    lq_reverse: HashMap<(FlowKey, NodeId, u64), NodeId>,
+    /// Per-flow route entries.
+    routes: HashMap<FlowKey, FlowEntry>,
+    /// Destination-side BQ collection window per source.
+    windows: HashMap<NodeId, (u64, Score, NodeId)>,
+    /// Destination-side: highest BQ flood already answered, per source.
+    replied: HashMap<NodeId, u64>,
+    /// Source-side discovery state per destination.
+    discovery: HashMap<NodeId, (u64, u32, TimerToken)>,
+    /// In-progress local repairs per flow.
+    repairs: HashMap<FlowKey, Repair>,
+    pending: Option<PendingBuffer>,
+    next_bcast: u64,
+    next_lq: u64,
+}
+
+impl Abr {
+    /// Creates a protocol instance.
+    pub fn new() -> Self {
+        Abr::default()
+    }
+
+    /// Associativity ticks currently credited to `neighbor`.
+    pub fn ticks_for(&self, neighbor: NodeId) -> u32 {
+        self.ticks.get(&neighbor).map_or(0, |&(t, _)| t)
+    }
+
+    /// The downstream of the flow `(src, dst)` at this terminal, if routed.
+    pub fn downstream_of(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&(src, dst)).and_then(|e| e.downstream)
+    }
+
+    fn pending(&mut self, ctx: &dyn NodeCtx) -> &mut PendingBuffer {
+        let cfg = ctx.config();
+        self.pending
+            .get_or_insert_with(|| PendingBuffer::new(cfg.pending_cap, cfg.max_queue_residency))
+    }
+
+    fn is_stable(&self, neighbor: NodeId, ctx: &dyn NodeCtx) -> bool {
+        self.ticks_for(neighbor) >= ctx.config().abr_stability_ticks
+    }
+
+    fn start_discovery(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId, retries: u32) {
+        let bcast_id = self.next_bcast;
+        self.next_bcast += 1;
+        let me = ctx.id();
+        ctx.broadcast(ControlPacket::Bq {
+            src: me,
+            dst,
+            bcast_id,
+            topo_hops: 0,
+            stable_links: 0,
+            load: 0,
+        });
+        let token = ctx.set_timer(ctx.config().rreq_retry_timeout, Timer::RreqRetry { dst });
+        self.discovery.insert(dst, (bcast_id, retries, token));
+    }
+
+    fn send_as_source(&mut self, ctx: &mut dyn NodeCtx, pkt: DataPacket) {
+        let me = ctx.id();
+        let now = ctx.now();
+        let dst = pkt.dst;
+        let idle = ctx.config().aodv_route_timeout;
+        let nh = self
+            .routes
+            .get(&(me, dst))
+            .filter(|e| e.is_fresh(now, idle))
+            .and_then(|e| e.downstream);
+        if let Some(nh) = nh {
+            self.routes.get_mut(&(me, dst)).expect("exists").last_used = now;
+            ctx.send_data(nh, pkt);
+            return;
+        }
+        let discovering = self.discovery.contains_key(&dst);
+        if let Some(rejected) = self.pending(ctx).push(now, pkt) {
+            ctx.drop_data(rejected, DropReason::BufferOverflow);
+        }
+        if !discovering {
+            self.start_discovery(ctx, dst, 0);
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId) {
+        let now = ctx.now();
+        let mut expired = Vec::new();
+        let fresh = self.pending(ctx).take_for(dst, now, &mut expired);
+        for pkt in expired {
+            ctx.drop_data(pkt, DropReason::BufferTimeout);
+        }
+        for pkt in fresh {
+            self.send_as_source(ctx, pkt);
+        }
+    }
+
+    /// Starts a localized query for the flow at this (intermediate)
+    /// terminal; the packets in `held` wait for the partial route.
+    fn start_repair(&mut self, ctx: &mut dyn NodeCtx, key: FlowKey, held: Vec<DataPacket>) {
+        let me = ctx.id();
+        let bcast_id = self.next_lq;
+        self.next_lq += 1;
+        let slack = ctx.config().lq_ttl_slack;
+        let ttl = self
+            .routes
+            .get(&key)
+            .map(|e| e.hops_to_dst)
+            .unwrap_or(2)
+            .saturating_add(slack)
+            .max(1);
+        self.repairs.insert(key, Repair { bcast_id, held, link_down: true });
+        if let Some(e) = self.routes.get_mut(&key) {
+            e.downstream = None;
+        }
+        ctx.broadcast(ControlPacket::Lq {
+            src: key.0,
+            dst: key.1,
+            origin: me,
+            bcast_id,
+            ttl,
+            csi_hops: 0.0,
+            topo_hops: 0,
+        });
+        ctx.set_timer(ctx.config().lq_timeout, Timer::LqTimeout { src: key.0, dst: key.1 });
+    }
+
+    fn fail_repair(&mut self, ctx: &mut dyn NodeCtx, key: FlowKey) {
+        let me = ctx.id();
+        let Some(repair) = self.repairs.remove(&key) else { return };
+        for pkt in repair.held {
+            ctx.drop_data(pkt, DropReason::LinkBreak);
+        }
+        // Notify the source (the paper's RN / route notification).
+        let upstream = self.routes.get(&key).and_then(|e| e.upstream);
+        self.routes.remove(&key);
+        if let Some(up) = upstream {
+            ctx.unicast(up, ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me });
+        }
+    }
+}
+
+impl RoutingProtocol for Abr {
+    fn name(&self) -> &'static str {
+        "ABR"
+    }
+
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        let period = ctx.config().beacon_period;
+        let jitter_ns = ctx.rng().u64_below(period.as_nanos().max(1));
+        ctx.set_timer(rica_sim::SimDuration::from_nanos(jitter_ns), Timer::Beacon);
+    }
+
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
+        let me = ctx.id();
+        let now = ctx.now();
+        match pkt {
+            ControlPacket::Beacon => {
+                let period = ctx.config().beacon_period;
+                let loss = ctx.config().beacon_loss_limit;
+                let entry = self.ticks.entry(rx.from).or_insert((0, now));
+                let gap = now.saturating_since(entry.1);
+                if gap > period.mul_f64(loss as f64 + 0.5) {
+                    entry.0 = 1; // association broke; start over
+                } else {
+                    entry.0 = entry.0.saturating_add(1);
+                }
+                entry.1 = now;
+            }
+            ControlPacket::Bq { src, dst, bcast_id, topo_hops, stable_links, load } => {
+                if src == me {
+                    return;
+                }
+                let key: FlowKey = (src, dst);
+                let stable_inc = u8::from(self.is_stable(rx.from, ctx));
+                let new_stable = stable_links.saturating_add(stable_inc);
+                let new_topo = topo_hops.saturating_add(1);
+                if dst == me {
+                    if self.replied.get(&src).is_some_and(|&b| bcast_id <= b) {
+                        return;
+                    }
+                    let score = Score { stable_links: new_stable, load, topo: new_topo };
+                    match self.windows.get_mut(&src) {
+                        Some((wid, best, via)) if *wid == bcast_id => {
+                            if score.better_than(best) {
+                                *best = score;
+                                *via = rx.from;
+                            }
+                        }
+                        Some(_) => {}
+                        None => {
+                            self.windows.insert(src, (bcast_id, score, rx.from));
+                            ctx.set_timer(
+                                ctx.config().reply_window,
+                                Timer::ReplyWindow { src, dst },
+                            );
+                        }
+                    }
+                    return;
+                }
+                if self.reverse.contains_key(&(key, bcast_id)) {
+                    return;
+                }
+                self.reverse.insert((key, bcast_id), rx.from);
+                let new_load = load.saturating_add(ctx.data_queue_total() as u32);
+                ctx.broadcast(ControlPacket::Bq {
+                    src,
+                    dst,
+                    bcast_id,
+                    topo_hops: new_topo,
+                    stable_links: new_stable,
+                    load: new_load,
+                });
+            }
+            ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops } => {
+                let key: FlowKey = (src, dst);
+                if src == me {
+                    if let Some((_, _, token)) = self.discovery.remove(&dst) {
+                        ctx.cancel_timer(token);
+                    }
+                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    e.downstream = Some(rx.from);
+                    e.upstream = None;
+                    e.last_used = now;
+                    e.route_len = topo_hops.max(1);
+                    e.hops_to_dst = topo_hops.max(1);
+                    self.flush_pending(ctx, dst);
+                    return;
+                }
+                let Some(&up) = self.reverse.get(&(key, seq)) else { return };
+                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                e.upstream = Some(up);
+                e.downstream = Some(rx.from);
+                e.last_used = now;
+                e.route_len = topo_hops.max(1);
+                e.hops_to_dst = topo_hops.max(1); // refined by passing data
+                ctx.unicast(up, ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops });
+            }
+            ControlPacket::Lq { src, dst, origin, bcast_id, ttl, csi_hops, topo_hops } => {
+                if origin == me {
+                    return;
+                }
+                let key: FlowKey = (src, dst);
+                if self.lq_reverse.contains_key(&(key, origin, bcast_id)) {
+                    return;
+                }
+                self.lq_reverse.insert((key, origin, bcast_id), rx.from);
+                let new_csi = csi_hops + rx.class.csi_hops();
+                let new_topo = topo_hops.saturating_add(1);
+                if dst == me {
+                    // First copy wins (partial routes are short; the full
+                    // stability selection applies only to BQ floods).
+                    ctx.unicast(
+                        rx.from,
+                        ControlPacket::LqRep {
+                            src,
+                            dst,
+                            origin,
+                            seq: bcast_id,
+                            csi_hops: new_csi,
+                            topo_hops: new_topo,
+                        },
+                    );
+                    return;
+                }
+                let new_ttl = ttl.saturating_sub(1);
+                if new_ttl == 0 {
+                    return;
+                }
+                ctx.broadcast(ControlPacket::Lq {
+                    src,
+                    dst,
+                    origin,
+                    bcast_id,
+                    ttl: new_ttl,
+                    csi_hops: new_csi,
+                    topo_hops: new_topo,
+                });
+            }
+            ControlPacket::LqRep { src, dst, origin, seq, csi_hops, topo_hops } => {
+                let key: FlowKey = (src, dst);
+                if origin == me {
+                    // Our repair succeeded: splice the partial route in and
+                    // release the held packets.
+                    let Some(repair) = self.repairs.remove(&key) else { return };
+                    if repair.bcast_id != seq {
+                        self.repairs.insert(key, repair); // answer to an old query
+                        return;
+                    }
+                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    e.downstream = Some(rx.from);
+                    e.last_used = now;
+                    e.hops_to_dst = topo_hops.max(1);
+                    e.route_len = e.route_len.max(topo_hops);
+                    for pkt in repair.held {
+                        ctx.send_data(rx.from, pkt);
+                    }
+                    return;
+                }
+                let Some(&toward_origin) = self.lq_reverse.get(&(key, origin, seq)) else {
+                    return;
+                };
+                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                e.upstream = Some(toward_origin);
+                e.downstream = Some(rx.from);
+                e.last_used = now;
+                ctx.unicast(
+                    toward_origin,
+                    ControlPacket::LqRep { src, dst, origin, seq, csi_hops, topo_hops },
+                );
+            }
+            ControlPacket::Rerr { src, dst, .. } => {
+                let key: FlowKey = (src, dst);
+                let from_downstream =
+                    self.routes.get(&key).is_some_and(|e| e.downstream == Some(rx.from));
+                if !from_downstream {
+                    return;
+                }
+                if src == me {
+                    self.routes.remove(&key);
+                    if !self.discovery.contains_key(&dst) {
+                        self.start_discovery(ctx, dst, 0);
+                    }
+                } else {
+                    let upstream = self.routes.get(&key).and_then(|e| e.upstream);
+                    self.routes.remove(&key);
+                    if let Some(up) = upstream {
+                        ctx.unicast(up, ControlPacket::Rerr { src, dst, reporter: me });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut dyn NodeCtx, pkt: DataPacket, rx: Option<RxInfo>) {
+        let me = ctx.id();
+        let now = ctx.now();
+        if pkt.dst == me {
+            ctx.deliver_local(pkt);
+            return;
+        }
+        if pkt.src == me && rx.is_none() {
+            self.send_as_source(ctx, pkt);
+            return;
+        }
+        let Some(rx) = rx else {
+            ctx.drop_data(pkt, DropReason::NoRoute);
+            return;
+        };
+        let key: FlowKey = (pkt.src, pkt.dst);
+        // A repair in progress holds the flow's packets (§III.B: "the
+        // packets accumulate in the upstream terminal performing the local
+        // search until a partial route is found").
+        if let Some(repair) = self.repairs.get_mut(&key) {
+            let cap = ctx.config().pending_cap;
+            if repair.held.len() < cap {
+                repair.held.push(pkt);
+            } else {
+                ctx.drop_data(pkt, DropReason::BufferOverflow);
+            }
+            return;
+        }
+        let idle = ctx.config().aodv_route_timeout;
+        match self.routes.get_mut(&key) {
+            Some(e) if e.downstream.is_some() && e.is_fresh(now, idle) => {
+                e.last_used = now;
+                e.upstream = Some(rx.from);
+                e.observe_data_hops(pkt.hops);
+                let nh = e.downstream.expect("checked");
+                ctx.send_data(nh, pkt);
+            }
+            _ => {
+                ctx.unicast(
+                    rx.from,
+                    ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me },
+                );
+                ctx.drop_data(pkt, DropReason::NoRoute);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NodeCtx, timer: Timer) {
+        match timer {
+            Timer::Beacon => {
+                ctx.broadcast(ControlPacket::Beacon);
+                let period = ctx.config().beacon_period;
+                ctx.set_timer(period, Timer::Beacon);
+            }
+            Timer::RreqRetry { dst } => {
+                let Some(&(_, retries, _)) = self.discovery.get(&dst) else { return };
+                let me = ctx.id();
+                if self.routes.get(&(me, dst)).is_some_and(|e| e.downstream.is_some()) {
+                    self.discovery.remove(&dst);
+                    return;
+                }
+                if retries >= ctx.config().rreq_max_retries {
+                    self.discovery.remove(&dst);
+                    let dropped = self.pending(ctx).drop_for(dst);
+                    for pkt in dropped {
+                        ctx.drop_data(pkt, DropReason::NoRoute);
+                    }
+                    return;
+                }
+                self.start_discovery(ctx, dst, retries + 1);
+            }
+            Timer::ReplyWindow { src, dst } => {
+                debug_assert_eq!(dst, ctx.id());
+                let now = ctx.now();
+                let Some((bcast_id, score, via)) = self.windows.remove(&src) else { return };
+                self.replied.insert(src, bcast_id);
+                let e = self.routes.entry((src, dst)).or_insert_with(|| FlowEntry::new(now));
+                e.upstream = Some(via);
+                e.last_used = now;
+                ctx.unicast(
+                    via,
+                    ControlPacket::Rrep {
+                        src,
+                        dst,
+                        seq: bcast_id,
+                        csi_hops: 0.0,
+                        topo_hops: score.topo,
+                    },
+                );
+            }
+            Timer::LqTimeout { src, dst } => {
+                // Still repairing when the deadline hits: give up.
+                if self.repairs.contains_key(&(src, dst)) {
+                    self.fail_repair(ctx, (src, dst));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn current_downstream(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&(src, dst)).and_then(|e| e.downstream)
+    }
+
+    fn on_link_failure(
+        &mut self,
+        ctx: &mut dyn NodeCtx,
+        neighbor: NodeId,
+        undelivered: Vec<DataPacket>,
+    ) {
+        let me = ctx.id();
+        let now = ctx.now();
+        self.ticks.remove(&neighbor);
+        // Group the stranded packets per flow.
+        let mut per_flow: HashMap<FlowKey, Vec<DataPacket>> = HashMap::new();
+        for pkt in undelivered {
+            per_flow.entry((pkt.src, pkt.dst)).or_default().push(pkt);
+        }
+        let affected: Vec<FlowKey> = self
+            .routes
+            .iter()
+            .filter(|(_, e)| e.downstream == Some(neighbor))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in affected {
+            let held = per_flow.remove(&key).unwrap_or_default();
+            if key.0 == me {
+                // Source: re-discover; salvage our packets.
+                self.routes.remove(&key);
+                for pkt in held {
+                    if let Some(rejected) = self.pending(ctx).push(now, pkt) {
+                        ctx.drop_data(rejected, DropReason::BufferOverflow);
+                    }
+                }
+                if !self.discovery.contains_key(&key.1) {
+                    self.start_discovery(ctx, key.1, 0);
+                }
+            } else if !self.repairs.contains_key(&key) {
+                // Intermediate terminal: localized query, data waits here.
+                self.start_repair(ctx, key, held);
+            }
+        }
+        // Packets of flows we have no entry for cannot be salvaged.
+        for (_, pkts) in per_flow {
+            for pkt in pkts {
+                ctx.drop_data(pkt, DropReason::LinkBreak);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_channel::ChannelClass;
+    use rica_net::testing::ScriptedCtx;
+    use rica_net::FlowId;
+    use rica_sim::SimDuration;
+
+    fn rx(from: u32) -> RxInfo {
+        RxInfo { from: NodeId(from), class: ChannelClass::A }
+    }
+
+    fn data(src: u32, dst: u32, seq: u64) -> DataPacket {
+        DataPacket::new(FlowId(0), seq, NodeId(src), NodeId(dst), 512, SimTime::ZERO)
+    }
+
+    fn beacon_n_times(p: &mut Abr, ctx: &mut ScriptedCtx, from: u32, n: u32) {
+        for _ in 0..n {
+            ctx.advance(SimDuration::from_secs(1));
+            p.on_control(ctx, ControlPacket::Beacon, rx(from));
+        }
+    }
+
+    #[test]
+    fn associativity_ticks_accumulate_and_reset() {
+        let mut ctx = ScriptedCtx::new(NodeId(5));
+        let mut p = Abr::new();
+        beacon_n_times(&mut p, &mut ctx, 3, 4);
+        assert_eq!(p.ticks_for(NodeId(3)), 4);
+        assert!(p.is_stable(NodeId(3), &ctx), "threshold is 4 ticks");
+        // A long silence breaks the association: ticks restart at 1.
+        ctx.advance(SimDuration::from_secs(10));
+        p.on_control(&mut ctx, ControlPacket::Beacon, rx(3));
+        assert_eq!(p.ticks_for(NodeId(3)), 1);
+        assert!(!p.is_stable(NodeId(3), &ctx));
+    }
+
+    #[test]
+    fn bq_relay_accumulates_stability_and_load() {
+        let mut ctx = ScriptedCtx::new(NodeId(5));
+        let mut p = Abr::new();
+        beacon_n_times(&mut p, &mut ctx, 1, 5); // n1 is a stable neighbour
+        ctx.set_queue_len(NodeId(7), 4); // we are loaded
+        ctx.clear_actions();
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Bq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: 1, stable_links: 1, load: 2 },
+            rx(1),
+        );
+        match &ctx.broadcasts[0] {
+            ControlPacket::Bq { topo_hops, stable_links, load, .. } => {
+                assert_eq!(*topo_hops, 2);
+                assert_eq!(*stable_links, 2, "the stable incoming link counted");
+                assert_eq!(*load, 6, "our queue occupancy added");
+            }
+            other => panic!("expected BQ, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn destination_prefers_stability_over_hops() {
+        let mut ctx = ScriptedCtx::new(NodeId(9));
+        let mut p = Abr::new();
+        let bq = |stable: u8, topo: u8, load: u32| ControlPacket::Bq {
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            topo_hops: topo,
+            stable_links: stable,
+            load,
+        };
+        // Short but unstable route via n1.
+        p.on_control(&mut ctx, bq(0, 2, 0), rx(1));
+        // Longer, fully stable route via n2 — ABR picks this one
+        // ("ABR inclines to select the route with the highest stability and
+        // normally such a route has a greater number of hops").
+        p.on_control(&mut ctx, bq(4, 5, 0), rx(2));
+        let t = ctx.fire_next_timer();
+        assert_eq!(t, Timer::ReplyWindow { src: NodeId(0), dst: NodeId(9) });
+        p.on_timer(&mut ctx, t);
+        assert_eq!(ctx.unicasts.len(), 1);
+        assert_eq!(ctx.unicasts[0].0, NodeId(2));
+    }
+
+    #[test]
+    fn destination_breaks_stability_ties_by_load_then_hops() {
+        let mut ctx = ScriptedCtx::new(NodeId(9));
+        let mut p = Abr::new();
+        let bq = |stable: u8, topo: u8, load: u32| ControlPacket::Bq {
+            src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: topo, stable_links: stable, load,
+        };
+        p.on_control(&mut ctx, bq(2, 3, 9), rx(1));
+        p.on_control(&mut ctx, bq(2, 6, 2), rx(2)); // lighter load wins
+        p.on_control(&mut ctx, bq(2, 2, 9), rx(3));
+        let t = ctx.fire_next_timer();
+        p.on_timer(&mut ctx, t);
+        assert_eq!(ctx.unicasts[0].0, NodeId(2));
+    }
+
+    #[test]
+    fn link_failure_triggers_lq_and_holds_data() {
+        let mut ctx = ScriptedCtx::new(NodeId(5));
+        let mut p = Abr::new();
+        // Establish a route as relay: BQ then RREP.
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Bq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: 0, stable_links: 0, load: 0 },
+            rx(1),
+        );
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 3 },
+            rx(7),
+        );
+        ctx.clear_actions();
+        // The link to n7 breaks with a packet in flight.
+        p.on_link_failure(&mut ctx, NodeId(7), vec![data(0, 9, 1)]);
+        // An LQ flood goes out; the packet is NOT dropped.
+        assert!(ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Lq { .. })));
+        assert!(ctx.dropped.is_empty());
+        // More data arriving during the repair is held too.
+        p.on_data(&mut ctx, data(0, 9, 2), Some(rx(1)));
+        assert!(ctx.sent_data.is_empty());
+        // The destination answers: packets flush along the partial route.
+        p.on_control(
+            &mut ctx,
+            ControlPacket::LqRep { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), seq: 0, csi_hops: 1.0, topo_hops: 2 },
+            rx(8),
+        );
+        assert_eq!(ctx.sent_data.len(), 2, "held packets released");
+        assert!(ctx.sent_data.iter().all(|(nh, _)| *nh == NodeId(8)));
+        assert_eq!(p.downstream_of(NodeId(0), NodeId(9)), Some(NodeId(8)));
+    }
+
+    #[test]
+    fn lq_timeout_drops_held_and_notifies_source() {
+        let mut ctx = ScriptedCtx::new(NodeId(5));
+        let mut p = Abr::new();
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Bq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: 0, stable_links: 0, load: 0 },
+            rx(1),
+        );
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 3 },
+            rx(7),
+        );
+        ctx.clear_actions();
+        p.on_link_failure(&mut ctx, NodeId(7), vec![data(0, 9, 1)]);
+        // Fire the LQ deadline without any reply.
+        let t = ctx
+            .pending_timers()
+            .iter()
+            .map(|t| t.timer)
+            .find(|t| matches!(t, Timer::LqTimeout { .. }))
+            .expect("deadline armed");
+        ctx.advance(SimDuration::from_secs(1));
+        p.on_timer(&mut ctx, t);
+        assert_eq!(ctx.dropped.len(), 1);
+        assert_eq!(ctx.dropped[0].1, DropReason::LinkBreak);
+        assert!(ctx
+            .unicasts
+            .iter()
+            .any(|(to, pkt)| *to == NodeId(1) && matches!(pkt, ControlPacket::Rerr { .. })));
+    }
+
+    #[test]
+    fn lq_relay_decrements_ttl_and_dst_replies() {
+        let mut relay_ctx = ScriptedCtx::new(NodeId(6));
+        let mut relay = Abr::new();
+        relay.on_control(
+            &mut relay_ctx,
+            ControlPacket::Lq { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), bcast_id: 3, ttl: 2, csi_hops: 0.0, topo_hops: 0 },
+            rx(5),
+        );
+        assert!(matches!(
+            relay_ctx.broadcasts[0],
+            ControlPacket::Lq { ttl: 1, topo_hops: 1, .. }
+        ));
+        // Destination replies immediately to the first copy.
+        let mut dst_ctx = ScriptedCtx::new(NodeId(9));
+        let mut dst = Abr::new();
+        dst.on_control(
+            &mut dst_ctx,
+            ControlPacket::Lq { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), bcast_id: 3, ttl: 1, csi_hops: 1.0, topo_hops: 1 },
+            rx(6),
+        );
+        assert!(matches!(
+            dst_ctx.unicasts[0],
+            (NodeId(6), ControlPacket::LqRep { origin: NodeId(5), seq: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn source_restarts_discovery_on_rerr() {
+        let mut ctx = ScriptedCtx::new(NodeId(0));
+        let mut p = Abr::new();
+        p.on_data(&mut ctx, data(0, 9, 0), None);
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 2 },
+            rx(4),
+        );
+        ctx.clear_actions();
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(4) },
+            rx(4),
+        );
+        assert!(ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Bq { .. })));
+    }
+}

@@ -1,0 +1,699 @@
+//! BGCA (bandwidth-guarded channel adaptive), implemented from this paper's
+//! own characterisation (§I, §III): discovery selects the CSI-shortest route
+//! exactly like RICA, but maintenance is *passive* — "only when the channel
+//! quality of the link drops below the bandwidth requirement of the traffics
+//! does it take actions to find a new route", via a TTL-limited guarded
+//! query that splices a partial route in.
+
+use std::collections::HashMap;
+
+use rica_net::{
+    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
+    RxInfo, Timer, TimerToken,
+};
+
+use crate::common::{FlowEntry, FlowKey, Repair};
+
+/// The BGCA baseline.
+#[derive(Debug, Default)]
+pub struct Bgca {
+    /// RREQ dedup + reverse pointers: `(flow, bcast) → upstream`.
+    reverse: HashMap<(FlowKey, u64), NodeId>,
+    /// GQ (guarded/local query) dedup + reverse pointers.
+    lq_reverse: HashMap<(FlowKey, NodeId, u64), NodeId>,
+    /// Per-flow route entries.
+    routes: HashMap<FlowKey, FlowEntry>,
+    /// Destination-side RREQ collection window per source:
+    /// (bcast, best CSI, best topo, via).
+    windows: HashMap<NodeId, (u64, f64, u8, NodeId)>,
+    /// Destination-side: highest flood already answered per source.
+    replied: HashMap<NodeId, u64>,
+    /// Source-side discovery per destination.
+    discovery: HashMap<NodeId, (u64, u32, TimerToken)>,
+    /// In-progress repairs per flow (guard-triggered or break-triggered).
+    repairs: HashMap<FlowKey, Repair>,
+    /// Last repair start per flow (guard cooldown).
+    last_repair: HashMap<FlowKey, rica_sim::SimTime>,
+    pending: Option<PendingBuffer>,
+    next_bcast: u64,
+    next_lq: u64,
+    monitor_armed: bool,
+}
+
+impl Bgca {
+    /// Creates a protocol instance.
+    pub fn new() -> Self {
+        Bgca::default()
+    }
+
+    /// The downstream of the flow `(src, dst)` at this terminal, if routed.
+    pub fn downstream_of(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&(src, dst)).and_then(|e| e.downstream)
+    }
+
+    /// Whether this terminal is currently repairing the flow.
+    pub fn is_repairing(&self, src: NodeId, dst: NodeId) -> bool {
+        self.repairs.contains_key(&(src, dst))
+    }
+
+    fn pending(&mut self, ctx: &dyn NodeCtx) -> &mut PendingBuffer {
+        let cfg = ctx.config();
+        self.pending
+            .get_or_insert_with(|| PendingBuffer::new(cfg.pending_cap, cfg.max_queue_residency))
+    }
+
+    fn arm_monitor(&mut self, ctx: &mut dyn NodeCtx) {
+        if !self.monitor_armed {
+            self.monitor_armed = true;
+            ctx.set_timer(ctx.config().bgca_monitor_period, Timer::LinkMonitor);
+        }
+    }
+
+    fn start_discovery(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId, retries: u32) {
+        let bcast_id = self.next_bcast;
+        self.next_bcast += 1;
+        let me = ctx.id();
+        ctx.broadcast(ControlPacket::Rreq { src: me, dst, bcast_id, csi_hops: 0.0, topo_hops: 0 });
+        let token = ctx.set_timer(ctx.config().rreq_retry_timeout, Timer::RreqRetry { dst });
+        self.discovery.insert(dst, (bcast_id, retries, token));
+    }
+
+    fn send_as_source(&mut self, ctx: &mut dyn NodeCtx, pkt: DataPacket) {
+        let me = ctx.id();
+        let now = ctx.now();
+        let dst = pkt.dst;
+        let idle = ctx.config().aodv_route_timeout;
+        let nh = self
+            .routes
+            .get(&(me, dst))
+            .filter(|e| e.is_fresh(now, idle))
+            .and_then(|e| e.downstream);
+        if let Some(nh) = nh {
+            self.routes.get_mut(&(me, dst)).expect("exists").last_used = now;
+            ctx.send_data(nh, pkt);
+            return;
+        }
+        let discovering = self.discovery.contains_key(&dst);
+        if let Some(rejected) = self.pending(ctx).push(now, pkt) {
+            ctx.drop_data(rejected, DropReason::BufferOverflow);
+        }
+        if !discovering {
+            self.start_discovery(ctx, dst, 0);
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId) {
+        let now = ctx.now();
+        let mut expired = Vec::new();
+        let fresh = self.pending(ctx).take_for(dst, now, &mut expired);
+        for pkt in expired {
+            ctx.drop_data(pkt, DropReason::BufferTimeout);
+        }
+        for pkt in fresh {
+            self.send_as_source(ctx, pkt);
+        }
+    }
+
+    /// Launches a guarded/local query for the flow. `link_down == false`
+    /// means the guard fired on a degraded (but live) link: data keeps
+    /// flowing on the old route while the search runs.
+    fn start_repair(
+        &mut self,
+        ctx: &mut dyn NodeCtx,
+        key: FlowKey,
+        held: Vec<DataPacket>,
+        link_down: bool,
+    ) {
+        let me = ctx.id();
+        self.last_repair.insert(key, ctx.now());
+        let bcast_id = self.next_lq;
+        self.next_lq += 1;
+        let slack = ctx.config().lq_ttl_slack;
+        let ttl = self
+            .routes
+            .get(&key)
+            .map(|e| e.hops_to_dst)
+            .unwrap_or(2)
+            .saturating_add(slack)
+            .max(1);
+        self.repairs.insert(key, Repair { bcast_id, held, link_down });
+        if link_down {
+            if let Some(e) = self.routes.get_mut(&key) {
+                e.downstream = None;
+            }
+        }
+        ctx.broadcast(ControlPacket::Lq {
+            src: key.0,
+            dst: key.1,
+            origin: me,
+            bcast_id,
+            ttl,
+            csi_hops: 0.0,
+            topo_hops: 0,
+        });
+        ctx.set_timer(ctx.config().lq_timeout, Timer::LqTimeout { src: key.0, dst: key.1 });
+    }
+
+    fn fail_repair(&mut self, ctx: &mut dyn NodeCtx, key: FlowKey) {
+        let me = ctx.id();
+        let Some(repair) = self.repairs.remove(&key) else { return };
+        if !repair.link_down {
+            // Guard repair found nothing better: keep using the old route.
+            debug_assert!(repair.held.is_empty());
+            return;
+        }
+        for pkt in repair.held {
+            ctx.drop_data(pkt, DropReason::LinkBreak);
+        }
+        let upstream = self.routes.get(&key).and_then(|e| e.upstream);
+        self.routes.remove(&key);
+        if let Some(up) = upstream {
+            ctx.unicast(up, ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me });
+        }
+    }
+
+    /// The bandwidth guard (§I): checks every on-route downstream link
+    /// against the guarded requirement and repairs the violating ones.
+    fn run_guard(&mut self, ctx: &mut dyn NodeCtx) {
+        let now = ctx.now();
+        let cfg = ctx.config();
+        let needed_kbps = cfg.bgca_guard_factor * cfg.bgca_flow_offered_kbps;
+        let cooldown = cfg.bgca_repair_cooldown;
+        // Only links that carried traffic very recently are guarded.
+        let active = rica_sim::SimDuration::from_millis(500);
+        let keys: Vec<(FlowKey, NodeId)> = self
+            .routes
+            .iter()
+            .filter(|(key, e)| {
+                e.downstream.is_some()
+                    && e.is_fresh(now, active)
+                    && !self.repairs.contains_key(key)
+                    && !self
+                        .last_repair
+                        .get(key)
+                        .is_some_and(|&t| now.saturating_since(t) < cooldown)
+            })
+            .map(|(k, e)| (*k, e.downstream.expect("filtered")))
+            .collect();
+        for (key, downstream) in keys {
+            match ctx.link_class_to(downstream) {
+                Some(class) if class.rate_kbps() < needed_kbps => {
+                    // Deep fade: search a partial substitute route while the
+                    // old one keeps (slowly) carrying data.
+                    self.start_repair(ctx, key, Vec::new(), false);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl RoutingProtocol for Bgca {
+    fn name(&self) -> &'static str {
+        "BGCA"
+    }
+
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        self.arm_monitor(ctx);
+    }
+
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
+        let me = ctx.id();
+        let now = ctx.now();
+        match pkt {
+            ControlPacket::Rreq { src, dst, bcast_id, csi_hops, topo_hops } => {
+                if src == me {
+                    return;
+                }
+                let key: FlowKey = (src, dst);
+                let new_csi = csi_hops + rx.class.csi_hops();
+                let new_topo = topo_hops.saturating_add(1);
+                if dst == me {
+                    // CSI-shortest selection with a reply window, like RICA.
+                    if self.replied.get(&src).is_some_and(|&b| bcast_id <= b) {
+                        return;
+                    }
+                    match self.windows.get_mut(&src) {
+                        Some((wid, best_csi, best_topo, via)) if *wid == bcast_id => {
+                            if new_csi < *best_csi {
+                                *best_csi = new_csi;
+                                *best_topo = new_topo;
+                                *via = rx.from;
+                            }
+                        }
+                        Some(_) => {}
+                        None => {
+                            self.windows.insert(src, (bcast_id, new_csi, new_topo, rx.from));
+                            ctx.set_timer(
+                                ctx.config().reply_window,
+                                Timer::ReplyWindow { src, dst },
+                            );
+                        }
+                    }
+                    return;
+                }
+                if self.reverse.contains_key(&(key, bcast_id)) {
+                    return;
+                }
+                self.reverse.insert((key, bcast_id), rx.from);
+                ctx.broadcast(ControlPacket::Rreq {
+                    src,
+                    dst,
+                    bcast_id,
+                    csi_hops: new_csi,
+                    topo_hops: new_topo,
+                });
+            }
+            ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops } => {
+                let key: FlowKey = (src, dst);
+                if src == me {
+                    if let Some((_, _, token)) = self.discovery.remove(&dst) {
+                        ctx.cancel_timer(token);
+                    }
+                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    e.downstream = Some(rx.from);
+                    e.upstream = None;
+                    e.last_used = now;
+                    e.route_len = topo_hops.max(1);
+                    e.hops_to_dst = topo_hops.max(1);
+                    self.arm_monitor(ctx);
+                    self.flush_pending(ctx, dst);
+                    return;
+                }
+                let Some(&up) = self.reverse.get(&(key, seq)) else { return };
+                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                e.upstream = Some(up);
+                e.downstream = Some(rx.from);
+                e.last_used = now;
+                e.route_len = topo_hops.max(1);
+                e.hops_to_dst = topo_hops.max(1);
+                self.arm_monitor(ctx);
+                ctx.unicast(up, ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops });
+            }
+            ControlPacket::Lq { src, dst, origin, bcast_id, ttl, csi_hops, topo_hops } => {
+                if origin == me {
+                    return;
+                }
+                let key: FlowKey = (src, dst);
+                if self.lq_reverse.contains_key(&(key, origin, bcast_id)) {
+                    return;
+                }
+                self.lq_reverse.insert((key, origin, bcast_id), rx.from);
+                let new_csi = csi_hops + rx.class.csi_hops();
+                let new_topo = topo_hops.saturating_add(1);
+                if dst == me {
+                    ctx.unicast(
+                        rx.from,
+                        ControlPacket::LqRep {
+                            src,
+                            dst,
+                            origin,
+                            seq: bcast_id,
+                            csi_hops: new_csi,
+                            topo_hops: new_topo,
+                        },
+                    );
+                    return;
+                }
+                let new_ttl = ttl.saturating_sub(1);
+                if new_ttl == 0 {
+                    return;
+                }
+                ctx.broadcast(ControlPacket::Lq {
+                    src,
+                    dst,
+                    origin,
+                    bcast_id,
+                    ttl: new_ttl,
+                    csi_hops: new_csi,
+                    topo_hops: new_topo,
+                });
+            }
+            ControlPacket::LqRep { src, dst, origin, seq, csi_hops, topo_hops } => {
+                let key: FlowKey = (src, dst);
+                if origin == me {
+                    let Some(repair) = self.repairs.remove(&key) else { return };
+                    if repair.bcast_id != seq {
+                        self.repairs.insert(key, repair);
+                        return;
+                    }
+                    // Splice the partial route in (guard or break repair).
+                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    e.downstream = Some(rx.from);
+                    e.last_used = now;
+                    e.hops_to_dst = topo_hops.max(1);
+                    e.route_len = e.route_len.max(topo_hops);
+                    for pkt in repair.held {
+                        ctx.send_data(rx.from, pkt);
+                    }
+                    return;
+                }
+                let Some(&toward_origin) = self.lq_reverse.get(&(key, origin, seq)) else {
+                    return;
+                };
+                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                e.upstream = Some(toward_origin);
+                e.downstream = Some(rx.from);
+                e.last_used = now;
+                self.arm_monitor(ctx);
+                ctx.unicast(
+                    toward_origin,
+                    ControlPacket::LqRep { src, dst, origin, seq, csi_hops, topo_hops },
+                );
+            }
+            ControlPacket::Rerr { src, dst, .. } => {
+                let key: FlowKey = (src, dst);
+                let from_downstream =
+                    self.routes.get(&key).is_some_and(|e| e.downstream == Some(rx.from));
+                if !from_downstream {
+                    return;
+                }
+                if src == me {
+                    self.routes.remove(&key);
+                    if !self.discovery.contains_key(&dst) {
+                        self.start_discovery(ctx, dst, 0);
+                    }
+                } else {
+                    let upstream = self.routes.get(&key).and_then(|e| e.upstream);
+                    self.routes.remove(&key);
+                    if let Some(up) = upstream {
+                        ctx.unicast(up, ControlPacket::Rerr { src, dst, reporter: me });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut dyn NodeCtx, pkt: DataPacket, rx: Option<RxInfo>) {
+        let me = ctx.id();
+        let now = ctx.now();
+        if pkt.dst == me {
+            ctx.deliver_local(pkt);
+            return;
+        }
+        if pkt.src == me && rx.is_none() {
+            self.send_as_source(ctx, pkt);
+            return;
+        }
+        let Some(rx) = rx else {
+            ctx.drop_data(pkt, DropReason::NoRoute);
+            return;
+        };
+        let key: FlowKey = (pkt.src, pkt.dst);
+        // Break repairs hold the flow; guard repairs keep forwarding on the
+        // degraded link meanwhile.
+        if let Some(repair) = self.repairs.get_mut(&key) {
+            if repair.link_down {
+                let cap = ctx.config().pending_cap;
+                if repair.held.len() < cap {
+                    repair.held.push(pkt);
+                } else {
+                    ctx.drop_data(pkt, DropReason::BufferOverflow);
+                }
+                return;
+            }
+        }
+        let idle = ctx.config().aodv_route_timeout;
+        match self.routes.get_mut(&key) {
+            Some(e) if e.downstream.is_some() && e.is_fresh(now, idle) => {
+                e.last_used = now;
+                e.upstream = Some(rx.from);
+                e.observe_data_hops(pkt.hops);
+                let nh = e.downstream.expect("checked");
+                ctx.send_data(nh, pkt);
+            }
+            _ => {
+                ctx.unicast(
+                    rx.from,
+                    ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me },
+                );
+                ctx.drop_data(pkt, DropReason::NoRoute);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NodeCtx, timer: Timer) {
+        match timer {
+            Timer::LinkMonitor => {
+                self.run_guard(ctx);
+                let period = ctx.config().bgca_monitor_period;
+                ctx.set_timer(period, Timer::LinkMonitor);
+            }
+            Timer::RreqRetry { dst } => {
+                let Some(&(_, retries, _)) = self.discovery.get(&dst) else { return };
+                let me = ctx.id();
+                if self.routes.get(&(me, dst)).is_some_and(|e| e.downstream.is_some()) {
+                    self.discovery.remove(&dst);
+                    return;
+                }
+                if retries >= ctx.config().rreq_max_retries {
+                    self.discovery.remove(&dst);
+                    let dropped = self.pending(ctx).drop_for(dst);
+                    for pkt in dropped {
+                        ctx.drop_data(pkt, DropReason::NoRoute);
+                    }
+                    return;
+                }
+                self.start_discovery(ctx, dst, retries + 1);
+            }
+            Timer::ReplyWindow { src, dst } => {
+                debug_assert_eq!(dst, ctx.id());
+                let now = ctx.now();
+                let Some((bcast_id, csi, topo, via)) = self.windows.remove(&src) else { return };
+                self.replied.insert(src, bcast_id);
+                let e = self.routes.entry((src, dst)).or_insert_with(|| FlowEntry::new(now));
+                e.upstream = Some(via);
+                e.last_used = now;
+                ctx.unicast(
+                    via,
+                    ControlPacket::Rrep { src, dst, seq: bcast_id, csi_hops: csi, topo_hops: topo },
+                );
+            }
+            Timer::LqTimeout { src, dst } => {
+                if self.repairs.contains_key(&(src, dst)) {
+                    self.fail_repair(ctx, (src, dst));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn current_downstream(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&(src, dst)).and_then(|e| e.downstream)
+    }
+
+    fn on_link_failure(
+        &mut self,
+        ctx: &mut dyn NodeCtx,
+        neighbor: NodeId,
+        undelivered: Vec<DataPacket>,
+    ) {
+        let me = ctx.id();
+        let now = ctx.now();
+        let mut per_flow: HashMap<FlowKey, Vec<DataPacket>> = HashMap::new();
+        for pkt in undelivered {
+            per_flow.entry((pkt.src, pkt.dst)).or_default().push(pkt);
+        }
+        let affected: Vec<FlowKey> = self
+            .routes
+            .iter()
+            .filter(|(_, e)| e.downstream == Some(neighbor))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in affected {
+            let held = per_flow.remove(&key).unwrap_or_default();
+            if key.0 == me {
+                self.routes.remove(&key);
+                for pkt in held {
+                    if let Some(rejected) = self.pending(ctx).push(now, pkt) {
+                        ctx.drop_data(rejected, DropReason::BufferOverflow);
+                    }
+                }
+                if !self.discovery.contains_key(&key.1) {
+                    self.start_discovery(ctx, key.1, 0);
+                }
+            } else if let Some(repair) = self.repairs.get_mut(&key) {
+                // A guard repair was already searching: it now also carries
+                // the stranded packets and becomes a break repair.
+                repair.link_down = true;
+                repair.held.extend(held);
+                if let Some(e) = self.routes.get_mut(&key) {
+                    e.downstream = None;
+                }
+            } else {
+                self.start_repair(ctx, key, held, true);
+            }
+        }
+        for (_, pkts) in per_flow {
+            for pkt in pkts {
+                ctx.drop_data(pkt, DropReason::LinkBreak);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_channel::ChannelClass;
+    use rica_net::testing::ScriptedCtx;
+    use rica_net::{FlowId, ProtocolConfig};
+    use rica_sim::{SimDuration, SimTime};
+
+    fn rx(from: u32, class: ChannelClass) -> RxInfo {
+        RxInfo { from: NodeId(from), class }
+    }
+
+    fn data(src: u32, dst: u32, seq: u64) -> DataPacket {
+        DataPacket::new(FlowId(0), seq, NodeId(src), NodeId(dst), 512, SimTime::ZERO)
+    }
+
+    /// A relay with an installed route 0 →(1)→ 5 →(7)→ 9.
+    fn relay_with_route() -> (ScriptedCtx, Bgca) {
+        let mut ctx = ScriptedCtx::new(NodeId(5));
+        let mut p = Bgca::new();
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
+            rx(1, ChannelClass::A),
+        );
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 2.0, topo_hops: 2 },
+            rx(7, ChannelClass::A),
+        );
+        ctx.clear_actions();
+        (ctx, p)
+    }
+
+    #[test]
+    fn discovery_selects_csi_shortest_like_rica() {
+        let mut ctx = ScriptedCtx::new(NodeId(9));
+        let mut p = Bgca::new();
+        let mk = |csi: f64| ControlPacket::Rreq {
+            src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: csi, topo_hops: 2,
+        };
+        p.on_control(&mut ctx, mk(5.0), rx(1, ChannelClass::A));
+        p.on_control(&mut ctx, mk(2.0), rx(2, ChannelClass::A));
+        let t = ctx.fire_next_timer();
+        assert_eq!(t, Timer::ReplyWindow { src: NodeId(0), dst: NodeId(9) });
+        p.on_timer(&mut ctx, t);
+        assert_eq!(ctx.unicasts[0].0, NodeId(2), "min CSI distance wins");
+    }
+
+    #[test]
+    fn guard_triggers_partial_query_on_deep_fade() {
+        let (mut ctx, mut p) = relay_with_route();
+        // Keep the entry in active use.
+        p.on_data(&mut ctx, data(0, 9, 0), Some(rx(1, ChannelClass::A)));
+        ctx.clear_actions();
+        // Downstream link degrades to class D (50 kbps). At 20 pkt/s the
+        // guarded requirement is 1.5 × 85.8 ≈ 129 kbps → violation.
+        let cfg = ProtocolConfig {
+            bgca_flow_offered_kbps: 85.8,
+            ..ProtocolConfig::default()
+        };
+        let mut ctx2 = std::mem::replace(&mut ctx, ScriptedCtx::new(NodeId(5))).with_config(cfg);
+        ctx2.set_link_class(NodeId(7), Some(ChannelClass::D));
+        p.on_timer(&mut ctx2, Timer::LinkMonitor);
+        assert!(
+            ctx2.broadcasts.iter().any(|b| matches!(b, ControlPacket::Lq { .. })),
+            "guard fired a guarded query"
+        );
+        assert!(p.is_repairing(NodeId(0), NodeId(9)));
+        // Data keeps flowing on the degraded route during the guard repair.
+        p.on_data(&mut ctx2, data(0, 9, 1), Some(rx(1, ChannelClass::A)));
+        assert_eq!(ctx2.sent_data.len(), 1, "guard repair does not hold data");
+    }
+
+    #[test]
+    fn guard_quiet_when_bandwidth_sufficient() {
+        let (mut ctx, mut p) = relay_with_route();
+        p.on_data(&mut ctx, data(0, 9, 0), Some(rx(1, ChannelClass::A)));
+        ctx.clear_actions();
+        // Class B = 150 kbps ≥ 1.5 × 42.88 ≈ 64 kbps: fine at 10 pkt/s.
+        ctx.set_link_class(NodeId(7), Some(ChannelClass::B));
+        p.on_timer(&mut ctx, Timer::LinkMonitor);
+        assert!(!ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Lq { .. })));
+        assert!(!p.is_repairing(NodeId(0), NodeId(9)));
+    }
+
+    #[test]
+    fn successful_guard_repair_splices_partial_route() {
+        let (mut ctx, mut p) = relay_with_route();
+        p.on_data(&mut ctx, data(0, 9, 0), Some(rx(1, ChannelClass::A)));
+        ctx.set_link_class(NodeId(7), Some(ChannelClass::D));
+        // 10 pkt/s default: D (50) < 1.5 × 42.88 ≈ 64.3 → guard fires.
+        p.on_timer(&mut ctx, Timer::LinkMonitor);
+        assert!(p.is_repairing(NodeId(0), NodeId(9)));
+        ctx.clear_actions();
+        // The destination's reply arrives via n8: splice.
+        p.on_control(
+            &mut ctx,
+            ControlPacket::LqRep { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), seq: 0, csi_hops: 2.0, topo_hops: 2 },
+            rx(8, ChannelClass::A),
+        );
+        assert_eq!(p.downstream_of(NodeId(0), NodeId(9)), Some(NodeId(8)));
+        assert!(!p.is_repairing(NodeId(0), NodeId(9)));
+        p.on_data(&mut ctx, data(0, 9, 1), Some(rx(1, ChannelClass::A)));
+        assert_eq!(ctx.sent_data[0].0, NodeId(8), "data now takes the partial route");
+    }
+
+    #[test]
+    fn failed_guard_repair_keeps_old_route() {
+        let (mut ctx, mut p) = relay_with_route();
+        p.on_data(&mut ctx, data(0, 9, 0), Some(rx(1, ChannelClass::A)));
+        ctx.set_link_class(NodeId(7), Some(ChannelClass::D));
+        p.on_timer(&mut ctx, Timer::LinkMonitor);
+        assert!(p.is_repairing(NodeId(0), NodeId(9)));
+        ctx.clear_actions();
+        // Deadline passes with no reply: the degraded route survives.
+        ctx.advance(SimDuration::from_secs(1));
+        p.on_timer(&mut ctx, Timer::LqTimeout { src: NodeId(0), dst: NodeId(9) });
+        assert!(!p.is_repairing(NodeId(0), NodeId(9)));
+        assert_eq!(p.downstream_of(NodeId(0), NodeId(9)), Some(NodeId(7)));
+        assert!(ctx.dropped.is_empty());
+        assert!(ctx.unicasts.is_empty(), "no REER for a guard repair");
+    }
+
+    #[test]
+    fn break_repair_holds_data_and_drops_on_timeout() {
+        let (mut ctx, mut p) = relay_with_route();
+        p.on_data(&mut ctx, data(0, 9, 0), Some(rx(1, ChannelClass::A)));
+        ctx.clear_actions();
+        p.on_link_failure(&mut ctx, NodeId(7), vec![data(0, 9, 1)]);
+        assert!(p.is_repairing(NodeId(0), NodeId(9)));
+        assert!(ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Lq { .. })));
+        // Data arriving during a break repair is held.
+        p.on_data(&mut ctx, data(0, 9, 2), Some(rx(1, ChannelClass::A)));
+        assert!(ctx.sent_data.is_empty());
+        // Timeout: held packets dropped, REER towards the source.
+        ctx.advance(SimDuration::from_secs(1));
+        p.on_timer(&mut ctx, Timer::LqTimeout { src: NodeId(0), dst: NodeId(9) });
+        assert_eq!(ctx.dropped.len(), 2);
+        assert!(ctx
+            .unicasts
+            .iter()
+            .any(|(to, pkt)| *to == NodeId(1) && matches!(pkt, ControlPacket::Rerr { .. })));
+    }
+
+    #[test]
+    fn source_rediscovers_on_rerr() {
+        let mut ctx = ScriptedCtx::new(NodeId(0));
+        let mut p = Bgca::new();
+        p.on_data(&mut ctx, data(0, 9, 0), None);
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 3.0, topo_hops: 3 },
+            rx(4, ChannelClass::A),
+        );
+        ctx.clear_actions();
+        p.on_control(
+            &mut ctx,
+            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(4) },
+            rx(4, ChannelClass::A),
+        );
+        assert!(ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Rreq { .. })));
+    }
+}

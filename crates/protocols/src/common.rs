@@ -1,0 +1,71 @@
+//! State shared by the flow-routed protocols (ABR, BGCA).
+
+use rica_net::NodeId;
+use rica_sim::{SimDuration, SimTime};
+
+/// A flow key: (source, destination).
+pub(crate) type FlowKey = (NodeId, NodeId);
+
+/// A per-flow route entry at one terminal (ABR/BGCA keep per-flow state,
+/// like RICA).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FlowEntry {
+    /// Next hop towards the source (REER/LQ-reply direction).
+    pub upstream: Option<NodeId>,
+    /// Next hop towards the destination.
+    pub downstream: Option<NodeId>,
+    /// Last forwarding use (idle entries expire).
+    pub last_used: SimTime,
+    /// Total route length (hops) learned from the reply that installed the
+    /// entry.
+    pub route_len: u8,
+    /// Estimated remaining hops to the destination (drives local-query
+    /// TTLs): `route_len − hops already travelled by passing data`.
+    pub hops_to_dst: u8,
+}
+
+impl FlowEntry {
+    pub fn new(now: SimTime) -> Self {
+        FlowEntry { upstream: None, downstream: None, last_used: now, route_len: 2, hops_to_dst: 2 }
+    }
+
+    /// Refines the remaining-hop estimate from a data packet that has
+    /// already travelled `travelled` hops from the source.
+    pub fn observe_data_hops(&mut self, travelled: u32) {
+        let travelled = travelled.min(u8::MAX as u32) as u8;
+        self.hops_to_dst = self.route_len.saturating_sub(travelled).max(1);
+    }
+
+    pub fn is_fresh(&self, now: SimTime, idle: SimDuration) -> bool {
+        now.saturating_since(self.last_used) <= idle
+    }
+}
+
+/// State of an in-progress localized repair (ABR's LQ, BGCA's guarded
+/// query): data for the flow waits here until a partial route is found or
+/// the timeout expires.
+#[derive(Debug, Default)]
+pub(crate) struct Repair {
+    /// The local query broadcast id this repair is waiting on.
+    pub bcast_id: u64,
+    /// Data packets held while the repair runs (the paper's "data packets
+    /// have to wait in the terminal performing LQ").
+    pub held: Vec<rica_net::DataPacket>,
+    /// Whether the repair replaces a *broken* link (true) or merely a
+    /// degraded one that keeps forwarding meanwhile (BGCA guard, false).
+    pub link_down: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_freshness() {
+        let mut e = FlowEntry::new(SimTime::from_secs_f64(5.0));
+        e.downstream = Some(NodeId(3));
+        let idle = SimDuration::from_secs(1);
+        assert!(e.is_fresh(SimTime::from_secs_f64(5.9), idle));
+        assert!(!e.is_fresh(SimTime::from_secs_f64(6.1), idle));
+    }
+}

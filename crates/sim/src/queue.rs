@@ -1,0 +1,431 @@
+//! The event queue and the clock-advancing simulator loop.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle to a scheduled event, used to cancel it.
+///
+/// Tokens are unique for the lifetime of an [`EventQueue`]; cancelling a
+/// token whose event already fired (or was already cancelled) is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventToken(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap: invert the ordering so the earliest (time, seq)
+// pops first. `seq` breaks ties FIFO — two events scheduled for the same
+// instant fire in scheduling order, which protocol logic relies on.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+/// A cancellable priority queue of timestamped events.
+///
+/// * Events pop in `(time, insertion order)` order — earliest first, FIFO
+///   among equal timestamps.
+/// * [`EventQueue::cancel`] is O(1): cancelled tokens are remembered and the
+///   corresponding events are skipped (and dropped) when they surface.
+///
+/// ```
+/// use rica_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// let tok = q.schedule(SimTime::from_nanos(10), "late");
+/// q.schedule(SimTime::from_nanos(5), "early");
+/// q.cancel(tok);
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "early")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// Returns a token that can be passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the token was newly registered for cancellation.
+    /// Cancelling an event that already fired is a harmless no-op (the event
+    /// can never fire again), but it is not detected: the return value is
+    /// meaningful only for tokens that have not yet been popped.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(token.0)
+    }
+
+    /// Removes and returns the earliest live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Scheduled { time, seq, event }) = self.heap.pop() {
+            self.popped += 1;
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            return Some((time, event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let seq = head.seq;
+                self.heap.pop();
+                self.popped += 1;
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(head.time);
+        }
+        None
+    }
+
+    /// Number of events still in the heap (including not-yet-skipped
+    /// cancelled events).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events (live or cancelled) remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever popped (fired or skipped); a cheap
+    /// progress counter for diagnostics.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// An event queue bound to a monotonically advancing clock.
+///
+/// `Simulator` is deliberately minimal: the *world* (nodes, channel, MAC) is
+/// owned by the harness, which drives `step()` in a loop and dispatches each
+/// event itself. See the crate-level example.
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .field("popped", &self.popped)
+            .finish()
+    }
+}
+
+impl<E> std::fmt::Debug for Simulator<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator").field("now", &self.now).field("queue", &self.queue).finish()
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Simulator { queue: EventQueue::new(), now: SimTime::ZERO }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event,
+    /// or zero before the first).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Simulator::now`]).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.queue.cancel(token)
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        Some((time, event))
+    }
+
+    /// Timestamp of the next live event, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending (possibly cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events popped so far.
+    pub fn popped(&self) -> u64 {
+        self.queue.popped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let _b = q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), None, "cancelled event never fires");
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventToken(999)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+    }
+
+    #[test]
+    fn simulator_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_millis(5), "x");
+        sim.schedule_at(t(1_000), "y");
+        assert_eq!(sim.step(), Some((t(1_000), "y")));
+        assert_eq!(sim.now(), t(1_000));
+        assert_eq!(sim.step(), Some((SimTime::from_secs_f64(0.005), "x")));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.popped(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(t(100), 1);
+        sim.step();
+        sim.schedule_at(t(50), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(t(10), 1u32);
+        let (time, ev) = sim.step().unwrap();
+        assert_eq!((time, ev), (t(10), 1));
+        // Re-scheduling relative to the new now.
+        sim.schedule_in(SimDuration::from_nanos(5), 2);
+        assert_eq!(sim.step(), Some((t(15), 2)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always pop in nondecreasing (time, seq) order, regardless
+        /// of insertion order and cancellations.
+        #[test]
+        fn pop_order_is_total(
+            times in proptest::collection::vec(0u64..1_000, 1..200),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let tokens: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &ns)| (q.schedule(SimTime::from_nanos(ns), i), ns))
+                .collect();
+            let mut live = Vec::new();
+            for (i, (tok, ns)) in tokens.into_iter().enumerate() {
+                if cancel_mask.get(i).copied().unwrap_or(false) {
+                    q.cancel(tok);
+                } else {
+                    live.push((ns, i));
+                }
+            }
+            live.sort();
+            let mut popped = Vec::new();
+            while let Some((time, idx)) = q.pop() {
+                popped.push((time.as_nanos(), idx));
+            }
+            prop_assert_eq!(popped, live);
+        }
+
+        /// The simulator clock never runs backwards.
+        #[test]
+        fn clock_monotone(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+            let mut sim = Simulator::new();
+            for (i, &ns) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(ns), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((now, _)) = sim.step() {
+                prop_assert!(now >= last);
+                last = now;
+            }
+        }
+
+        /// Model-based: interleaved schedule/cancel/pop agrees with a
+        /// reference implementation backed by a BTreeMap.
+        #[test]
+        fn matches_reference_model(
+            ops in proptest::collection::vec((0u8..3, 0u64..1_000), 1..300),
+        ) {
+            use std::collections::BTreeMap;
+            let mut q = EventQueue::new();
+            let mut model: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+            let mut tokens: Vec<(EventToken, u64, u64)> = Vec::new(); // token, time, seq
+            let mut seq = 0u64;
+            let mut payload = 0usize;
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        // schedule at time `arg`
+                        let tok = q.schedule(SimTime::from_nanos(arg), payload);
+                        model.insert((arg, seq), payload);
+                        tokens.push((tok, arg, seq));
+                        seq += 1;
+                        payload += 1;
+                    }
+                    1 => {
+                        // cancel a pseudo-random previously issued token
+                        if !tokens.is_empty() {
+                            let (tok, t, s) = tokens[arg as usize % tokens.len()];
+                            q.cancel(tok);
+                            model.remove(&(t, s));
+                        }
+                    }
+                    _ => {
+                        // pop once and compare with the model's minimum
+                        let got = q.pop();
+                        let want = model.pop_first();
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some((time, val)), Some(((mt, _), mv))) => {
+                                prop_assert_eq!(time.as_nanos(), mt);
+                                prop_assert_eq!(val, mv);
+                            }
+                            (g, w) => prop_assert!(false, "mismatch: {g:?} vs {w:?}"),
+                        }
+                    }
+                }
+            }
+            // Drain both; they must agree to the end.
+            while let Some((time, val)) = q.pop() {
+                let ((mt, _), mv) = model.pop_first().expect("model empty early");
+                prop_assert_eq!(time.as_nanos(), mt);
+                prop_assert_eq!(val, mv);
+            }
+            prop_assert!(model.is_empty(), "queue empty before model");
+        }
+    }
+}

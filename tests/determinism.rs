@@ -1,0 +1,50 @@
+//! Cross-crate determinism: identical seeds must give bit-identical trials
+//! for every protocol, and the parallel runner must preserve that.
+
+use rica_repro::harness::{run_trials, ProtocolKind, Scenario};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::builder()
+        .nodes(15)
+        .flows(3)
+        .duration_secs(12.0)
+        .mean_speed_kmh(36.0)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn identical_seeds_identical_summaries() {
+    for kind in ProtocolKind::ALL {
+        let a = scenario(5).run(kind);
+        let b = scenario(5).run(kind);
+        assert_eq!(a, b, "{kind} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let a = scenario(5).run(ProtocolKind::Rica);
+    let b = scenario(6).run(ProtocolKind::Rica);
+    assert_ne!(a, b, "seeds should matter");
+}
+
+#[test]
+fn parallel_runner_matches_direct_runs() {
+    let s = scenario(9);
+    let batch = run_trials(&s, ProtocolKind::Bgca, 3);
+    for (i, summary) in batch.iter().enumerate() {
+        let direct = s.run_seeded(ProtocolKind::Bgca, s.seed + i as u64);
+        assert_eq!(*summary, direct, "trial {i} differs under threading");
+    }
+}
+
+#[test]
+fn protocol_does_not_perturb_other_seeds() {
+    // The trial for seed k is independent of which other seeds ran before.
+    let s = scenario(3);
+    let alone = s.run_seeded(ProtocolKind::Aodv, 11);
+    let _warmup = s.run_seeded(ProtocolKind::Aodv, 10);
+    let after = s.run_seeded(ProtocolKind::Aodv, 11);
+    assert_eq!(alone, after);
+}

@@ -1,0 +1,104 @@
+//! Failure injection: terminals crash mid-run; routing must degrade
+//! gracefully (detect the silent neighbour, reroute if physically possible,
+//! account for every packet).
+
+use rica_repro::harness::{Flow, ProtocolKind, Scenario};
+use rica_repro::mobility::Vec2;
+use rica_repro::net::NodeId;
+
+/// 0 → {1 (upper), 2 (lower)} → 3: two disjoint relays, either suffices.
+fn two_relay_diamond(failures: Vec<(f64, NodeId)>) -> Scenario {
+    Scenario::builder()
+        .nodes(4)
+        .mean_speed_kmh(0.0)
+        .duration_secs(40.0)
+        .seed(8)
+        .pinned_positions(vec![
+            Vec2::new(100.0, 500.0),
+            Vec2::new(280.0, 580.0),
+            Vec2::new(280.0, 420.0),
+            Vec2::new(460.0, 500.0),
+        ])
+        .explicit_flows(vec![Flow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate_pps: 8.0,
+            packet_bytes: 512,
+        }])
+        .node_failures(failures)
+        .build()
+}
+
+#[test]
+fn crash_of_one_relay_is_survivable() {
+    for kind in ProtocolKind::ALL {
+        let baseline = two_relay_diamond(vec![]).run(kind);
+        let with_crash = two_relay_diamond(vec![(15.0, NodeId(1))]).run(kind);
+        assert!(
+            baseline.delivery_ratio() > 0.9,
+            "{kind}: baseline should be clean ({:.1}%)",
+            baseline.delivery_pct()
+        );
+        assert!(
+            with_crash.delivery_ratio() > 0.6,
+            "{kind}: should reroute via the surviving relay ({:.1}%)",
+            with_crash.delivery_pct()
+        );
+        assert!(
+            with_crash.delivered + with_crash.dropped() <= with_crash.generated,
+            "{kind}: accounting broken after crash"
+        );
+    }
+}
+
+#[test]
+fn crash_of_the_only_relay_stops_delivery() {
+    // Chain 0 — 1 — 2 with no alternative path.
+    let s = Scenario::builder()
+        .nodes(3)
+        .mean_speed_kmh(0.0)
+        .duration_secs(30.0)
+        .seed(8)
+        .pinned_positions(vec![
+            Vec2::new(100.0, 500.0),
+            Vec2::new(300.0, 500.0),
+            Vec2::new(500.0, 500.0),
+        ])
+        .explicit_flows(vec![Flow {
+            src: NodeId(0),
+            dst: NodeId(2),
+            rate_pps: 8.0,
+            packet_bytes: 512,
+        }])
+        .node_failures(vec![(10.0, NodeId(1))])
+        .build();
+    for kind in ProtocolKind::ALL {
+        let r = s.run(kind);
+        // Roughly the first 10 s of traffic can arrive; nothing after.
+        let upper_bound = (8.0 * 13.0) as u64; // 10 s + in-flight slack
+        assert!(
+            r.delivered <= upper_bound,
+            "{kind}: {} delivered after the only relay died",
+            r.delivered
+        );
+        assert!(r.delivered > 30, "{kind}: pre-crash traffic should arrive");
+    }
+}
+
+#[test]
+fn crashed_source_stops_generating() {
+    let s = two_relay_diamond(vec![(10.0, NodeId(0))]);
+    let r = s.run(ProtocolKind::Rica);
+    // ~8 pkt/s for ~10 s, Poisson: well under 120.
+    assert!(
+        r.generated < 120,
+        "source kept generating after its crash: {}",
+        r.generated
+    );
+}
+
+#[test]
+fn crash_is_deterministic() {
+    let s = two_relay_diamond(vec![(12.5, NodeId(2))]);
+    assert_eq!(s.run(ProtocolKind::Bgca), s.run(ProtocolKind::Bgca));
+}

@@ -1,0 +1,194 @@
+//! Adversarial robustness: every protocol must survive arbitrary
+//! (including nonsensical) packet and timer sequences without panicking,
+//! and never emit self-referential routing actions.
+//!
+//! Real MANETs deliver stale, duplicated and misdirected packets all the
+//! time — a routing daemon that panics on them is wrong regardless of its
+//! performance.
+
+use proptest::prelude::*;
+use rica_repro::channel::ChannelClass;
+use rica_repro::harness::ProtocolKind;
+use rica_repro::net::testing::ScriptedCtx;
+use rica_repro::net::{ControlPacket, DataPacket, FlowId, LsuEntry, NodeCtx, NodeId, RxInfo};
+use rica_repro::sim::SimDuration;
+
+const NODES: u32 = 6;
+
+fn node_id() -> impl Strategy<Value = NodeId> {
+    (0..NODES).prop_map(NodeId)
+}
+
+fn class() -> impl Strategy<Value = ChannelClass> {
+    prop_oneof![
+        Just(ChannelClass::A),
+        Just(ChannelClass::B),
+        Just(ChannelClass::C),
+        Just(ChannelClass::D),
+    ]
+}
+
+fn control_packet() -> impl Strategy<Value = ControlPacket> {
+    prop_oneof![
+        (node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..8).prop_map(
+            |(src, dst, bcast_id, csi_hops, topo_hops)| ControlPacket::Rreq {
+                src, dst, bcast_id, csi_hops, topo_hops
+            }
+        ),
+        (node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..8).prop_map(
+            |(src, dst, seq, csi_hops, topo_hops)| ControlPacket::Rrep {
+                src, dst, seq, csi_hops, topo_hops
+            }
+        ),
+        (node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..6, proptest::option::of(node_id()))
+            .prop_map(|(src, dst, bcast_id, csi_hops, ttl, received_from)| {
+                ControlPacket::CsiCheck { src, dst, bcast_id, csi_hops, ttl, received_from }
+            }),
+        (node_id(), node_id()).prop_map(|(src, dst)| ControlPacket::Rupd { src, dst }),
+        (node_id(), node_id(), node_id())
+            .prop_map(|(src, dst, reporter)| ControlPacket::Rerr { src, dst, reporter }),
+        Just(ControlPacket::Beacon),
+        (node_id(), 0u64..6, proptest::collection::vec((node_id(), class()), 0..4))
+            .prop_map(|(origin, seq, links)| ControlPacket::Lsu {
+                origin,
+                seq,
+                entries: links
+                    .into_iter()
+                    .map(|(neighbor, class)| LsuEntry { neighbor, class })
+                    .collect(),
+                down: vec![],
+            }),
+        (node_id(), node_id(), 0u64..4, 0u8..8, 0u8..8, 0u32..50).prop_map(
+            |(src, dst, bcast_id, topo_hops, stable_links, load)| ControlPacket::Bq {
+                src, dst, bcast_id, topo_hops, stable_links, load
+            }
+        ),
+        (node_id(), node_id(), node_id(), 0u64..4, 0u8..6, 0.0f64..30.0, 0u8..8).prop_map(
+            |(src, dst, origin, bcast_id, ttl, csi_hops, topo_hops)| ControlPacket::Lq {
+                src, dst, origin, bcast_id, ttl, csi_hops, topo_hops
+            }
+        ),
+        (node_id(), node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..8).prop_map(
+            |(src, dst, origin, seq, csi_hops, topo_hops)| ControlPacket::LqRep {
+                src, dst, origin, seq, csi_hops, topo_hops
+            }
+        ),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Control(ControlPacket, NodeId, ChannelClass),
+    Data { src: NodeId, dst: NodeId, seq: u64, from: Option<(NodeId, ChannelClass)> },
+    AdvanceMs(u64),
+    FireTimer,
+    LinkFail(NodeId, u8),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (control_packet(), node_id(), class())
+            .prop_map(|(pkt, from, class)| Action::Control(pkt, from, class)),
+        (node_id(), node_id(), 0u64..50, proptest::option::of((node_id(), class())))
+            .prop_map(|(src, dst, seq, from)| Action::Data { src, dst, seq, from }),
+        (1u64..2000).prop_map(Action::AdvanceMs),
+        Just(Action::FireTimer),
+        (node_id(), 0u8..3).prop_map(|(n, k)| Action::LinkFail(n, k)),
+    ]
+}
+
+fn drive(kind: ProtocolKind, me: NodeId, actions: &[Action]) -> ScriptedCtx {
+    let mut proto = kind.make();
+    let mut ctx = ScriptedCtx::new(me);
+    proto.on_start(&mut ctx);
+    for a in actions {
+        match a.clone() {
+            Action::Control(pkt, from, class) => {
+                if from != me {
+                    proto.on_control(&mut ctx, pkt, RxInfo { from, class });
+                }
+            }
+            Action::Data { src, dst, seq, from } => {
+                let pkt = DataPacket::new(FlowId(0), seq, src, dst, 512, ctx.now());
+                match from {
+                    Some((f, class)) if f != me => {
+                        proto.on_data(&mut ctx, pkt, Some(RxInfo { from: f, class }))
+                    }
+                    Some(_) => {}
+                    None => {
+                        if src == me {
+                            proto.on_data(&mut ctx, pkt, None)
+                        }
+                    }
+                }
+            }
+            Action::AdvanceMs(ms) => ctx.advance(SimDuration::from_millis(ms)),
+            Action::FireTimer => {
+                if !ctx.pending_timers().is_empty() {
+                    let t = ctx.fire_next_timer();
+                    proto.on_timer(&mut ctx, t);
+                }
+            }
+            Action::LinkFail(n, k) => {
+                if n != me {
+                    let stranded = (0..k)
+                        .map(|i| {
+                            DataPacket::new(
+                                FlowId(0),
+                                1000 + i as u64,
+                                NodeId((i as u32) % NODES),
+                                NodeId((i as u32 + 1) % NODES),
+                                512,
+                                ctx.now(),
+                            )
+                        })
+                        .collect();
+                    proto.on_link_failure(&mut ctx, n, stranded);
+                }
+            }
+        }
+    }
+    ctx
+}
+
+fn check_outputs(kind: ProtocolKind, ctx: &ScriptedCtx, me: NodeId) {
+    for (to, _) in &ctx.unicasts {
+        assert_ne!(*to, me, "{kind:?}: unicast to self");
+    }
+    for (nh, pkt) in &ctx.sent_data {
+        assert_ne!(*nh, me, "{kind:?}: forwarded data to self");
+        assert_ne!(pkt.dst, me, "{kind:?}: forwarded data addressed to self");
+    }
+    for pkt in &ctx.delivered {
+        assert_eq!(pkt.dst, me, "{kind:?}: delivered foreign packet locally");
+    }
+    // A sane protocol never floods unboundedly from a bounded stimulus:
+    // each input action can trigger at most a few emissions.
+    assert!(
+        ctx.broadcasts.len() <= 4 * 60 + 16,
+        "{kind:?}: broadcast storm ({} broadcasts)",
+        ctx.broadcasts.len()
+    );
+}
+
+macro_rules! fuzz_protocol {
+    ($name:ident, $kind:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn $name(
+                me in node_id(),
+                actions in proptest::collection::vec(action(), 1..60),
+            ) {
+                let ctx = drive($kind, me, &actions);
+                check_outputs($kind, &ctx, me);
+            }
+        }
+    };
+}
+
+fuzz_protocol!(rica_survives_arbitrary_inputs, ProtocolKind::Rica);
+fuzz_protocol!(bgca_survives_arbitrary_inputs, ProtocolKind::Bgca);
+fuzz_protocol!(abr_survives_arbitrary_inputs, ProtocolKind::Abr);
+fuzz_protocol!(aodv_survives_arbitrary_inputs, ProtocolKind::Aodv);
+fuzz_protocol!(link_state_survives_arbitrary_inputs, ProtocolKind::LinkState);
