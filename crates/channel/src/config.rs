@@ -82,7 +82,10 @@ impl ChannelConfig {
         }
         let [a, b, c] = self.class_thresholds_db;
         if !(a >= b && b >= c) {
-            return Err(format!("class thresholds must be non-increasing, got {:?}", self.class_thresholds_db));
+            return Err(format!(
+                "class thresholds must be non-increasing, got {:?}",
+                self.class_thresholds_db
+            ));
         }
         Ok(())
     }

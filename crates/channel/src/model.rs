@@ -140,8 +140,7 @@ mod tests {
     #[test]
     fn out_of_range_is_none() {
         let mut m = model(1);
-        let class =
-            m.class_between(0, 1, Vec2::ZERO, Vec2::new(250.1, 0.0), SimTime::ZERO);
+        let class = m.class_between(0, 1, Vec2::ZERO, Vec2::new(250.1, 0.0), SimTime::ZERO);
         assert!(class.is_none());
         let class = m.class_between(0, 1, Vec2::ZERO, Vec2::new(250.0, 0.0), SimTime::ZERO);
         assert!(class.is_some(), "exactly at range boundary is still a link");
@@ -171,9 +170,7 @@ mod tests {
                 m.class_between(2, 3, Vec2::ZERO, Vec2::new(50.0, 0.0), SimTime::ZERO);
             }
             (0..50)
-                .map(|i| {
-                    m.snr_db(0, 1, Vec2::ZERO, Vec2::new(80.0, 0.0), secs(i as f64 * 0.1))
-                })
+                .map(|i| m.snr_db(0, 1, Vec2::ZERO, Vec2::new(80.0, 0.0), secs(i as f64 * 0.1)))
                 .collect::<Vec<f64>>()
         };
         assert_eq!(sample(false), sample(true));
@@ -186,12 +183,10 @@ mod tests {
         let n = 400;
         for seed in 0..n {
             let mut m = model(10_000 + seed);
-            let near = m
-                .class_between(0, 1, Vec2::ZERO, Vec2::new(30.0, 0.0), SimTime::ZERO)
-                .unwrap();
-            let far = m
-                .class_between(2, 3, Vec2::ZERO, Vec2::new(240.0, 0.0), SimTime::ZERO)
-                .unwrap();
+            let near =
+                m.class_between(0, 1, Vec2::ZERO, Vec2::new(30.0, 0.0), SimTime::ZERO).unwrap();
+            let far =
+                m.class_between(2, 3, Vec2::ZERO, Vec2::new(240.0, 0.0), SimTime::ZERO).unwrap();
             if near == ChannelClass::A {
                 near_a += 1;
             }
@@ -211,9 +206,8 @@ mod tests {
         let n = 2000;
         for seed in 0..n {
             let mut m = model(77_000 + seed as u64);
-            let c = m
-                .class_between(0, 1, Vec2::ZERO, Vec2::new(110.0, 0.0), SimTime::ZERO)
-                .unwrap();
+            let c =
+                m.class_between(0, 1, Vec2::ZERO, Vec2::new(110.0, 0.0), SimTime::ZERO).unwrap();
             counts[match c {
                 ChannelClass::A => 0,
                 ChannelClass::B => 1,

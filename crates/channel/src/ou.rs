@@ -153,7 +153,7 @@ mod tests {
             acc += x0 * x1;
         }
         let got = acc / n as f64;
-        let expect = sigma * sigma * (-dt / tau as f64).exp();
+        let expect = sigma * sigma * (-dt / tau).exp();
         assert!((got - expect).abs() < 1.0, "got {got} expect {expect}");
     }
 

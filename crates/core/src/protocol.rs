@@ -1,11 +1,11 @@
 //! The RICA state machine.
 
-use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
-    RxInfo, Timer,
-};
 use crate::state::{Candidate, DestState, FlowKey, Tables};
 use crate::{PossibleRoute, RouteEntry};
+use rica_net::{
+    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
+    Timer,
+};
 
 /// The RICA protocol (§II of the paper). One instance runs on every
 /// terminal; the same code acts as source, relay or destination depending on
@@ -41,9 +41,8 @@ impl Rica {
 
     fn pending(&mut self, ctx: &dyn NodeCtx) -> &mut PendingBuffer {
         let cfg = ctx.config();
-        self.pending.get_or_insert_with(|| {
-            PendingBuffer::new(cfg.pending_cap, cfg.max_queue_residency)
-        })
+        self.pending
+            .get_or_insert_with(|| PendingBuffer::new(cfg.pending_cap, cfg.max_queue_residency))
     }
 
     // ---------------------------------------------------------------- source
@@ -137,9 +136,8 @@ impl Rica {
         // next wave (at most one period away) is trusted to deliver a route
         // — the same arbitration as on REER (§II.D scenario 1).
         let period = ctx.config().csi_check_period;
-        let checks_flowing = st
-            .last_csi_rx
-            .is_some_and(|t| now.saturating_since(t) <= period.mul_f64(1.5));
+        let checks_flowing =
+            st.last_csi_rx.is_some_and(|t| now.saturating_since(t) <= period.mul_f64(1.5));
         let discovering = st.discovery.is_some() || st.window.is_some();
         if let Some(rejected) = self.pending(ctx).push(now, pkt) {
             ctx.drop_data(rejected, DropReason::BufferOverflow);
@@ -191,7 +189,11 @@ impl Rica {
                         let downstream = p.downstream;
                         self.t.routes.insert(
                             key,
-                            RouteEntry { upstream: None, downstream: Some(downstream), last_used: now },
+                            RouteEntry {
+                                upstream: None,
+                                downstream: Some(downstream),
+                                last_used: now,
+                            },
                         );
                         ctx.send_data(downstream, pkt);
                         return;
@@ -334,8 +336,7 @@ impl Rica {
             // If no route exists and no window is open, adopt immediately;
             // otherwise combine within the window (§II.D scenarios).
             let st = self.t.sources.entry(dst).or_default();
-            let cand =
-                Candidate { via: rx.from, metric: csi_hops, topo_hops, needs_rupd: false };
+            let cand = Candidate { via: rx.from, metric: csi_hops, topo_hops, needs_rupd: false };
             let adopt_now = st.next_hop.is_none() && st.window.is_none();
             if adopt_now {
                 st.window = Some(cand);
@@ -354,10 +355,7 @@ impl Rica {
             key,
             RouteEntry { upstream: Some(upstream), downstream: Some(rx.from), last_used: now },
         );
-        ctx.unicast(
-            upstream,
-            ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops },
-        );
+        ctx.unicast(upstream, ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops });
     }
 
     fn on_csi_check(
@@ -396,10 +394,7 @@ impl Rica {
         }
         self.t.csi_seen.insert(key, bcast_id);
         // Remember the possible downstream (PN-code detection starts).
-        self.t.possible.insert(
-            key,
-            PossibleRoute { downstream: rx.from, set_at: now, bcast_id },
-        );
+        self.t.possible.insert(key, PossibleRoute { downstream: rx.from, set_at: now, bcast_id });
         let new_ttl = ttl.saturating_sub(1);
         if new_ttl == 0 {
             return; // scope exhausted (§II.C)
@@ -469,9 +464,8 @@ impl Rica {
         st.next_hop = None;
         // Scenario 1: CSI checks are flowing — the next wave (≤ one period
         // away) will deliver fresh candidates; do not flood.
-        let checks_flowing = st
-            .last_csi_rx
-            .is_some_and(|t| now.saturating_since(t) <= period.mul_f64(1.5));
+        let checks_flowing =
+            st.last_csi_rx.is_some_and(|t| now.saturating_since(t) <= period.mul_f64(1.5));
         let discovering = st.discovery.is_some();
         if !checks_flowing && !discovering {
             // Scenario 2: no checks — search with a RREQ. Whatever arrives
@@ -771,13 +765,25 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 3, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 3,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             rx(1, ChannelClass::B),
         );
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 3, csi_hops: 4.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 3,
+                csi_hops: 4.0,
+                topo_hops: 3,
+            },
             rx(7, ChannelClass::A),
         );
         assert_eq!(ctx.unicasts.len(), 1);
@@ -793,7 +799,13 @@ mod tests {
         src_ctx.clear_actions();
         src.on_control(
             &mut src_ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 3, csi_hops: 4.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 3,
+                csi_hops: 4.0,
+                topo_hops: 3,
+            },
             rx(5, ChannelClass::A),
         );
         assert_eq!(src.next_hop_to(NodeId(9)), Some(NodeId(5)));
@@ -825,7 +837,13 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 6.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 6.0,
+                topo_hops: 3,
+            },
             rx(5, ChannelClass::A),
         );
         assert_eq!(p.next_hop_to(NodeId(9)), Some(NodeId(5)));
@@ -879,10 +897,7 @@ mod tests {
         );
         // Fresh data restarts the periodic checking.
         p.on_data(&mut ctx, data(0, 9, 1), Some(rx(7, ChannelClass::A)));
-        assert!(ctx
-            .pending_timers()
-            .iter()
-            .any(|t| matches!(t.timer, Timer::CsiBroadcast { .. })));
+        assert!(ctx.pending_timers().iter().any(|t| matches!(t.timer, Timer::CsiBroadcast { .. })));
     }
 
     #[test]
@@ -926,7 +941,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, ttl: 1, received_from: None,
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                ttl: 1,
+                received_from: None,
             },
             rx(9, ChannelClass::A),
         );
@@ -941,7 +961,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 11, csi_hops: 2.0, ttl: 3, received_from: Some(NodeId(4)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 11,
+                csi_hops: 2.0,
+                ttl: 3,
+                received_from: Some(NodeId(4)),
             },
             rx(4, ChannelClass::A),
         );
@@ -949,7 +974,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 11, csi_hops: 7.0, ttl: 3, received_from: Some(NodeId(5)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 11,
+                csi_hops: 7.0,
+                ttl: 3,
+                received_from: Some(NodeId(5)),
             },
             rx(5, ChannelClass::A),
         );
@@ -976,7 +1006,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 11, csi_hops: 1.0, ttl: 3, received_from: Some(NodeId(5)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 11,
+                csi_hops: 1.0,
+                ttl: 3,
+                received_from: Some(NodeId(5)),
             },
             rx(5, ChannelClass::A),
         );
@@ -997,7 +1032,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 4, csi_hops: 0.0, ttl: 3, received_from: Some(NodeId(7)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 4,
+                csi_hops: 0.0,
+                ttl: 3,
+                received_from: Some(NodeId(7)),
             },
             rx(7, ChannelClass::B),
         );
@@ -1020,7 +1060,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 4, csi_hops: 0.0, ttl: 3, received_from: Some(NodeId(7)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 4,
+                csi_hops: 0.0,
+                ttl: 3,
+                received_from: Some(NodeId(7)),
             },
             rx(7, ChannelClass::B),
         );
@@ -1043,7 +1088,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 4, csi_hops: 0.0, ttl: 3, received_from: Some(NodeId(8)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 4,
+                csi_hops: 0.0,
+                ttl: 3,
+                received_from: Some(NodeId(8)),
             },
             rx(8, ChannelClass::A),
         );
@@ -1069,7 +1119,13 @@ mod tests {
         // Active route with downstream n7.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 1.0, topo_hops: 1 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 1.0,
+                topo_hops: 1,
+            },
             rx(7, ChannelClass::A),
         );
         // (no reverse pointer: entry installed only at the source side)
@@ -1077,12 +1133,24 @@ mod tests {
         let mut relay = Rica::new();
         relay.on_control(
             &mut src_ctx,
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             rx(1, ChannelClass::A),
         );
         relay.on_control(
             &mut src_ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 1.0, topo_hops: 1 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 1.0,
+                topo_hops: 1,
+            },
             rx(7, ChannelClass::A),
         );
         src_ctx.clear_actions();
@@ -1116,7 +1184,12 @@ mod tests {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: 1, csi_hops: 1.0, ttl: 3, received_from: Some(NodeId(5)),
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 1,
+                csi_hops: 1.0,
+                ttl: 3,
+                received_from: Some(NodeId(5)),
             },
             rx(5, ChannelClass::A),
         );
@@ -1160,7 +1233,13 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 1, csi_hops: 2.0, topo_hops: 2 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 1,
+                csi_hops: 2.0,
+                topo_hops: 2,
+            },
             rx(4, ChannelClass::A),
         );
         assert_eq!(ctx.sent_data.len(), 1);
@@ -1173,12 +1252,24 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             rx(1, ChannelClass::A),
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 1.0, topo_hops: 1 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 1.0,
+                topo_hops: 1,
+            },
             rx(7, ChannelClass::A),
         );
         ctx.clear_actions();
@@ -1197,11 +1288,7 @@ mod tests {
         for seq in 0..5 {
             p.on_data(&mut ctx, data(0, 9, seq), Some(rx(7, ChannelClass::A)));
             // Fire all due CSI timers, simulating periodic waves.
-            while let Some(t) = ctx
-                .pending_timers()
-                .first()
-                .map(|t| t.timer)
-            {
+            while let Some(t) = ctx.pending_timers().first().map(|t| t.timer) {
                 let fired = ctx.fire_next_timer();
                 assert_eq!(fired, t);
                 p.on_timer(&mut ctx, fired);
@@ -1215,11 +1302,7 @@ mod tests {
                 break;
             }
         }
-        let checks = ctx
-            .broadcasts
-            .iter()
-            .filter(|b| b.kind() == ControlKind::CsiCheck)
-            .count();
+        let checks = ctx.broadcasts.iter().filter(|b| b.kind() == ControlKind::CsiCheck).count();
         assert!(checks >= 3, "periodic checks keep flowing, got {checks}");
     }
 }

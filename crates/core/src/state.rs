@@ -1,6 +1,6 @@
 //! RICA's per-node routing state.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rica_net::{NodeId, TimerToken};
 use rica_sim::{SimDuration, SimTime};
@@ -124,18 +124,18 @@ impl DestState {
 #[derive(Debug, Default)]
 pub(crate) struct Tables {
     /// Active route entries by flow.
-    pub routes: HashMap<FlowKey, RouteEntry>,
+    pub routes: BTreeMap<FlowKey, RouteEntry>,
     /// Possible routes from CSI checks, by flow.
-    pub possible: HashMap<FlowKey, PossibleRoute>,
+    pub possible: BTreeMap<FlowKey, PossibleRoute>,
     /// RREQ floods already seen: (flow, bcast id) → upstream (reverse
     /// pointer towards the source).
-    pub rreq_reverse: HashMap<(FlowKey, u64), NodeId>,
+    pub rreq_reverse: BTreeMap<(FlowKey, u64), NodeId>,
     /// CSI-check waves already re-broadcast (dedup).
-    pub csi_seen: HashMap<FlowKey, u64>,
+    pub csi_seen: BTreeMap<FlowKey, u64>,
     /// Source-side state per destination.
-    pub sources: HashMap<NodeId, SourceState>,
+    pub sources: BTreeMap<NodeId, SourceState>,
     /// Destination-side state per source.
-    pub dests: HashMap<NodeId, DestState>,
+    pub dests: BTreeMap<NodeId, DestState>,
 }
 
 #[cfg(test)]

@@ -5,8 +5,7 @@ use rica_channel::ChannelClass;
 use rica_core::Rica;
 use rica_net::testing::ScriptedCtx;
 use rica_net::{
-    ControlKind, ControlPacket, DataPacket, FlowId, NodeCtx, NodeId, RoutingProtocol, RxInfo,
-    Timer,
+    ControlKind, ControlPacket, DataPacket, FlowId, NodeCtx, NodeId, RoutingProtocol, RxInfo, Timer,
 };
 use rica_sim::SimDuration;
 
@@ -29,17 +28,35 @@ fn figure_1_route_discovery() {
     // 6, 7, and 4.33 like the figure.
     p.on_control(
         &mut dst,
-        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 6.0 - 1.67, topo_hops: 3 },
+        ControlPacket::Rreq {
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            csi_hops: 6.0 - 1.67,
+            topo_hops: 3,
+        },
         rx(1, ChannelClass::B),
     );
     p.on_control(
         &mut dst,
-        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 7.0 - 3.33, topo_hops: 2 },
+        ControlPacket::Rreq {
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            csi_hops: 7.0 - 3.33,
+            topo_hops: 2,
+        },
         rx(2, ChannelClass::C),
     );
     p.on_control(
         &mut dst,
-        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 4.33 - 1.0, topo_hops: 4 },
+        ControlPacket::Rreq {
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            csi_hops: 4.33 - 1.0,
+            topo_hops: 4,
+        },
         rx(3, ChannelClass::A),
     );
     let t = dst.fire_next_timer();
@@ -73,15 +90,18 @@ fn repeated_waves_track_the_best_neighbour() {
         p.on_control(
             &mut ctx,
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(9), bcast_id: wave, csi_hops: 1.0, ttl: 3,
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: wave,
+                csi_hops: 1.0,
+                ttl: 3,
                 received_from: Some(better),
             },
             rx(better.raw(), ChannelClass::A),
         );
         let t = ctx.fire_next_timer();
         p.on_timer(&mut ctx, t);
-        let rupds =
-            ctx.unicasts.iter().filter(|(_, p)| p.kind() == ControlKind::Rupd).count();
+        let rupds = ctx.unicasts.iter().filter(|(_, p)| p.kind() == ControlKind::Rupd).count();
         if better == expected {
             assert_eq!(rupds, 0, "wave {wave}: no RUPD when the next hop is unchanged");
         } else {
@@ -108,7 +128,11 @@ fn rerr_recovery_via_next_wave() {
     p.on_control(
         &mut ctx,
         ControlPacket::CsiCheck {
-            src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 2.0, ttl: 3,
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            csi_hops: 2.0,
+            ttl: 3,
             received_from: Some(NodeId(5)),
         },
         rx(5, ChannelClass::A),
@@ -133,7 +157,11 @@ fn rerr_recovery_via_next_wave() {
     p.on_control(
         &mut ctx,
         ControlPacket::CsiCheck {
-            src: NodeId(0), dst: NodeId(9), bcast_id: 1, csi_hops: 1.5, ttl: 3,
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 1,
+            csi_hops: 1.5,
+            ttl: 3,
             received_from: Some(NodeId(6)),
         },
         rx(6, ChannelClass::A),
@@ -187,7 +215,11 @@ fn destination_ignores_answered_floods() {
     let mut ctx = ScriptedCtx::new(NodeId(9));
     let mut p = Rica::new();
     let rreq = ControlPacket::Rreq {
-        src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 1.0, topo_hops: 1,
+        src: NodeId(0),
+        dst: NodeId(9),
+        bcast_id: 0,
+        csi_hops: 1.0,
+        topo_hops: 1,
     };
     p.on_control(&mut ctx, rreq.clone(), rx(1, ChannelClass::A));
     let t = ctx.fire_next_timer();
@@ -208,7 +240,11 @@ fn old_wave_cannot_regress_possible_route() {
     let mut ctx = ScriptedCtx::new(NodeId(5));
     let mut p = Rica::new();
     let check = |bcast: u64, from: u32| ControlPacket::CsiCheck {
-        src: NodeId(0), dst: NodeId(9), bcast_id: bcast, csi_hops: 0.0, ttl: 3,
+        src: NodeId(0),
+        dst: NodeId(9),
+        bcast_id: bcast,
+        csi_hops: 0.0,
+        ttl: 3,
         received_from: Some(NodeId(from)),
     };
     p.on_control(&mut ctx, check(5, 7), rx(7, ChannelClass::A));

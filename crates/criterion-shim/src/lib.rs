@@ -1,0 +1,190 @@
+//! # criterion (offline shim)
+//!
+//! This workspace builds with **no registry access**, so the real
+//! [criterion](https://crates.io/crates/criterion) crate cannot be fetched.
+//! This crate implements the subset its benches use — [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], benchmark groups, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! calibrated-timing measurement instead of criterion's statistical engine.
+//!
+//! Each benchmark is warmed up, then timed over enough iterations to fill
+//! roughly [`TARGET_MEASURE`]; the mean ns/iter is printed in a
+//! `cargo bench`-like format.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Warm-up budget per benchmark.
+pub const TARGET_WARMUP: Duration = Duration::from_millis(100);
+/// Measurement budget per benchmark.
+pub const TARGET_MEASURE: Duration = Duration::from_millis(400);
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim times each batch element individually either way).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` (timed with calibration and warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up while estimating the per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < TARGET_WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters =
+            ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.ns_per_iter = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Benchmarks `routine` over fresh inputs from `setup`; only `routine`
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < TARGET_WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters =
+            ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t0.elapsed();
+        }
+        self.ns_per_iter = measured.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64) {
+    if ns_per_iter >= 1e6 {
+        println!("{name:<50} {:>12.3} ms/iter", ns_per_iter / 1e6);
+    } else if ns_per_iter >= 1e3 {
+        println!("{name:<50} {:>12.3} µs/iter", ns_per_iter / 1e3);
+    } else {
+        println!("{name:<50} {:>12.1} ns/iter", ns_per_iter);
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parses CLI arguments (no-op in the shim; accepted for compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (`group/bench` naming).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (no-op in the shim; accepted for compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_loop", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(i);
+                }
+                acc
+            })
+        });
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,268 @@
+//! Machine-readable sweep artifacts (`sweep_results.json`).
+//!
+//! The CSV/table renderers in `rica-metrics` serve human eyes; bench
+//! trajectories across PRs need a stable machine-readable artifact. This
+//! module renders a [`SweepResult`] as JSON with a tiny in-repo encoder
+//! (the workspace builds offline, so serde is not available).
+
+use std::fmt::Write as _;
+
+use rica_metrics::{TrialSummary, Welford};
+
+use crate::plan::{SweepCell, SweepResult};
+
+/// Schema version stamped into every artifact, bumped on layout changes.
+pub const SWEEP_JSON_SCHEMA: u32 = 1;
+
+/// Renders `s` as a quoted JSON string literal (the escaping used
+/// throughout the artifact; exposed so downstream artifact composers
+/// don't re-implement it).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    esc(&mut out, s);
+    out
+}
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-roundtrip and always contains the value
+        // exactly; integral values print without a dot, which JSON allows.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn welford(out: &mut String, w: &Welford) {
+    let _ = write!(out, "{{\"mean\":");
+    num(out, w.mean());
+    out.push_str(",\"std\":");
+    num(out, w.sample_std());
+    let _ = write!(out, ",\"n\":{}}}", w.count());
+}
+
+fn f64_array(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        num(out, x);
+    }
+    out.push(']');
+}
+
+fn trial(out: &mut String, t: &TrialSummary) {
+    out.push('{');
+    let _ = write!(out, "\"generated\":{},\"delivered\":{},", t.generated, t.delivered);
+    out.push_str("\"delivery_pct\":");
+    num(out, t.delivery_pct());
+    out.push_str(",\"delay_mean_ms\":");
+    num(out, t.delay_mean_ms);
+    out.push_str(",\"delay_p95_ms\":");
+    num(out, t.delay_p95_ms);
+    out.push_str(",\"overhead_kbps\":");
+    num(out, t.overhead_kbps);
+    out.push_str(",\"avg_link_throughput_kbps\":");
+    num(out, t.avg_link_throughput_kbps);
+    out.push_str(",\"avg_hops\":");
+    num(out, t.avg_hops);
+    let _ = write!(
+        out,
+        ",\"collisions\":{},\"link_breaks\":{},\"dropped\":{}}}",
+        t.collisions,
+        t.link_breaks,
+        t.dropped()
+    );
+}
+
+fn cell<P>(out: &mut String, c: &SweepCell<P>, label: &dyn Fn(&P) -> String) {
+    out.push_str("{\"protocol\":");
+    esc(out, &label(&c.protocol));
+    out.push_str(",\"speed_kmh\":");
+    num(out, c.speed_kmh);
+    let _ = write!(out, ",\"nodes\":{},\"aggregate\":{{", c.nodes);
+    let _ = write!(out, "\"trials\":{},", c.aggregate.trials);
+    out.push_str("\"delay_ms\":");
+    welford(out, &c.aggregate.delay_ms);
+    out.push_str(",\"delivery_pct\":");
+    welford(out, &c.aggregate.delivery_pct);
+    out.push_str(",\"overhead_kbps\":");
+    welford(out, &c.aggregate.overhead_kbps);
+    out.push_str(",\"link_throughput_kbps\":");
+    welford(out, &c.aggregate.link_throughput_kbps);
+    out.push_str(",\"hops\":");
+    welford(out, &c.aggregate.hops);
+    out.push_str(",\"collisions\":");
+    num(out, c.aggregate.collisions);
+    out.push_str(",\"link_breaks\":");
+    num(out, c.aggregate.link_breaks);
+    out.push_str(",\"throughput_kbps\":");
+    f64_array(out, &c.aggregate.throughput_kbps);
+    out.push_str("},\"trial_summaries\":[");
+    for (i, t) in c.trials.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        trial(out, t);
+    }
+    out.push_str("]}");
+}
+
+/// Renders a sweep result as a JSON document.
+///
+/// `label` names a protocol for the artifact (e.g. `|k| k.name().into()`);
+/// `meta` is a free-form `(key, value)` string map recorded under
+/// `"meta"` (scale name, load, git revision, …).
+pub fn sweep_json<P>(
+    result: &SweepResult<P>,
+    label: impl Fn(&P) -> String,
+    meta: &[(&str, String)],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(out, "{{\"schema\":{SWEEP_JSON_SCHEMA},\"meta\":{{");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, k);
+        out.push(':');
+        esc(&mut out, v);
+    }
+    let _ = write!(out, "}},\"workers\":{},\"wall_secs\":", result.workers);
+    num(&mut out, result.wall_secs);
+    let _ = write!(
+        out,
+        ",\"plan\":{{\"trials\":{},\"base_seed\":{},\"speeds_kmh\":",
+        result.plan.trials, result.plan.base_seed
+    );
+    f64_array(&mut out, &result.plan.speeds_kmh);
+    out.push_str(",\"node_counts\":[");
+    for (i, n) in result.plan.node_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{n}");
+    }
+    out.push_str("],\"protocols\":[");
+    for (i, p) in result.plan.protocols.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, &label(p));
+    }
+    out.push_str("]},\"cells\":[");
+    let label_dyn: &dyn Fn(&P) -> String = &label;
+    for (i, c) in result.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        cell(&mut out, c, label_dyn);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders and writes the artifact to `path`.
+pub fn write_sweep_json<P>(
+    path: &std::path::Path,
+    result: &SweepResult<P>,
+    label: impl Fn(&P) -> String,
+    meta: &[(&str, String)],
+) -> std::io::Result<()> {
+    std::fs::write(path, sweep_json(result, label, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SweepPlan;
+    use crate::pool::ExecOptions;
+    use rica_metrics::Metrics;
+    use rica_sim::SimDuration;
+
+    fn toy_result() -> SweepResult<u8> {
+        let plan = SweepPlan::new(vec![1u8, 2], vec![0.0, 36.0], vec![10], 2, 5);
+        plan.run(&ExecOptions::serial(), |job| {
+            let mut m = Metrics::new();
+            for _ in 0..(job.seed + job.protocol as u64) {
+                m.on_generated();
+            }
+            m.finish(SimDuration::from_secs(4))
+        })
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let doc = sweep_json(&toy_result(), |p| format!("P{p}"), &[("scale", "toy".into())]);
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"schema\":1"));
+        assert!(doc.contains("\"scale\":\"toy\""));
+        assert!(doc.contains("\"protocol\":\"P1\""));
+        assert!(doc.contains("\"cells\":["));
+        // Balanced braces/brackets (no string content interferes here).
+        let braces: i64 = doc
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        let brackets: i64 = doc
+            .chars()
+            .map(|c| match c {
+                '[' => 1,
+                ']' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let mut s = String::new();
+        num(&mut s, f64::NAN);
+        s.push(' ');
+        num(&mut s, f64::INFINITY);
+        assert_eq!(s, "null null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        esc(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn write_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("rica_exec_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep_results.json");
+        write_sweep_json(&path, &toy_result(), |p| format!("P{p}"), &[]).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("\"workers\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,236 @@
+//! Declarative sweep plans and their execution results.
+
+use rica_metrics::{Aggregate, TrialSummary};
+
+use crate::pool::{run_jobs, ExecOptions};
+
+/// A declarative experiment grid: protocols × speeds × node counts, with
+/// `trials` seeded repetitions per cell.
+///
+/// The plan is pure data; [`SweepPlan::jobs`] derives the flat job grid
+/// (with per-trial seeds) and [`SweepPlan::run`] executes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan<P> {
+    /// The protocol axis (any label type; the runner interprets it).
+    pub protocols: Vec<P>,
+    /// The mean-speed axis (km/h).
+    pub speeds_kmh: Vec<f64>,
+    /// The node-count axis.
+    pub node_counts: Vec<usize>,
+    /// Seeded repetitions per grid cell.
+    pub trials: usize,
+    /// Base seed; trial `i` of every cell runs with `base_seed + i`, so
+    /// all cells share common random numbers across the protocol axis
+    /// (paired comparison, as the paper's 25-trial averages do).
+    pub base_seed: u64,
+}
+
+/// One executable unit: a single seeded trial of a single grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialJob<P> {
+    /// Flat job index (plan order; stable across worker counts).
+    pub index: usize,
+    /// Index of the owning grid cell in plan order.
+    pub cell: usize,
+    /// Protocol label of the cell.
+    pub protocol: P,
+    /// Mean speed (km/h) of the cell.
+    pub speed_kmh: f64,
+    /// Node count of the cell.
+    pub nodes: usize,
+    /// Trial number within the cell (`0..trials`).
+    pub trial: usize,
+    /// Derived seed for this trial — a pure function of the plan.
+    pub seed: u64,
+}
+
+/// One grid cell after execution: the per-trial summaries (in trial
+/// order) and their merged aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell<P> {
+    /// Protocol label.
+    pub protocol: P,
+    /// Mean speed (km/h).
+    pub speed_kmh: f64,
+    /// Node count.
+    pub nodes: usize,
+    /// Per-trial summaries, in trial order (deterministic).
+    pub trials: Vec<TrialSummary>,
+    /// Cross-trial aggregate, folded in trial order.
+    pub aggregate: Aggregate,
+}
+
+/// The executed sweep: every cell in plan order plus execution metadata.
+#[derive(Debug, Clone)]
+pub struct SweepResult<P> {
+    /// The plan that produced this result.
+    pub plan: SweepPlan<P>,
+    /// Cells in plan order (protocol-major, then speed, then nodes).
+    pub cells: Vec<SweepCell<P>>,
+    /// Worker threads actually used (never more than the job count).
+    pub workers: usize,
+    /// Wall-clock execution time in seconds (informational; not part of
+    /// the deterministic payload).
+    pub wall_secs: f64,
+}
+
+impl<P: Copy> SweepPlan<P> {
+    /// Builds a plan; every axis must be non-empty and `trials > 0`.
+    pub fn new(
+        protocols: Vec<P>,
+        speeds_kmh: Vec<f64>,
+        node_counts: Vec<usize>,
+        trials: usize,
+        base_seed: u64,
+    ) -> SweepPlan<P> {
+        let plan = SweepPlan { protocols, speeds_kmh, node_counts, trials, base_seed };
+        assert!(plan.cell_count() > 0, "sweep plan has an empty axis");
+        assert!(plan.trials > 0, "sweep plan needs at least one trial per cell");
+        plan
+    }
+
+    /// Number of grid cells (protocols × speeds × node counts).
+    pub fn cell_count(&self) -> usize {
+        self.protocols.len() * self.speeds_kmh.len() * self.node_counts.len()
+    }
+
+    /// Total number of jobs (cells × trials).
+    pub fn job_count(&self) -> usize {
+        self.cell_count() * self.trials
+    }
+
+    /// Derives the flat job grid, protocol-major then speed then nodes
+    /// then trial. Job order — and every seed in it — is a pure function
+    /// of the plan, which is what makes execution results independent of
+    /// scheduling.
+    pub fn jobs(&self) -> Vec<TrialJob<P>> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        let mut cell = 0;
+        for &protocol in &self.protocols {
+            for &speed_kmh in &self.speeds_kmh {
+                for &nodes in &self.node_counts {
+                    for trial in 0..self.trials {
+                        jobs.push(TrialJob {
+                            index: jobs.len(),
+                            cell,
+                            protocol,
+                            speed_kmh,
+                            nodes,
+                            trial,
+                            seed: self.base_seed + trial as u64,
+                        });
+                    }
+                    cell += 1;
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Executes the plan: fans the job grid out over `opts.workers`
+    /// threads, then reassembles cells in plan order.
+    ///
+    /// `runner` executes one trial; it must be a pure function of the job
+    /// (same job → same summary) for the determinism guarantee to hold.
+    pub fn run<F>(&self, opts: &ExecOptions, runner: F) -> SweepResult<P>
+    where
+        P: Send + Sync,
+        F: Fn(&TrialJob<P>) -> TrialSummary + Sync,
+    {
+        let t0 = std::time::Instant::now();
+        let jobs = self.jobs();
+        let summaries = run_jobs(&jobs, opts, &runner);
+        let mut cells = Vec::with_capacity(self.cell_count());
+        let mut it = summaries.into_iter();
+        for &protocol in &self.protocols {
+            for &speed_kmh in &self.speeds_kmh {
+                for &nodes in &self.node_counts {
+                    let trials: Vec<TrialSummary> = it.by_ref().take(self.trials).collect();
+                    let aggregate = Aggregate::from_trials(&trials);
+                    cells.push(SweepCell { protocol, speed_kmh, nodes, trials, aggregate });
+                }
+            }
+        }
+        SweepResult {
+            plan: self.clone(),
+            cells,
+            workers: crate::pool::effective_workers(opts.workers, self.job_count()),
+            wall_secs: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl<P: Copy + PartialEq> SweepResult<P> {
+    /// The cell for `(protocol, speed, nodes)`, if the plan contains it.
+    pub fn cell(&self, protocol: P, speed_kmh: f64, nodes: usize) -> Option<&SweepCell<P>> {
+        self.cells
+            .iter()
+            .find(|c| c.protocol == protocol && c.speed_kmh == speed_kmh && c.nodes == nodes)
+    }
+
+    /// All cells for one protocol, in plan (speed-major) order.
+    pub fn cells_for(&self, protocol: P) -> Vec<&SweepCell<P>> {
+        self.cells.iter().filter(|c| c.protocol == protocol).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_metrics::Metrics;
+    use rica_sim::SimDuration;
+
+    fn toy_runner(job: &TrialJob<u8>) -> TrialSummary {
+        let mut m = Metrics::new();
+        let n = (job.seed % 5) + job.trial as u64 + job.protocol as u64;
+        for _ in 0..n {
+            m.on_generated();
+        }
+        m.finish(SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn job_grid_shape_and_seeds() {
+        let plan = SweepPlan::new(vec![1u8, 2], vec![0.0, 36.0, 72.0], vec![10, 50], 4, 100);
+        assert_eq!(plan.cell_count(), 12);
+        assert_eq!(plan.job_count(), 48);
+        let jobs = plan.jobs();
+        assert_eq!(jobs.len(), 48);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            assert_eq!(j.seed, 100 + j.trial as u64);
+            assert_eq!(j.cell, i / 4);
+        }
+        // Protocol-major order: first half is protocol 1.
+        assert!(jobs[..24].iter().all(|j| j.protocol == 1));
+        assert!(jobs[24..].iter().all(|j| j.protocol == 2));
+    }
+
+    #[test]
+    fn run_reassembles_in_plan_order() {
+        let plan = SweepPlan::new(vec![3u8, 9], vec![0.0], vec![5], 2, 7);
+        let r = plan.run(&ExecOptions::serial(), toy_runner);
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.cells[0].protocol, 3);
+        assert_eq!(r.cells[1].protocol, 9);
+        for cell in &r.cells {
+            assert_eq!(cell.trials.len(), 2);
+            assert_eq!(cell.aggregate.trials, 2);
+        }
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let plan = SweepPlan::new(vec![1u8], vec![0.0, 36.0], vec![5], 1, 0);
+        let r = plan.run(&ExecOptions::serial(), toy_runner);
+        assert!(r.cell(1, 36.0, 5).is_some());
+        assert!(r.cell(1, 54.0, 5).is_none());
+        assert_eq!(r.cells_for(1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty axis")]
+    fn empty_axis_panics() {
+        SweepPlan::<u8>::new(vec![], vec![0.0], vec![5], 1, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The worker pool: scoped threads + an mpsc result channel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::progress::Progress;
+
+/// Execution options: how many workers, and how to report progress.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads (≥ 1). 1 means run on the calling thread.
+    pub workers: usize,
+    /// Progress sink.
+    pub progress: Progress,
+}
+
+impl Default for ExecOptions {
+    /// Available parallelism (honouring `RICA_WORKERS`), silent progress.
+    fn default() -> Self {
+        ExecOptions { workers: crate::resolve_workers(None), progress: Progress::Silent }
+    }
+}
+
+impl ExecOptions {
+    /// Single worker, silent — the deterministic reference configuration.
+    pub fn serial() -> ExecOptions {
+        ExecOptions { workers: 1, progress: Progress::Silent }
+    }
+
+    /// `workers` threads, silent progress.
+    pub fn with_workers(workers: usize) -> ExecOptions {
+        ExecOptions { workers: workers.max(1), progress: Progress::Silent }
+    }
+
+    /// Replaces the progress sink.
+    pub fn progress(mut self, progress: Progress) -> ExecOptions {
+        self.progress = progress;
+        self
+    }
+}
+
+/// Worker threads actually used for `total` jobs under a configured
+/// worker count: never more threads than jobs, and a single job runs
+/// inline on the calling thread.
+pub fn effective_workers(configured: usize, total: usize) -> usize {
+    if total <= 1 {
+        1
+    } else {
+        configured.min(total).max(1)
+    }
+}
+
+/// Runs `run` over every job, fanning out over `opts.workers` threads,
+/// and returns results **in job order** regardless of completion order.
+///
+/// Work distribution is a shared atomic cursor (workers pull the next
+/// unstarted job, so long and short jobs balance); results stream back
+/// over an mpsc channel tagged with their job index and are committed to
+/// a pre-sized slot table. Scheduling therefore affects wall-clock time
+/// only — never the output.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all threads
+/// first), and panics if `opts.workers == 0`.
+pub fn run_jobs<J, T, F>(jobs: &[J], opts: &ExecOptions, run: &F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    assert!(opts.workers > 0, "need at least one worker");
+    let total = jobs.len();
+    opts.progress.begin(total, effective_workers(opts.workers, total));
+    if opts.workers == 1 || total <= 1 {
+        let out = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let r = run(j);
+                opts.progress.completed(i + 1, total);
+                r
+            })
+            .collect();
+        opts.progress.end(total);
+        return out;
+    }
+    let workers = opts.workers.min(total);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                // A send can only fail if the receiver is gone, which
+                // means the main thread already panicked; stop quietly.
+                if tx.send((i, run(&jobs[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut done = 0;
+        while let Ok((i, summary)) = rx.recv() {
+            debug_assert!(slots[i].is_none(), "job {i} completed twice");
+            slots[i] = Some(summary);
+            done += 1;
+            opts.progress.completed(done, total);
+        }
+    });
+    opts.progress.end(total);
+    slots.into_iter().map(|s| s.expect("worker pool lost a job result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 3, 8, 97, 200] {
+            let got = run_jobs(&jobs, &ExecOptions::with_workers(workers), &|&j: &u64| {
+                // Reverse-size workload so completion order ≠ job order.
+                if j < 10 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                j * j
+            });
+            assert_eq!(got, expected, "worker count {workers} changed results");
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let got: Vec<u64> = run_jobs(&[], &ExecOptions::with_workers(4), &|_: &u64| 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = run_jobs(&[1u64], &ExecOptions { workers: 0, progress: Progress::Silent }, &|&j| j);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_jobs(&[1u64, 2, 3], &ExecOptions::with_workers(2), &|&j: &u64| {
+                if j == 2 {
+                    panic!("boom");
+                }
+                j
+            })
+        });
+        assert!(result.is_err(), "a worker panic must not be swallowed");
+    }
+}

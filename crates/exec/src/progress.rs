@@ -1,0 +1,40 @@
+//! Live progress reporting for long sweeps.
+
+/// Where execution progress goes.
+///
+/// Progress is cosmetic: it never influences scheduling or results.
+#[derive(Debug, Clone, Default)]
+pub enum Progress {
+    /// No reporting (tests, library use).
+    #[default]
+    Silent,
+    /// A self-overwriting `stderr` status line, updated at most every
+    /// percent of completed jobs.
+    Stderr,
+}
+
+impl Progress {
+    pub(crate) fn begin(&self, total: usize, workers: usize) {
+        if let Progress::Stderr = self {
+            eprintln!("# exec: {total} jobs over {workers} workers");
+        }
+    }
+
+    pub(crate) fn completed(&self, done: usize, total: usize) {
+        if let Progress::Stderr = self {
+            // Throttle: only redraw when the integer percentage advances.
+            let step = (total / 100).max(1);
+            if done.is_multiple_of(step) || done == total {
+                eprint!("\r# exec: {done}/{total} trials ({}%)", done * 100 / total.max(1));
+            }
+        }
+    }
+
+    pub(crate) fn end(&self, total: usize) {
+        if let Progress::Stderr = self {
+            if total > 0 {
+                eprintln!();
+            }
+        }
+    }
+}

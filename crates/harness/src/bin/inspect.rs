@@ -30,7 +30,10 @@ fn main() {
     println!("delivered           {} ({:.1}%)", r.delivered, r.delivery_pct());
     println!("in flight           {}", r.in_flight());
     println!("delay               {:.1} ± {:.1} ms", r.delay_mean_ms, r.delay_std_ms);
-    println!("delay p50/p95/max   {:.1} / {:.1} / {:.1} ms", r.delay_p50_ms, r.delay_p95_ms, r.delay_max_ms);
+    println!(
+        "delay p50/p95/max   {:.1} / {:.1} / {:.1} ms",
+        r.delay_p50_ms, r.delay_p95_ms, r.delay_max_ms
+    );
     println!("avg hops            {:.2}", r.avg_hops);
     println!("avg link throughput {:.1} kbps", r.avg_link_throughput_kbps);
     println!("overhead            {:.1} kbps", r.overhead_kbps);

@@ -5,9 +5,10 @@
 //! exact environment (50 nodes, 500 s, 25 trials — minutes of wall time),
 //! [`Scale::quick`] is a reduced version for CI and `cargo bench`.
 
+use rica_exec::{ExecOptions, SweepPlan, SweepResult};
 use rica_metrics::{format_table, Aggregate, Align};
 
-use crate::{run_aggregate, ProtocolKind, Scenario};
+use crate::{sweep, ProtocolKind, Scenario};
 
 /// Experiment fidelity: how large and how often.
 #[derive(Debug, Clone)]
@@ -87,6 +88,9 @@ pub struct SpeedSweep {
     pub speeds: Vec<f64>,
     /// Aggregates per protocol, aligned with `speeds`.
     pub results: Vec<(ProtocolKind, Vec<Aggregate>)>,
+    /// The raw executed sweep (per-trial summaries included) — the
+    /// machine-readable artifact source.
+    pub raw: SweepResult<ProtocolKind>,
 }
 
 impl SpeedSweep {
@@ -126,10 +130,9 @@ impl SpeedSweep {
 
     /// Figure 4 view: routing overhead (kbps) vs speed.
     pub fn overhead_table(&self) -> String {
-        self.table_of(
-            &format!("Routing overhead (kbps), {} pkt/s per flow", self.rate_pps),
-            |a| a.overhead_kbps.mean(),
-        )
+        self.table_of(&format!("Routing overhead (kbps), {} pkt/s per flow", self.rate_pps), |a| {
+            a.overhead_kbps.mean()
+        })
     }
 
     /// CSV rendering of one metric (columns: speed, then one per protocol;
@@ -184,20 +187,38 @@ pub fn speed_sweep(rate_pps: f64, scale: &Scale) -> SpeedSweep {
     speed_sweep_for(rate_pps, scale, &ProtocolKind::ALL)
 }
 
-/// Runs the speed sweep for a subset of protocols.
+/// Runs the speed sweep for a subset of protocols over the default
+/// worker pool.
 pub fn speed_sweep_for(rate_pps: f64, scale: &Scale, kinds: &[ProtocolKind]) -> SpeedSweep {
+    speed_sweep_with(rate_pps, scale, kinds, &ExecOptions::default())
+}
+
+/// Runs the speed sweep with explicit execution options: the whole
+/// protocols × speeds × trials grid becomes one `rica-exec` job grid, so
+/// every trial — not just trials within one data point — runs in
+/// parallel.
+pub fn speed_sweep_with(
+    rate_pps: f64,
+    scale: &Scale,
+    kinds: &[ProtocolKind],
+    opts: &ExecOptions,
+) -> SpeedSweep {
+    let plan = SweepPlan::new(
+        kinds.to_vec(),
+        scale.speeds.clone(),
+        vec![scale.nodes],
+        scale.trials,
+        scale.seed,
+    );
+    let raw = sweep::run_plan(&plan, &scale.scenario(0.0, rate_pps), opts);
     let results = kinds
         .iter()
         .map(|&kind| {
-            let aggs = scale
-                .speeds
-                .iter()
-                .map(|&speed| run_aggregate(&scale.scenario(speed, rate_pps), kind, scale.trials))
-                .collect();
+            let aggs = raw.cells_for(kind).iter().map(|c| c.aggregate.clone()).collect();
             (kind, aggs)
         })
         .collect();
-    SpeedSweep { rate_pps, speeds: scale.speeds.clone(), results }
+    SpeedSweep { rate_pps, speeds: scale.speeds.clone(), results, raw }
 }
 
 /// Figure 5: route quality (average traversed-link throughput and hop
@@ -206,6 +227,8 @@ pub fn speed_sweep_for(rate_pps: f64, scale: &Scale, kinds: &[ProtocolKind]) -> 
 pub struct RouteQuality {
     /// One aggregate per protocol at the testing speed.
     pub results: Vec<(ProtocolKind, Aggregate)>,
+    /// The raw executed sweep behind the aggregates.
+    pub raw: SweepResult<ProtocolKind>,
 }
 
 impl RouteQuality {
@@ -238,11 +261,21 @@ impl RouteQuality {
 
 /// Runs the Figure 5 experiment (72 km/h, 10 pkt/s).
 pub fn route_quality(scale: &Scale) -> RouteQuality {
-    let results = ProtocolKind::ALL
-        .iter()
-        .map(|&kind| (kind, run_aggregate(&scale.scenario(72.0, 10.0), kind, scale.trials)))
-        .collect();
-    RouteQuality { results }
+    route_quality_with(scale, &ExecOptions::default())
+}
+
+/// [`route_quality`] with explicit execution options.
+pub fn route_quality_with(scale: &Scale, opts: &ExecOptions) -> RouteQuality {
+    let plan = SweepPlan::new(
+        ProtocolKind::ALL.to_vec(),
+        vec![72.0],
+        vec![scale.nodes],
+        scale.trials,
+        scale.seed,
+    );
+    let raw = sweep::run_plan(&plan, &scale.scenario(72.0, 10.0), opts);
+    let results = raw.cells.iter().map(|c| (c.protocol, c.aggregate.clone())).collect();
+    RouteQuality { results, raw }
 }
 
 /// Figure 6: aggregate delivered throughput per 4-second bin.
@@ -252,6 +285,8 @@ pub struct ThroughputSeries {
     pub rate_pps: f64,
     /// Mean kbps per 4 s bin, per protocol.
     pub results: Vec<(ProtocolKind, Vec<f64>)>,
+    /// The raw executed sweep behind the series.
+    pub raw: SweepResult<ProtocolKind>,
 }
 
 impl ThroughputSeries {
@@ -265,9 +300,11 @@ impl ThroughputSeries {
         let rows: Vec<Vec<String>> = (0..bins)
             .map(|b| {
                 let mut row = vec![format!("{}", (b + 1) * 4)];
-                row.extend(self.results.iter().map(|(_, v)| {
-                    v.get(b).map_or("-".into(), |x| format!("{x:.1}"))
-                }));
+                row.extend(
+                    self.results
+                        .iter()
+                        .map(|(_, v)| v.get(b).map_or("-".into(), |x| format!("{x:.1}"))),
+                );
                 row
             })
             .collect();
@@ -288,9 +325,11 @@ impl ThroughputSeries {
         let rows: Vec<Vec<String>> = (0..bins)
             .map(|b| {
                 let mut row = vec![format!("{}", (b + 1) * 4)];
-                row.extend(self.results.iter().map(|(_, v)| {
-                    v.get(b).map_or(String::new(), |x| format!("{x:.4}"))
-                }));
+                row.extend(
+                    self.results
+                        .iter()
+                        .map(|(_, v)| v.get(b).map_or(String::new(), |x| format!("{x:.4}"))),
+                );
                 row
             })
             .collect();
@@ -319,30 +358,48 @@ impl ThroughputSeries {
 /// Runs the Figure 6 experiment at the given per-flow load (the paper plots
 /// 20 pkt/s and 60 pkt/s aggregate-equivalents) at 36 km/h mean speed.
 pub fn throughput_timeseries(rate_pps: f64, scale: &Scale) -> ThroughputSeries {
-    let results = ProtocolKind::ALL
-        .iter()
-        .map(|&kind| {
-            let agg = run_aggregate(&scale.scenario(36.0, rate_pps), kind, scale.trials);
-            (kind, agg.throughput_kbps)
-        })
-        .collect();
-    ThroughputSeries { rate_pps, results }
+    throughput_timeseries_with(rate_pps, scale, &ExecOptions::default())
+}
+
+/// [`throughput_timeseries`] with explicit execution options.
+pub fn throughput_timeseries_with(
+    rate_pps: f64,
+    scale: &Scale,
+    opts: &ExecOptions,
+) -> ThroughputSeries {
+    let plan = SweepPlan::new(
+        ProtocolKind::ALL.to_vec(),
+        vec![36.0],
+        vec![scale.nodes],
+        scale.trials,
+        scale.seed,
+    );
+    let raw = sweep::run_plan(&plan, &scale.scenario(36.0, rate_pps), opts);
+    let results =
+        raw.cells.iter().map(|c| (c.protocol, c.aggregate.throughput_kbps.clone())).collect();
+    ThroughputSeries { rate_pps, results, raw }
 }
 
 /// Regenerates a figure by its id (`fig2a` … `fig6b`), returning the text
 /// report. Unknown ids return an error message listing valid ids.
 pub fn figure(id: &str, scale: &Scale) -> String {
+    figure_with(id, scale, &ExecOptions::default())
+}
+
+/// [`figure`] with explicit execution options.
+pub fn figure_with(id: &str, scale: &Scale, opts: &ExecOptions) -> String {
+    let all = &ProtocolKind::ALL;
     match id {
-        "fig2a" => speed_sweep(10.0, scale).delay_table(),
-        "fig2b" => speed_sweep(20.0, scale).delay_table(),
-        "fig3a" => speed_sweep(10.0, scale).delivery_table(),
-        "fig3b" => speed_sweep(20.0, scale).delivery_table(),
-        "fig4a" => speed_sweep(10.0, scale).overhead_table(),
-        "fig4b" => speed_sweep(20.0, scale).overhead_table(),
-        "fig5a" => route_quality(scale).link_throughput_table(),
-        "fig5b" => route_quality(scale).hops_table(),
-        "fig6a" => throughput_timeseries(20.0, scale).table(),
-        "fig6b" => throughput_timeseries(60.0, scale).table(),
+        "fig2a" => speed_sweep_with(10.0, scale, all, opts).delay_table(),
+        "fig2b" => speed_sweep_with(20.0, scale, all, opts).delay_table(),
+        "fig3a" => speed_sweep_with(10.0, scale, all, opts).delivery_table(),
+        "fig3b" => speed_sweep_with(20.0, scale, all, opts).delivery_table(),
+        "fig4a" => speed_sweep_with(10.0, scale, all, opts).overhead_table(),
+        "fig4b" => speed_sweep_with(20.0, scale, all, opts).overhead_table(),
+        "fig5a" => route_quality_with(scale, opts).link_throughput_table(),
+        "fig5b" => route_quality_with(scale, opts).hops_table(),
+        "fig6a" => throughput_timeseries_with(20.0, scale, opts).table(),
+        "fig6b" => throughput_timeseries_with(60.0, scale, opts).table(),
         other => format!(
             "unknown figure id {other:?}; valid: fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b fig6a fig6b"
         ),
@@ -353,16 +410,39 @@ pub fn figure(id: &str, scale: &Scale) -> String {
 pub const FIGURE_IDS: [&str; 10] =
     ["fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b"];
 
+/// Everything one full experiment run produces: the rendered figures and
+/// the raw sweeps behind them (for the JSON artifact).
+#[derive(Debug, Clone)]
+pub struct FigureSet {
+    /// `(figure id, rendered table)` pairs in paper order.
+    pub figures: Vec<(&'static str, String)>,
+    /// The labeled raw sweeps the figures were rendered from.
+    pub sweeps: Vec<(String, SweepResult<ProtocolKind>)>,
+}
+
+impl FigureSet {
+    /// Renders the raw sweeps as the `sweep_results.json` artifact.
+    pub fn sweeps_json(&self, meta: &[(&str, String)]) -> String {
+        sweep::sweeps_json(&self.sweeps, meta)
+    }
+}
+
 /// Regenerates *every* figure, sharing the underlying sweeps (figures 2/3/4
 /// at one load come from a single sweep; 5a/5b from one experiment).
 /// Returns `(figure id, rendered table)` pairs in paper order.
 pub fn run_all(scale: &Scale) -> Vec<(&'static str, String)> {
-    let sweep10 = speed_sweep(10.0, scale);
-    let sweep20 = speed_sweep(20.0, scale);
-    let quality = route_quality(scale);
-    let ts20 = throughput_timeseries(20.0, scale);
-    let ts60 = throughput_timeseries(60.0, scale);
-    vec![
+    run_all_with(scale, &ExecOptions::default()).figures
+}
+
+/// [`run_all`] with explicit execution options, also returning the raw
+/// sweeps for the machine-readable artifact.
+pub fn run_all_with(scale: &Scale, opts: &ExecOptions) -> FigureSet {
+    let sweep10 = speed_sweep_with(10.0, scale, &ProtocolKind::ALL, opts);
+    let sweep20 = speed_sweep_with(20.0, scale, &ProtocolKind::ALL, opts);
+    let quality = route_quality_with(scale, opts);
+    let ts20 = throughput_timeseries_with(20.0, scale, opts);
+    let ts60 = throughput_timeseries_with(60.0, scale, opts);
+    let figures = vec![
         ("fig2a", sweep10.delay_table()),
         ("fig2b", sweep20.delay_table()),
         ("fig3a", sweep10.delivery_table()),
@@ -373,7 +453,15 @@ pub fn run_all(scale: &Scale) -> Vec<(&'static str, String)> {
         ("fig5b", quality.hops_table()),
         ("fig6a", ts20.table()),
         ("fig6b", ts60.table()),
-    ]
+    ];
+    let sweeps = vec![
+        ("speed_sweep_10pps".to_string(), sweep10.raw),
+        ("speed_sweep_20pps".to_string(), sweep20.raw),
+        ("route_quality_72kmh".to_string(), quality.raw),
+        ("throughput_20pps".to_string(), ts20.raw),
+        ("throughput_60pps".to_string(), ts60.raw),
+    ];
+    FigureSet { figures, sweeps }
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 //!
 //! [`Scenario`] describes one configuration; [`Scenario::run`] executes a
 //! single deterministic trial, [`run_trials`] fans 25 seeded trials out
-//! over threads, and [`experiments`] regenerates every figure of the paper.
+//! over the `rica-exec` worker pool, [`sweep`] executes whole declarative
+//! sweep plans (protocols × speeds × node counts × trials) through that
+//! engine, and [`experiments`] regenerates every figure of the paper.
 //!
 //! ```
 //! use rica_harness::{ProtocolKind, Scenario};
@@ -37,9 +39,10 @@
 pub mod experiments;
 mod runner;
 mod scenario;
+pub mod sweep;
 mod world;
 
-pub use runner::{run_aggregate, run_trials};
+pub use runner::{run_aggregate, run_aggregate_with, run_trials, run_trials_with};
 pub use scenario::{Flow, ProtocolKind, Scenario, ScenarioBuilder};
 pub use world::World;
 

@@ -1,43 +1,48 @@
 //! Multi-trial execution (the paper averages 25 seeded trials per point).
+//!
+//! Since the `rica-exec` engine landed, this module is a thin veneer:
+//! trials become jobs on its deterministic worker pool, so results are
+//! identical for any worker count (see `tests/determinism.rs`).
 
+use rica_exec::{run_jobs, ExecOptions};
 use rica_metrics::{Aggregate, TrialSummary};
 
 use crate::{ProtocolKind, Scenario, World};
 
-/// Runs `trials` independent trials (seeds `scenario.seed + 0..trials`),
-/// fanned out over available CPU cores, in deterministic result order.
+/// Runs `trials` independent trials (seeds `scenario.seed + 0..trials`)
+/// over the default worker pool (available parallelism, or
+/// `RICA_WORKERS`), in deterministic result order.
 pub fn run_trials(scenario: &Scenario, kind: ProtocolKind, trials: usize) -> Vec<TrialSummary> {
+    run_trials_with(scenario, kind, trials, &ExecOptions::default())
+}
+
+/// [`run_trials`] with explicit execution options (worker count,
+/// progress reporting).
+pub fn run_trials_with(
+    scenario: &Scenario,
+    kind: ProtocolKind,
+    trials: usize,
+    opts: &ExecOptions,
+) -> Vec<TrialSummary> {
     assert!(trials > 0, "need at least one trial");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = threads.min(trials);
-    if threads <= 1 {
-        return (0..trials)
-            .map(|i| World::new(scenario, kind, scenario.seed + i as u64).run())
-            .collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<TrialSummary>> = vec![None; trials];
-    let slots: Vec<std::sync::Mutex<&mut Option<TrialSummary>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let summary = World::new(scenario, kind, scenario.seed + i as u64).run();
-                **slots[i].lock().expect("slot lock") = Some(summary);
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("every trial ran")).collect()
+    let seeds: Vec<u64> = (0..trials).map(|i| scenario.seed + i as u64).collect();
+    run_jobs(&seeds, opts, &|&seed: &u64| World::new(scenario, kind, seed).run())
 }
 
 /// Runs `trials` trials and aggregates them (mean ± std per metric), as the
 /// paper's plotted points do.
 pub fn run_aggregate(scenario: &Scenario, kind: ProtocolKind, trials: usize) -> Aggregate {
     Aggregate::from_trials(&run_trials(scenario, kind, trials))
+}
+
+/// [`run_aggregate`] with explicit execution options.
+pub fn run_aggregate_with(
+    scenario: &Scenario,
+    kind: ProtocolKind,
+    trials: usize,
+    opts: &ExecOptions,
+) -> Aggregate {
+    Aggregate::from_trials(&run_trials_with(scenario, kind, trials, opts))
 }
 
 #[cfg(test)]
@@ -57,10 +62,9 @@ mod tests {
     #[test]
     fn parallel_trials_match_sequential() {
         let s = tiny();
-        let parallel = run_trials(&s, ProtocolKind::Aodv, 4);
-        let sequential: Vec<_> = (0..4)
-            .map(|i| World::new(&s, ProtocolKind::Aodv, s.seed + i as u64).run())
-            .collect();
+        let parallel = run_trials_with(&s, ProtocolKind::Aodv, 4, &ExecOptions::with_workers(4));
+        let sequential: Vec<_> =
+            (0..4).map(|i| World::new(&s, ProtocolKind::Aodv, s.seed + i as u64).run()).collect();
         assert_eq!(parallel, sequential, "threading must not change results");
     }
 

@@ -123,10 +123,7 @@ impl Scenario {
     /// The paper's full-scale §III.A environment at the given mean speed
     /// and load.
     pub fn paper(mean_speed_kmh: f64, rate_pps: f64) -> Scenario {
-        Scenario::builder()
-            .mean_speed_kmh(mean_speed_kmh)
-            .rate_pps(rate_pps)
-            .build()
+        Scenario::builder().mean_speed_kmh(mean_speed_kmh).rate_pps(rate_pps).build()
     }
 
     /// Per-flow offered rate in kbps (payload + header), as the BGCA guard

@@ -1,0 +1,148 @@
+//! Harness-level bindings for the `rica-exec` execution engine.
+//!
+//! `rica-exec` is deliberately ignorant of what a scenario is: its
+//! [`SweepPlan`] carries protocol labels, speeds, node counts and trial
+//! seeds, and the caller supplies the function that turns one
+//! [`TrialJob`] into a [`TrialSummary`](rica_metrics::TrialSummary).
+//! This module supplies that function for the paper's simulator: a base
+//! [`Scenario`] acts as the template, and each job overrides the swept
+//! axes (nodes, mean speed) before running one seeded [`World`] trial.
+
+use rica_exec::{ExecOptions, SweepPlan, SweepResult, TrialJob};
+use rica_metrics::TrialSummary;
+
+use crate::{ProtocolKind, Scenario, World};
+
+/// Runs one job of a plan against the template scenario.
+///
+/// # Panics
+///
+/// Panics if the job's node count breaks a template invariant the
+/// builder would normally enforce: fewer than 2 nodes, or a template
+/// with pinned positions whose length differs from the job's node count
+/// (pinned topologies cannot be node-count swept).
+pub fn run_job(base: &Scenario, job: &TrialJob<ProtocolKind>) -> TrialSummary {
+    assert!(job.nodes >= 2, "sweep node count must be at least 2, got {}", job.nodes);
+    if let Some(pinned) = &base.pinned_positions {
+        assert!(
+            pinned.len() == job.nodes,
+            "template pins {} positions but the plan asks for {} nodes; \
+             pinned topologies cannot be node-count swept",
+            pinned.len(),
+            job.nodes
+        );
+    }
+    let mut scenario = base.clone();
+    scenario.nodes = job.nodes;
+    scenario.mean_speed_kmh = job.speed_kmh;
+    World::new(&scenario, job.protocol, job.seed).run()
+}
+
+/// Executes `plan` over the worker pool: every job runs `base` with the
+/// job's node count, mean speed, protocol and seed.
+///
+/// The template's own `nodes`, `mean_speed_kmh` and `seed` are ignored —
+/// the plan's axes are authoritative.
+pub fn run_plan(
+    plan: &SweepPlan<ProtocolKind>,
+    base: &Scenario,
+    opts: &ExecOptions,
+) -> SweepResult<ProtocolKind> {
+    plan.run(opts, |job| run_job(base, job))
+}
+
+/// Renders a labeled set of executed sweeps as one JSON artifact
+/// (`sweep_results.json`): `{"schema":1,"meta":{..},"sweeps":{label:
+/// <exec sweep document>, ..}}`.
+pub fn sweeps_json(
+    sweeps: &[(String, SweepResult<ProtocolKind>)],
+    meta: &[(&str, String)],
+) -> String {
+    let mut out = String::from("{\"schema\":1,\"meta\":{");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rica_exec::json_string(k));
+        out.push(':');
+        out.push_str(&rica_exec::json_string(v));
+    }
+    out.push_str("},\"sweeps\":{");
+    for (i, (label, sweep)) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rica_exec::json_string(label));
+        out.push(':');
+        out.push_str(&rica_exec::sweep_json(sweep, |k| k.name().to_string(), &[]));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> Scenario {
+        Scenario::builder()
+            .nodes(8)
+            .flows(2)
+            .duration_secs(6.0)
+            .mean_speed_kmh(18.0)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn plan_axes_override_template() {
+        let base = tiny_base();
+        let plan = SweepPlan::new(vec![ProtocolKind::Aodv], vec![36.0], vec![6], 1, 7);
+        let result = run_plan(&plan, &base, &ExecOptions::serial());
+        let direct = {
+            let mut s = base.clone();
+            s.nodes = 6;
+            s.mean_speed_kmh = 36.0;
+            s.run_seeded(ProtocolKind::Aodv, 7)
+        };
+        assert_eq!(result.cells.len(), 1);
+        assert_eq!(result.cells[0].trials[0], direct);
+    }
+
+    #[test]
+    fn json_artifact_nests_sweeps() {
+        let base = tiny_base();
+        let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![0.0], vec![6], 1, 1);
+        let result = run_plan(&plan, &base, &ExecOptions::serial());
+        let doc = sweeps_json(&[("fig2".to_string(), result)], &[("scale", "test".to_string())]);
+        assert!(doc.contains("\"sweeps\":{\"fig2\":{"));
+        assert!(doc.contains("\"scale\":\"test\""));
+        assert!(doc.contains("\"protocol\":\"RICA\""));
+    }
+
+    #[test]
+    fn json_artifact_escapes_meta_strings() {
+        let base = tiny_base();
+        let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![0.0], vec![6], 1, 1);
+        let result = run_plan(&plan, &base, &ExecOptions::serial());
+        // Control characters and quotes must come out as legal JSON
+        // escapes, not Rust Debug notation (`\u{1b}` / `\0`).
+        let doc = sweeps_json(
+            &[("la\"bel".to_string(), result)],
+            &[("note", "esc\u{1b}and\0nul".to_string())],
+        );
+        assert!(doc.contains("\"la\\\"bel\""));
+        assert!(doc.contains("esc\\u001band\\u0000nul"));
+        assert!(!doc.contains("u{1b}"), "Rust Debug escapes are not JSON: {doc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be node-count swept")]
+    fn pinned_template_rejects_node_sweep() {
+        let mut base = tiny_base();
+        base.pinned_positions =
+            Some((0..8).map(|i| rica_mobility::Vec2::new(i as f64 * 10.0, 0.0)).collect());
+        let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![0.0], vec![30], 1, 1);
+        run_plan(&plan, &base, &ExecOptions::serial());
+    }
+}

@@ -1,11 +1,11 @@
 //! The discrete-event world: nodes, MAC, data plane, dispatch loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rica_channel::{ChannelClass, ChannelModel};
 use rica_mac::{backoff_delay, CommonMedium, TxId};
-use rica_mobility::{kmh_to_ms, Vec2, Waypoint};
 use rica_metrics::{Metrics, TrialSummary};
+use rica_mobility::{kmh_to_ms, Vec2, Waypoint};
 use rica_net::{
     ControlPacket, DataPacket, DropReason, FlowId, LinkQueue, NodeCtx, NodeId, ProtocolConfig,
     RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
@@ -68,7 +68,7 @@ struct NodeState {
     mac_scheduled: bool,
     /// Consecutive busy carrier senses for the head packet.
     mac_attempts: u32,
-    links: HashMap<usize, DataLink>,
+    links: BTreeMap<usize, DataLink>,
 }
 
 /// One fully-wired simulation run: 50 mobile terminals, the channel, the
@@ -87,7 +87,7 @@ pub struct World<'s> {
     flows: Vec<Flow>,
     flow_seq: Vec<u64>,
     flow_rng: Vec<Rng>,
-    timer_tokens: HashMap<u64, EventToken>,
+    timer_tokens: BTreeMap<u64, EventToken>,
     next_timer_token: u64,
     /// Crashed terminals (failure injection).
     dead: Vec<bool>,
@@ -117,7 +117,9 @@ impl<'s> World<'s> {
         let nodes: Vec<NodeState> = (0..scenario.nodes)
             .map(|i| {
                 let mobility = match &scenario.pinned_positions {
-                    Some(ps) => Waypoint::pinned(scenario.field, ps[i], master.fork(1_000 + i as u64)),
+                    Some(ps) => {
+                        Waypoint::pinned(scenario.field, ps[i], master.fork(1_000 + i as u64))
+                    }
                     None => Waypoint::new(
                         scenario.field,
                         max_speed_ms,
@@ -131,14 +133,13 @@ impl<'s> World<'s> {
                     ctrl_queue: VecDeque::new(),
                     mac_scheduled: false,
                     mac_attempts: 0,
-                    links: HashMap::new(),
+                    links: BTreeMap::new(),
                 }
             })
             .collect();
         let protos: Vec<Box<dyn RoutingProtocol>> =
             (0..scenario.nodes).map(|_| kind.make()).collect();
-        let flow_rng: Vec<Rng> =
-            (0..flows.len()).map(|i| master.fork(4_000 + i as u64)).collect();
+        let flow_rng: Vec<Rng> = (0..flows.len()).map(|i| master.fork(4_000 + i as u64)).collect();
         World {
             scenario,
             sim: Simulator::new(),
@@ -150,7 +151,7 @@ impl<'s> World<'s> {
             flow_seq: vec![0; flows.len()],
             flows,
             flow_rng,
-            timer_tokens: HashMap::new(),
+            timer_tokens: BTreeMap::new(),
             next_timer_token: 0,
             dead: vec![false; scenario.nodes],
             end: SimTime::ZERO + scenario.duration,
@@ -192,17 +193,12 @@ impl<'s> World<'s> {
         }
         // Schedule injected failures.
         for &(secs, node) in &self.scenario.node_failures {
-            self.sim.schedule_at(
-                SimTime::from_secs_f64(secs),
-                Event::Crash { node: node.index() },
-            );
+            self.sim.schedule_at(SimTime::from_secs_f64(secs), Event::Crash { node: node.index() });
         }
         // Prime the traffic processes.
         for f in 0..self.flows.len() {
-            let gap = rica_net::poisson::next_interarrival(
-                &mut self.flow_rng[f],
-                self.flows[f].rate_pps,
-            );
+            let gap =
+                rica_net::poisson::next_interarrival(&mut self.flow_rng[f], self.flows[f].rate_pps);
             self.sim.schedule_in(gap, Event::Traffic { flow: f });
         }
     }
@@ -306,8 +302,7 @@ impl<'s> World<'s> {
         }
         let seq = self.flow_seq[flow];
         self.flow_seq[flow] += 1;
-        let pkt =
-            DataPacket::new(FlowId(flow as u32), seq, f.src, f.dst, f.packet_bytes, now);
+        let pkt = DataPacket::new(FlowId(flow as u32), seq, f.src, f.dst, f.packet_bytes, now);
         self.metrics.on_generated();
         self.dispatch(f.src.index(), move |proto, ctx| proto.on_data(ctx, pkt, None));
         let gap = rica_net::poisson::next_interarrival(&mut self.flow_rng[flow], f.rate_pps);
@@ -416,8 +411,11 @@ impl<'s> World<'s> {
         // Unicast MAC-level retransmission on failure.
         if let Some(_t) = out.target {
             if !target_delivered && out.retries < self.scenario.mac.ctrl_retry_limit {
-                let retry =
-                    OutgoingCtrl { pkt: out.pkt.clone(), target: out.target, retries: out.retries + 1 };
+                let retry = OutgoingCtrl {
+                    pkt: out.pkt.clone(),
+                    target: out.target,
+                    retries: out.retries + 1,
+                };
                 self.nodes[node].ctrl_queue.push_front(retry);
             }
         }
@@ -467,11 +465,8 @@ impl<'s> World<'s> {
         let Some(pkt) = pkt else { return };
         let class = self.link_class(from, to);
         let dur = Self::attempt_duration(&pkt, class);
-        self.nodes[from]
-            .links
-            .get_mut(&to)
-            .expect("link exists")
-            .in_flight = Some(InFlight { pkt, tries: 0, class });
+        self.nodes[from].links.get_mut(&to).expect("link exists").in_flight =
+            Some(InFlight { pkt, tries: 0, class });
         self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
     }
 
@@ -518,13 +513,9 @@ impl<'s> World<'s> {
                     });
                 } else {
                     let class = self.link_class(from, to);
-                    let dur =
-                        Self::attempt_duration(&inflight.pkt, class) + DATA_RETRY_BACKOFF;
-                    self.nodes[from]
-                        .links
-                        .get_mut(&to)
-                        .expect("link exists")
-                        .in_flight = Some(InFlight { pkt: inflight.pkt, tries, class });
+                    let dur = Self::attempt_duration(&inflight.pkt, class) + DATA_RETRY_BACKOFF;
+                    self.nodes[from].links.get_mut(&to).expect("link exists").in_flight =
+                        Some(InFlight { pkt: inflight.pkt, tries, class });
                     self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
                 }
             }
@@ -629,10 +620,7 @@ impl NodeCtx for Ctx<'_, '_> {
     }
 
     fn data_queue_len(&self, neighbor: NodeId) -> usize {
-        self.world.nodes[self.node]
-            .links
-            .get(&neighbor.index())
-            .map_or(0, |l| l.queue.len())
+        self.world.nodes[self.node].links.get(&neighbor.index()).map_or(0, |l| l.queue.len())
     }
 
     fn data_queue_total(&self) -> usize {
@@ -758,11 +746,7 @@ mod tests {
         for kind in ProtocolKind::ALL {
             let r = s.run(kind);
             assert!(r.delivered > 0, "{kind}: nothing delivered");
-            assert!(
-                (r.avg_hops - 3.0).abs() < 0.01,
-                "{kind}: expected 3 hops, got {}",
-                r.avg_hops
-            );
+            assert!((r.avg_hops - 3.0).abs() < 0.01, "{kind}: expected 3 hops, got {}", r.avg_hops);
         }
     }
 

@@ -68,10 +68,7 @@ impl CommonMedium {
     /// at `pos` at instant `now`?
     pub fn is_busy_near(&self, sensing_node: u32, pos: Vec2, now: SimTime) -> bool {
         self.active.iter().any(|t| {
-            t.tx_node != sensing_node
-                && t.start <= now
-                && now < t.end
-                && self.in_range(pos, t.pos)
+            t.tx_node != sensing_node && t.start <= now && now < t.end && self.in_range(pos, t.pos)
         })
     }
 

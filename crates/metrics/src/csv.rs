@@ -42,10 +42,7 @@ mod tests {
 
     #[test]
     fn quoting() {
-        let doc = csv_document(
-            &["label"],
-            &[vec!["has,comma".into()], vec!["has\"quote".into()]],
-        );
+        let doc = csv_document(&["label"], &[vec!["has,comma".into()], vec!["has\"quote".into()]]);
         assert_eq!(doc, "label\n\"has,comma\"\n\"has\"\"quote\"\n");
     }
 

@@ -234,8 +234,8 @@ impl TrialSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rica_net::{FlowId, NodeId};
     use rica_channel::ChannelClass;
+    use rica_net::{FlowId, NodeId};
 
     fn pkt_with_hops(classes: &[ChannelClass], created: f64) -> DataPacket {
         let mut p = DataPacket::new(

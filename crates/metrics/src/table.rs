@@ -65,10 +65,7 @@ mod tests {
         let t = format_table(
             &["name", "value"],
             &[Align::Left, Align::Right],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "123.45".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "123.45".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

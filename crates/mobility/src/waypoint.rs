@@ -126,7 +126,8 @@ impl Waypoint {
                     }
                     self.from = to;
                     self.leg_start = arrive;
-                    let until = arrive.saturating_add(rica_sim::SimDuration::from_secs_f64(self.pause));
+                    let until =
+                        arrive.saturating_add(rica_sim::SimDuration::from_secs_f64(self.pause));
                     self.leg = Leg::Paused { until };
                 }
             }

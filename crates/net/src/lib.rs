@@ -30,14 +30,18 @@ mod config;
 mod ids;
 mod packet;
 mod pending;
-mod queue;
 pub mod poisson;
+mod queue;
 mod routing;
 pub mod testing;
 
 pub use config::ProtocolConfig;
 pub use ids::{FlowId, NodeId};
-pub use packet::{ControlKind, ControlPacket, DataPacket, LsuEntry, DATA_ACK_BYTES, DATA_HEADER_BYTES};
+pub use packet::{
+    ControlKind, ControlPacket, DataPacket, LsuEntry, DATA_ACK_BYTES, DATA_HEADER_BYTES,
+};
 pub use pending::PendingBuffer;
 pub use queue::LinkQueue;
-pub use routing::{DropReason, NodeCtx, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot};
+pub use routing::{
+    DropReason, NodeCtx, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot,
+};

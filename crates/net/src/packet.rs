@@ -311,18 +311,57 @@ mod tests {
     #[test]
     fn control_sizes_positive_and_stable() {
         let pkts = [
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(1), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(1), seq: 0, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(1),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             ControlPacket::CsiCheck {
-                src: NodeId(0), dst: NodeId(1), bcast_id: 0, csi_hops: 0.0, ttl: 3, received_from: None,
+                src: NodeId(0),
+                dst: NodeId(1),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                ttl: 3,
+                received_from: None,
             },
             ControlPacket::Rupd { src: NodeId(0), dst: NodeId(1) },
             ControlPacket::Rerr { src: NodeId(0), dst: NodeId(1), reporter: NodeId(2) },
             ControlPacket::Beacon,
             ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: vec![], down: vec![] },
-            ControlPacket::Bq { src: NodeId(0), dst: NodeId(1), bcast_id: 0, topo_hops: 0, stable_links: 0, load: 0 },
-            ControlPacket::Lq { src: NodeId(0), dst: NodeId(1), origin: NodeId(2), bcast_id: 0, ttl: 2, csi_hops: 0.0, topo_hops: 0 },
-            ControlPacket::LqRep { src: NodeId(0), dst: NodeId(1), origin: NodeId(2), seq: 0, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Bq {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bcast_id: 0,
+                topo_hops: 0,
+                stable_links: 0,
+                load: 0,
+            },
+            ControlPacket::Lq {
+                src: NodeId(0),
+                dst: NodeId(1),
+                origin: NodeId(2),
+                bcast_id: 0,
+                ttl: 2,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
+            ControlPacket::LqRep {
+                src: NodeId(0),
+                dst: NodeId(1),
+                origin: NodeId(2),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
         ];
         for p in &pkts {
             assert!(p.size_bytes() >= 8, "{:?}", p.kind());
@@ -335,8 +374,7 @@ mod tests {
 
     #[test]
     fn lsu_size_grows_with_entries() {
-        let empty =
-            ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: vec![], down: vec![] };
+        let empty = ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: vec![], down: vec![] };
         let three = ControlPacket::Lsu {
             origin: NodeId(0),
             seq: 0,

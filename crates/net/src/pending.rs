@@ -1,6 +1,6 @@
 //! Source-side buffer for data packets awaiting route discovery.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rica_sim::{SimDuration, SimTime};
 
@@ -16,7 +16,7 @@ use crate::{DataPacket, NodeId};
 pub struct PendingBuffer {
     cap_per_dst: usize,
     max_residency: SimDuration,
-    by_dst: HashMap<NodeId, VecDeque<(DataPacket, SimTime)>>,
+    by_dst: BTreeMap<NodeId, VecDeque<(DataPacket, SimTime)>>,
 }
 
 impl PendingBuffer {
@@ -28,7 +28,7 @@ impl PendingBuffer {
     /// Panics if `cap_per_dst` is zero.
     pub fn new(cap_per_dst: usize, max_residency: SimDuration) -> Self {
         assert!(cap_per_dst > 0, "pending capacity must be > 0");
-        PendingBuffer { cap_per_dst, max_residency, by_dst: HashMap::new() }
+        PendingBuffer { cap_per_dst, max_residency, by_dst: BTreeMap::new() }
     }
 
     /// Buffers `pkt` at time `now`. Returns the packet back if the

@@ -51,11 +51,7 @@ impl LinkQueue {
     /// Dequeues the next packet that has *not* exceeded its residency limit,
     /// collecting every expired packet encountered on the way into
     /// `expired`.
-    pub fn pop_fresh(
-        &mut self,
-        now: SimTime,
-        expired: &mut Vec<DataPacket>,
-    ) -> Option<DataPacket> {
+    pub fn pop_fresh(&mut self, now: SimTime, expired: &mut Vec<DataPacket>) -> Option<DataPacket> {
         while let Some((pkt, enq_at)) = self.items.pop_front() {
             if now.saturating_since(enq_at) > self.max_residency {
                 expired.push(pkt);

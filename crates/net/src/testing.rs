@@ -93,7 +93,7 @@ impl ScriptedCtx {
 
     /// Advances the simulated clock.
     pub fn advance(&mut self, by: SimDuration) {
-        self.now = self.now + by;
+        self.now += by;
     }
 
     /// Scripts the measured class of the link to `neighbor` (`None` = out

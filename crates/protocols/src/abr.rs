@@ -3,11 +3,11 @@
 //! awareness, and localized-query (LQ) repair at the break point while data
 //! waits in the repairing terminal.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
-    RxInfo, Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
+    Timer, TimerToken,
 };
 use rica_sim::SimTime;
 
@@ -33,21 +33,21 @@ impl Score {
 #[derive(Debug, Default)]
 pub struct Abr {
     /// Associativity ticks per neighbour: (consecutive beacons, last heard).
-    ticks: HashMap<NodeId, (u32, SimTime)>,
+    ticks: BTreeMap<NodeId, (u32, SimTime)>,
     /// BQ dedup + reverse pointers: `(flow, bcast) → upstream`.
-    reverse: HashMap<(FlowKey, u64), NodeId>,
+    reverse: BTreeMap<(FlowKey, u64), NodeId>,
     /// LQ dedup + reverse pointers: `(flow, origin, bcast) → towards origin`.
-    lq_reverse: HashMap<(FlowKey, NodeId, u64), NodeId>,
+    lq_reverse: BTreeMap<(FlowKey, NodeId, u64), NodeId>,
     /// Per-flow route entries.
-    routes: HashMap<FlowKey, FlowEntry>,
+    routes: BTreeMap<FlowKey, FlowEntry>,
     /// Destination-side BQ collection window per source.
-    windows: HashMap<NodeId, (u64, Score, NodeId)>,
+    windows: BTreeMap<NodeId, (u64, Score, NodeId)>,
     /// Destination-side: highest BQ flood already answered, per source.
-    replied: HashMap<NodeId, u64>,
+    replied: BTreeMap<NodeId, u64>,
     /// Source-side discovery state per destination.
-    discovery: HashMap<NodeId, (u64, u32, TimerToken)>,
+    discovery: BTreeMap<NodeId, (u64, u32, TimerToken)>,
     /// In-progress local repairs per flow.
-    repairs: HashMap<FlowKey, Repair>,
+    repairs: BTreeMap<FlowKey, Repair>,
     pending: Option<PendingBuffer>,
     next_bcast: u64,
     next_lq: u64,
@@ -138,13 +138,8 @@ impl Abr {
         let bcast_id = self.next_lq;
         self.next_lq += 1;
         let slack = ctx.config().lq_ttl_slack;
-        let ttl = self
-            .routes
-            .get(&key)
-            .map(|e| e.hops_to_dst)
-            .unwrap_or(2)
-            .saturating_add(slack)
-            .max(1);
+        let ttl =
+            self.routes.get(&key).map(|e| e.hops_to_dst).unwrap_or(2).saturating_add(slack).max(1);
         self.repairs.insert(key, Repair { bcast_id, held, link_down: true });
         if let Some(e) = self.routes.get_mut(&key) {
             e.downstream = None;
@@ -407,10 +402,7 @@ impl RoutingProtocol for Abr {
                 ctx.send_data(nh, pkt);
             }
             _ => {
-                ctx.unicast(
-                    rx.from,
-                    ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me },
-                );
+                ctx.unicast(rx.from, ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me });
                 ctx.drop_data(pkt, DropReason::NoRoute);
             }
         }
@@ -459,12 +451,11 @@ impl RoutingProtocol for Abr {
                     },
                 );
             }
-            Timer::LqTimeout { src, dst } => {
+            Timer::LqTimeout { src, dst }
                 // Still repairing when the deadline hits: give up.
-                if self.repairs.contains_key(&(src, dst)) {
+                if self.repairs.contains_key(&(src, dst)) => {
                     self.fail_repair(ctx, (src, dst));
                 }
-            }
             _ => {}
         }
     }
@@ -483,7 +474,7 @@ impl RoutingProtocol for Abr {
         let now = ctx.now();
         self.ticks.remove(&neighbor);
         // Group the stranded packets per flow.
-        let mut per_flow: HashMap<FlowKey, Vec<DataPacket>> = HashMap::new();
+        let mut per_flow: BTreeMap<FlowKey, Vec<DataPacket>> = BTreeMap::new();
         for pkt in undelivered {
             per_flow.entry((pkt.src, pkt.dst)).or_default().push(pkt);
         }
@@ -566,7 +557,14 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Bq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: 1, stable_links: 1, load: 2 },
+            ControlPacket::Bq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                topo_hops: 1,
+                stable_links: 1,
+                load: 2,
+            },
             rx(1),
         );
         match &ctx.broadcasts[0] {
@@ -609,7 +607,12 @@ mod tests {
         let mut ctx = ScriptedCtx::new(NodeId(9));
         let mut p = Abr::new();
         let bq = |stable: u8, topo: u8, load: u32| ControlPacket::Bq {
-            src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: topo, stable_links: stable, load,
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            topo_hops: topo,
+            stable_links: stable,
+            load,
         };
         p.on_control(&mut ctx, bq(2, 3, 9), rx(1));
         p.on_control(&mut ctx, bq(2, 6, 2), rx(2)); // lighter load wins
@@ -626,12 +629,25 @@ mod tests {
         // Establish a route as relay: BQ then RREP.
         p.on_control(
             &mut ctx,
-            ControlPacket::Bq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: 0, stable_links: 0, load: 0 },
+            ControlPacket::Bq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                topo_hops: 0,
+                stable_links: 0,
+                load: 0,
+            },
             rx(1),
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 3,
+            },
             rx(7),
         );
         ctx.clear_actions();
@@ -646,7 +662,14 @@ mod tests {
         // The destination answers: packets flush along the partial route.
         p.on_control(
             &mut ctx,
-            ControlPacket::LqRep { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), seq: 0, csi_hops: 1.0, topo_hops: 2 },
+            ControlPacket::LqRep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                origin: NodeId(5),
+                seq: 0,
+                csi_hops: 1.0,
+                topo_hops: 2,
+            },
             rx(8),
         );
         assert_eq!(ctx.sent_data.len(), 2, "held packets released");
@@ -660,12 +683,25 @@ mod tests {
         let mut p = Abr::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Bq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, topo_hops: 0, stable_links: 0, load: 0 },
+            ControlPacket::Bq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                topo_hops: 0,
+                stable_links: 0,
+                load: 0,
+            },
             rx(1),
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 3,
+            },
             rx(7),
         );
         ctx.clear_actions();
@@ -693,19 +729,32 @@ mod tests {
         let mut relay = Abr::new();
         relay.on_control(
             &mut relay_ctx,
-            ControlPacket::Lq { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), bcast_id: 3, ttl: 2, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Lq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                origin: NodeId(5),
+                bcast_id: 3,
+                ttl: 2,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             rx(5),
         );
-        assert!(matches!(
-            relay_ctx.broadcasts[0],
-            ControlPacket::Lq { ttl: 1, topo_hops: 1, .. }
-        ));
+        assert!(matches!(relay_ctx.broadcasts[0], ControlPacket::Lq { ttl: 1, topo_hops: 1, .. }));
         // Destination replies immediately to the first copy.
         let mut dst_ctx = ScriptedCtx::new(NodeId(9));
         let mut dst = Abr::new();
         dst.on_control(
             &mut dst_ctx,
-            ControlPacket::Lq { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), bcast_id: 3, ttl: 1, csi_hops: 1.0, topo_hops: 1 },
+            ControlPacket::Lq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                origin: NodeId(5),
+                bcast_id: 3,
+                ttl: 1,
+                csi_hops: 1.0,
+                topo_hops: 1,
+            },
             rx(6),
         );
         assert!(matches!(
@@ -721,7 +770,13 @@ mod tests {
         p.on_data(&mut ctx, data(0, 9, 0), None);
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 2 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 2,
+            },
             rx(4),
         );
         ctx.clear_actions();

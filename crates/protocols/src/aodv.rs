@@ -1,11 +1,11 @@
 //! AODV in the paper's variant (§III.B): destination answers only the first
 //! RREQ copy; no channel awareness; break → REER to source → full re-flood.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
-    RxInfo, Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
+    Timer, TimerToken,
 };
 use rica_sim::SimTime;
 
@@ -26,15 +26,15 @@ struct Route {
 #[derive(Debug, Default)]
 pub struct Aodv {
     /// `(flow, bcast) → upstream`: dedup + reverse pointer.
-    reverse: HashMap<(FlowKey, u64), NodeId>,
+    reverse: BTreeMap<(FlowKey, u64), NodeId>,
     /// At a destination: highest flood id already answered, per source.
-    replied: HashMap<NodeId, u64>,
+    replied: BTreeMap<NodeId, u64>,
     /// Destination-keyed forwarding table.
-    routes: HashMap<NodeId, Route>,
+    routes: BTreeMap<NodeId, Route>,
     /// Per-flow upstream neighbour (learned from passing data packets).
-    flow_upstream: HashMap<FlowKey, NodeId>,
+    flow_upstream: BTreeMap<FlowKey, NodeId>,
     /// Source-side discovery state per destination.
-    discovery: HashMap<NodeId, (u64, u32, TimerToken)>,
+    discovery: BTreeMap<NodeId, (u64, u32, TimerToken)>,
     pending: Option<PendingBuffer>,
     next_bcast: u64,
 }
@@ -314,7 +314,13 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             RxInfo { from: NodeId(0), class: ChannelClass::D },
         );
         match &ctx.broadcasts[0] {
@@ -334,7 +340,13 @@ mod tests {
         assert_eq!(ctx.broadcasts.len(), 1);
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 3,
+            },
             rx(4),
         );
         assert_eq!(p.next_hop_to(NodeId(9)), Some(NodeId(4)));
@@ -350,13 +362,25 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 2, csi_hops: 0.0, topo_hops: 1 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 2,
+                csi_hops: 0.0,
+                topo_hops: 1,
+            },
             rx(1),
         );
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 2, csi_hops: 0.0, topo_hops: 4 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 2,
+                csi_hops: 0.0,
+                topo_hops: 4,
+            },
             rx(7),
         );
         assert_eq!(ctx.unicasts.len(), 1);
@@ -386,7 +410,13 @@ mod tests {
         // Route to 9 via 7; flow upstream for (0,9) is 1.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 2 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 2,
+            },
             rx(7),
         );
         p.on_data(&mut ctx, data(0, 9, 0), Some(rx(1)));
@@ -409,7 +439,13 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 2 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 2,
+            },
             rx(7),
         );
         ctx.clear_actions();
@@ -429,7 +465,13 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 2 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 0.0,
+                topo_hops: 2,
+            },
             rx(4),
         );
         ctx.clear_actions();

@@ -5,11 +5,11 @@
 //! does it take actions to find a new route", via a TTL-limited guarded
 //! query that splices a partial route in.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
-    RxInfo, Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
+    Timer, TimerToken,
 };
 
 use crate::common::{FlowEntry, FlowKey, Repair};
@@ -18,22 +18,22 @@ use crate::common::{FlowEntry, FlowKey, Repair};
 #[derive(Debug, Default)]
 pub struct Bgca {
     /// RREQ dedup + reverse pointers: `(flow, bcast) → upstream`.
-    reverse: HashMap<(FlowKey, u64), NodeId>,
+    reverse: BTreeMap<(FlowKey, u64), NodeId>,
     /// GQ (guarded/local query) dedup + reverse pointers.
-    lq_reverse: HashMap<(FlowKey, NodeId, u64), NodeId>,
+    lq_reverse: BTreeMap<(FlowKey, NodeId, u64), NodeId>,
     /// Per-flow route entries.
-    routes: HashMap<FlowKey, FlowEntry>,
+    routes: BTreeMap<FlowKey, FlowEntry>,
     /// Destination-side RREQ collection window per source:
     /// (bcast, best CSI, best topo, via).
-    windows: HashMap<NodeId, (u64, f64, u8, NodeId)>,
+    windows: BTreeMap<NodeId, (u64, f64, u8, NodeId)>,
     /// Destination-side: highest flood already answered per source.
-    replied: HashMap<NodeId, u64>,
+    replied: BTreeMap<NodeId, u64>,
     /// Source-side discovery per destination.
-    discovery: HashMap<NodeId, (u64, u32, TimerToken)>,
+    discovery: BTreeMap<NodeId, (u64, u32, TimerToken)>,
     /// In-progress repairs per flow (guard-triggered or break-triggered).
-    repairs: HashMap<FlowKey, Repair>,
+    repairs: BTreeMap<FlowKey, Repair>,
     /// Last repair start per flow (guard cooldown).
-    last_repair: HashMap<FlowKey, rica_sim::SimTime>,
+    last_repair: BTreeMap<FlowKey, rica_sim::SimTime>,
     pending: Option<PendingBuffer>,
     next_bcast: u64,
     next_lq: u64,
@@ -129,13 +129,8 @@ impl Bgca {
         let bcast_id = self.next_lq;
         self.next_lq += 1;
         let slack = ctx.config().lq_ttl_slack;
-        let ttl = self
-            .routes
-            .get(&key)
-            .map(|e| e.hops_to_dst)
-            .unwrap_or(2)
-            .saturating_add(slack)
-            .max(1);
+        let ttl =
+            self.routes.get(&key).map(|e| e.hops_to_dst).unwrap_or(2).saturating_add(slack).max(1);
         self.repairs.insert(key, Repair { bcast_id, held, link_down });
         if link_down {
             if let Some(e) = self.routes.get_mut(&key) {
@@ -188,10 +183,10 @@ impl Bgca {
                 e.downstream.is_some()
                     && e.is_fresh(now, active)
                     && !self.repairs.contains_key(key)
-                    && !self
+                    && self
                         .last_repair
                         .get(key)
-                        .is_some_and(|&t| now.saturating_since(t) < cooldown)
+                        .is_none_or(|&t| now.saturating_since(t) >= cooldown)
             })
             .map(|(k, e)| (*k, e.downstream.expect("filtered")))
             .collect();
@@ -424,10 +419,7 @@ impl RoutingProtocol for Bgca {
                 ctx.send_data(nh, pkt);
             }
             _ => {
-                ctx.unicast(
-                    rx.from,
-                    ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me },
-                );
+                ctx.unicast(rx.from, ControlPacket::Rerr { src: key.0, dst: key.1, reporter: me });
                 ctx.drop_data(pkt, DropReason::NoRoute);
             }
         }
@@ -470,10 +462,8 @@ impl RoutingProtocol for Bgca {
                     ControlPacket::Rrep { src, dst, seq: bcast_id, csi_hops: csi, topo_hops: topo },
                 );
             }
-            Timer::LqTimeout { src, dst } => {
-                if self.repairs.contains_key(&(src, dst)) {
-                    self.fail_repair(ctx, (src, dst));
-                }
+            Timer::LqTimeout { src, dst } if self.repairs.contains_key(&(src, dst)) => {
+                self.fail_repair(ctx, (src, dst));
             }
             _ => {}
         }
@@ -491,7 +481,7 @@ impl RoutingProtocol for Bgca {
     ) {
         let me = ctx.id();
         let now = ctx.now();
-        let mut per_flow: HashMap<FlowKey, Vec<DataPacket>> = HashMap::new();
+        let mut per_flow: BTreeMap<FlowKey, Vec<DataPacket>> = BTreeMap::new();
         for pkt in undelivered {
             per_flow.entry((pkt.src, pkt.dst)).or_default().push(pkt);
         }
@@ -555,12 +545,24 @@ mod tests {
         let mut p = Bgca::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
+            ControlPacket::Rreq {
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: 0,
+                csi_hops: 0.0,
+                topo_hops: 0,
+            },
             rx(1, ChannelClass::A),
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 2.0, topo_hops: 2 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 2.0,
+                topo_hops: 2,
+            },
             rx(7, ChannelClass::A),
         );
         ctx.clear_actions();
@@ -572,7 +574,11 @@ mod tests {
         let mut ctx = ScriptedCtx::new(NodeId(9));
         let mut p = Bgca::new();
         let mk = |csi: f64| ControlPacket::Rreq {
-            src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: csi, topo_hops: 2,
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            csi_hops: csi,
+            topo_hops: 2,
         };
         p.on_control(&mut ctx, mk(5.0), rx(1, ChannelClass::A));
         p.on_control(&mut ctx, mk(2.0), rx(2, ChannelClass::A));
@@ -590,10 +596,7 @@ mod tests {
         ctx.clear_actions();
         // Downstream link degrades to class D (50 kbps). At 20 pkt/s the
         // guarded requirement is 1.5 × 85.8 ≈ 129 kbps → violation.
-        let cfg = ProtocolConfig {
-            bgca_flow_offered_kbps: 85.8,
-            ..ProtocolConfig::default()
-        };
+        let cfg = ProtocolConfig { bgca_flow_offered_kbps: 85.8, ..ProtocolConfig::default() };
         let mut ctx2 = std::mem::replace(&mut ctx, ScriptedCtx::new(NodeId(5))).with_config(cfg);
         ctx2.set_link_class(NodeId(7), Some(ChannelClass::D));
         p.on_timer(&mut ctx2, Timer::LinkMonitor);
@@ -631,7 +634,14 @@ mod tests {
         // The destination's reply arrives via n8: splice.
         p.on_control(
             &mut ctx,
-            ControlPacket::LqRep { src: NodeId(0), dst: NodeId(9), origin: NodeId(5), seq: 0, csi_hops: 2.0, topo_hops: 2 },
+            ControlPacket::LqRep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                origin: NodeId(5),
+                seq: 0,
+                csi_hops: 2.0,
+                topo_hops: 2,
+            },
             rx(8, ChannelClass::A),
         );
         assert_eq!(p.downstream_of(NodeId(0), NodeId(9)), Some(NodeId(8)));
@@ -685,7 +695,13 @@ mod tests {
         p.on_data(&mut ctx, data(0, 9, 0), None);
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 3.0, topo_hops: 3 },
+            ControlPacket::Rrep {
+                src: NodeId(0),
+                dst: NodeId(9),
+                seq: 0,
+                csi_hops: 3.0,
+                topo_hops: 3,
+            },
             rx(4, ChannelClass::A),
         );
         ctx.clear_actions();

@@ -10,7 +10,7 @@
 //! and per-hop Dijkstra forwarding loops packets until the 10-packet buffers
 //! and the 3-second residency limit destroy them (§III.B/E).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rica_channel::ChannelClass;
 use rica_net::{
@@ -23,21 +23,21 @@ use rica_sim::SimTime;
 #[derive(Debug, Default)]
 pub struct LinkState {
     /// Everyone's advertised adjacencies: origin → (neighbour → CSI cost).
-    topo: HashMap<NodeId, HashMap<NodeId, f64>>,
+    topo: BTreeMap<NodeId, BTreeMap<NodeId, f64>>,
     /// Newest LSU sequence seen per origin (dedup + ordering).
-    lsu_seen: HashMap<NodeId, u64>,
+    lsu_seen: BTreeMap<NodeId, u64>,
     /// Our own LSU sequence counter.
     my_seq: u64,
     /// Neighbours heard recently: id → last beacon time.
-    neighbors: HashMap<NodeId, SimTime>,
+    neighbors: BTreeMap<NodeId, SimTime>,
     /// The adjacency we last advertised (change detection).
-    advertised: HashMap<NodeId, ChannelClass>,
+    advertised: BTreeMap<NodeId, ChannelClass>,
     /// Last instant we originated an LSU (rate limiting).
     last_flood: Option<SimTime>,
     /// Whether an adjacency change is waiting for the rate limiter.
     flood_pending: bool,
     /// Cached next-hop table; `None` when the topology changed.
-    next_hops: Option<HashMap<NodeId, NodeId>>,
+    next_hops: Option<BTreeMap<NodeId, NodeId>>,
 }
 
 impl LinkState {
@@ -81,8 +81,8 @@ impl LinkState {
                 other.0.total_cmp(&self.0).then_with(|| other.1.cmp(&self.1))
             }
         }
-        let mut dist: HashMap<NodeId, f64> = HashMap::new();
-        let mut first_hop: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut dist: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut first_hop: BTreeMap<NodeId, NodeId> = BTreeMap::new();
         let mut heap = BinaryHeap::new();
         dist.insert(me, 0.0);
         heap.push(Entry(0.0, me));
@@ -110,7 +110,7 @@ impl LinkState {
     /// class moving by at least the hysteresis.
     fn is_significant_change(
         &self,
-        current: &HashMap<NodeId, ChannelClass>,
+        current: &BTreeMap<NodeId, ChannelClass>,
         hysteresis: u8,
     ) -> bool {
         if current.len() != self.advertised.len() {
@@ -144,7 +144,7 @@ impl LinkState {
         self.neighbors.retain(|_, last| now.saturating_since(*last) <= horizon);
 
         // Measure current adjacency.
-        let mut current: HashMap<NodeId, ChannelClass> = HashMap::new();
+        let mut current: BTreeMap<NodeId, ChannelClass> = BTreeMap::new();
         let ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
         for n in ids {
             if let Some(class) = ctx.link_class_to(n) {
@@ -168,21 +168,14 @@ impl LinkState {
             .filter(|(n, &c)| self.advertised.get(n) != Some(&c))
             .map(|(&neighbor, &class)| LsuEntry { neighbor, class })
             .collect();
-        let down: Vec<NodeId> = self
-            .advertised
-            .keys()
-            .filter(|n| !current.contains_key(n))
-            .copied()
-            .collect();
+        let down: Vec<NodeId> =
+            self.advertised.keys().filter(|n| !current.contains_key(n)).copied().collect();
         self.advertised = current;
         self.flood_pending = false;
         self.last_flood = Some(now);
         self.my_seq += 1;
         // Update our own view immediately.
-        self.topo.insert(
-            me,
-            self.advertised.iter().map(|(&n, &c)| (n, c.csi_hops())).collect(),
-        );
+        self.topo.insert(me, self.advertised.iter().map(|(&n, &c)| (n, c.csi_hops())).collect());
         self.invalidate_routes();
         ctx.broadcast(ControlPacket::Lsu { origin: me, seq: self.my_seq, entries, down });
     }
@@ -434,10 +427,8 @@ mod tests {
         let n = ctx.broadcasts.len();
         ctx.advance(SimDuration::from_secs(1));
         p.on_timer(&mut ctx, Timer::LinkMonitor);
-        let lsus_after: usize = ctx.broadcasts[n..]
-            .iter()
-            .filter(|b| matches!(b, ControlPacket::Lsu { .. }))
-            .count();
+        let lsus_after: usize =
+            ctx.broadcasts[n..].iter().filter(|b| matches!(b, ControlPacket::Lsu { .. })).count();
         assert_eq!(lsus_after, 0, "no change, no flood");
     }
 
@@ -450,8 +441,8 @@ mod tests {
         ctx.set_link_class(NodeId(3), Some(ChannelClass::A));
         ctx.advance(SimDuration::from_secs(1));
         p.on_timer(&mut ctx, Timer::LinkMonitor); // flood #1
-        // Class flips immediately; the next sampling tick arrives within
-        // the minimum flood interval → deferred.
+                                                  // Class flips immediately; the next sampling tick arrives within
+                                                  // the minimum flood interval → deferred.
         ctx.set_link_class(NodeId(3), Some(ChannelClass::D));
         ctx.advance(SimDuration::from_millis(50));
         p.maybe_flood_own_lsu(&mut ctx);

@@ -4,8 +4,8 @@
 use rica_channel::ChannelClass;
 use rica_net::testing::ScriptedCtx;
 use rica_net::{
-    ControlKind, ControlPacket, DataPacket, FlowId, LsuEntry, NodeId, RoutingProtocol,
-    RxInfo, Timer, TopologySnapshot,
+    ControlKind, ControlPacket, DataPacket, FlowId, LsuEntry, NodeId, RoutingProtocol, RxInfo,
+    Timer, TopologySnapshot,
 };
 use rica_protocols::{Abr, Aodv, Bgca, LinkState};
 use rica_sim::SimDuration;
@@ -124,8 +124,7 @@ fn abr_beacons_rearm_forever() {
         assert_eq!(t, Timer::Beacon);
         p.on_timer(&mut ctx, t);
     }
-    let beacons =
-        ctx.broadcasts.iter().filter(|b| b.kind() == ControlKind::Beacon).count();
+    let beacons = ctx.broadcasts.iter().filter(|b| b.kind() == ControlKind::Beacon).count();
     assert_eq!(beacons, 5);
     assert!(ctx.pending_timers().iter().any(|t| t.timer == Timer::Beacon));
 }
@@ -158,7 +157,13 @@ fn bgca_stale_lqrep_seq_is_ignored() {
     // Install a route and break it, starting repair with bcast id 0.
     p.on_control(
         &mut ctx,
-        ControlPacket::Rreq { src: NodeId(0), dst: NodeId(9), bcast_id: 0, csi_hops: 0.0, topo_hops: 0 },
+        ControlPacket::Rreq {
+            src: NodeId(0),
+            dst: NodeId(9),
+            bcast_id: 0,
+            csi_hops: 0.0,
+            topo_hops: 0,
+        },
         rx(1),
     );
     p.on_control(
@@ -172,7 +177,12 @@ fn bgca_stale_lqrep_seq_is_ignored() {
     p.on_control(
         &mut ctx,
         ControlPacket::LqRep {
-            src: NodeId(0), dst: NodeId(9), origin: NodeId(5), seq: 99, csi_hops: 1.0, topo_hops: 1,
+            src: NodeId(0),
+            dst: NodeId(9),
+            origin: NodeId(5),
+            seq: 99,
+            csi_hops: 1.0,
+            topo_hops: 1,
         },
         rx(8),
     );
@@ -203,7 +213,11 @@ fn aodv_reverse_path_survives_multiple_floods() {
         p.on_control(
             &mut ctx,
             ControlPacket::Rreq {
-                src: NodeId(0), dst: NodeId(9), bcast_id: bcast, csi_hops: 0.0, topo_hops: 0,
+                src: NodeId(0),
+                dst: NodeId(9),
+                bcast_id: bcast,
+                csi_hops: 0.0,
+                topo_hops: 0,
             },
             rx((bcast % 2) as u32 + 1),
         );

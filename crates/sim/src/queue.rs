@@ -70,12 +70,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_seq: 0,
-            popped: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0, popped: 0 }
     }
 
     /// Schedules `event` to fire at absolute time `time`.

@@ -176,9 +176,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
         SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("subtracting a later SimTime from an earlier one"),
+            self.0.checked_sub(rhs.0).expect("subtracting a later SimTime from an earlier one"),
         )
     }
 }

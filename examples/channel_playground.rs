@@ -27,12 +27,15 @@ fn trace(model: &mut ChannelModel, pair: u32, d: f64, secs: usize) -> Vec<Channe
 }
 
 fn render(label: &str, classes: &[ChannelClass]) {
-    let line: String = classes.iter().map(|c| match c {
-        ChannelClass::A => '█',
-        ChannelClass::B => '▓',
-        ChannelClass::C => '▒',
-        ChannelClass::D => '░',
-    }).collect();
+    let line: String = classes
+        .iter()
+        .map(|c| match c {
+            ChannelClass::A => '█',
+            ChannelClass::B => '▓',
+            ChannelClass::C => '▒',
+            ChannelClass::D => '░',
+        })
+        .collect();
     let a = classes.iter().filter(|&&c| c == ChannelClass::A).count();
     let d = classes.iter().filter(|&&c| c == ChannelClass::D).count();
     println!("{label:<18} {line}  (A {a:>2}%, D {d:>2}%)");
@@ -42,8 +45,10 @@ fn main() {
     let cfg = ChannelConfig::default();
     println!("ABICM classes: █ = A (250 kbps)  ▓ = B (150)  ▒ = C (75)  ░ = D (50)");
     println!("one character per second, 100 seconds, defaults: {:.0} m range,", cfg.tx_range_m);
-    println!("shadowing σ {} dB / τ {} s, fading σ {} dB / τ {} s\n",
-        cfg.shadow_sigma_db, cfg.shadow_tau_s, cfg.fade_sigma_db, cfg.fade_tau_s);
+    println!(
+        "shadowing σ {} dB / τ {} s, fading σ {} dB / τ {} s\n",
+        cfg.shadow_sigma_db, cfg.shadow_tau_s, cfg.fade_sigma_db, cfg.fade_tau_s
+    );
 
     let mut model = ChannelModel::new(cfg, Rng::new(2026));
     render("  40 m apart", &trace(&mut model, 0, 40.0, 100));

@@ -1,0 +1,61 @@
+//! Runs a full protocols × speeds sweep through the `rica-exec` engine.
+//!
+//! ```text
+//! cargo run --release --example parallel_sweep [-- --workers N]
+//! ```
+//!
+//! Demonstrates the whole execution pipeline: a declarative [`SweepPlan`]
+//! becomes a job grid, fans out over a worker pool with live progress on
+//! stderr, and the merged aggregates come back in deterministic plan
+//! order — identical bytes for any worker count. The raw results are
+//! also written to `sweep_results.json`.
+
+use rica_repro::exec::{ExecOptions, Progress, SweepPlan};
+use rica_repro::harness::{sweep, ProtocolKind, Scenario};
+
+fn main() {
+    let args = rica_repro::exec::ExecArgs::parse(std::env::args().skip(1));
+    let workers = args.resolved_workers();
+
+    // A reduced version of the paper's §III.A grid: all five protocols,
+    // three mean speeds, three seeded trials per point.
+    let plan = SweepPlan::new(ProtocolKind::ALL.to_vec(), vec![0.0, 36.0, 72.0], vec![30], 3, 7);
+    let base = Scenario::builder().flows(5).rate_pps(10.0).duration_secs(20.0).build();
+
+    println!(
+        "running {} trials ({} cells × {} trials) over {workers} workers…",
+        plan.job_count(),
+        plan.cell_count(),
+        plan.trials,
+    );
+    let opts = ExecOptions { workers, progress: Progress::Stderr };
+    let result = sweep::run_plan(&plan, &base, &opts);
+
+    println!(
+        "\n{:<10} {:>6} {:>10} {:>12} {:>10}",
+        "protocol", "km/h", "delay(ms)", "delivery(%)", "ovh(kbps)"
+    );
+    for cell in &result.cells {
+        println!(
+            "{:<10} {:>6.0} {:>10.1} {:>12.1} {:>10.1}",
+            cell.protocol.name(),
+            cell.speed_kmh,
+            cell.aggregate.delay_ms.mean(),
+            cell.aggregate.delivery_pct.mean(),
+            cell.aggregate.overhead_kbps.mean(),
+        );
+    }
+    println!("\ncompleted in {:.1} s with {} workers", result.wall_secs, result.workers);
+
+    // Same nested artifact shape the figures bin and bench produce, so
+    // one `sweep_results.json` reader covers every producer.
+    let path = args.json_path.unwrap_or_else(|| "sweep_results.json".into());
+    let doc = sweep::sweeps_json(
+        &[("parallel_sweep".to_string(), result)],
+        &[("example", "parallel_sweep".to_string())],
+    );
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

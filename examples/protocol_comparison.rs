@@ -44,14 +44,7 @@ fn main() {
         "{}",
         format_table(
             &["protocol", "delay(ms)", "delivery(%)", "overhead(kbps)", "hops", "link(kbps)"],
-            &[
-                Align::Left,
-                Align::Right,
-                Align::Right,
-                Align::Right,
-                Align::Right,
-                Align::Right
-            ],
+            &[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right],
             &rows,
         )
     );

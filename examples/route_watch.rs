@@ -51,9 +51,8 @@ fn main() {
     }
     let report = world.finish();
     println!(
-        "\ndelivered {:.1}% | delay {:.0} ms | {} route changes visible above (*)",
+        "\ndelivered {:.1}% | delay {:.0} ms | — route changes visible above (*)",
         report.delivery_pct(),
         report.delay_mean_ms,
-        "—",
     );
 }

@@ -13,6 +13,7 @@
 //! * [`mac`] — multi-code CDMA MAC: CSMA/CA common channel + PN data channels
 //! * [`net`] — packet vocabulary, link queues, traffic, routing traits
 //! * [`metrics`] — simulation metrics (delay, delivery, overhead, …)
+//! * [`exec`] — parallel deterministic experiment-execution engine
 //! * [`rica`] — the RICA protocol (the paper's contribution)
 //! * [`protocols`] — the AODV / ABR / BGCA / link-state baselines
 //! * [`harness`] — full network simulator + the paper's experiments
@@ -37,6 +38,7 @@
 
 pub use rica_channel as channel;
 pub use rica_core as rica;
+pub use rica_exec as exec;
 pub use rica_harness as harness;
 pub use rica_mac as mac;
 pub use rica_metrics as metrics;
@@ -48,6 +50,7 @@ pub use rica_sim as sim;
 /// Convenience prelude re-exporting the most common types.
 pub mod prelude {
     pub use rica_channel::{ChannelClass, ChannelConfig};
+    pub use rica_exec::{ExecOptions, Progress, SweepPlan, SweepResult};
     pub use rica_harness::{ProtocolKind, Scenario, ScenarioBuilder, TrialReport};
     pub use rica_net::{NodeId, RoutingProtocol};
     pub use rica_sim::{Rng, SimTime};

@@ -32,11 +32,7 @@ fn all_protocols_deliver_on_a_static_chain() {
     for kind in ProtocolKind::ALL {
         let r = chain().run(kind);
         assert!(r.generated > 100, "{kind}: generated {}", r.generated);
-        assert!(
-            r.delivery_ratio() > 0.85,
-            "{kind}: only {:.1}% delivered",
-            r.delivery_pct()
-        );
+        assert!(r.delivery_ratio() > 0.85, "{kind}: only {:.1}% delivered", r.delivery_pct());
         assert!((r.avg_hops - 4.0).abs() < 0.01, "{kind}: hops {}", r.avg_hops);
         // End-to-end delay must include at least 4 store-and-forward
         // transmissions of a 536-byte packet (≥ 4 × 17 ms on class A).
@@ -67,10 +63,7 @@ fn partitioned_network_delivers_nothing_but_drops_cleanly() {
     for kind in ProtocolKind::ALL {
         let r = s.run(kind);
         assert_eq!(r.delivered, 0, "{kind}: delivered across a partition");
-        assert!(
-            r.delivered + r.dropped() <= r.generated,
-            "{kind}: accounting broken"
-        );
+        assert!(r.delivered + r.dropped() <= r.generated, "{kind}: accounting broken");
         // Every generated packet is eventually dropped (no silent loss):
         // allow what is still buffered at cut-off.
         assert!(
@@ -125,12 +118,8 @@ fn higher_load_cannot_increase_delivery_ratio_on_a_bottleneck() {
     // the ratio may only go down relative to 5 pkt/s.
     let slow = chain().run(ProtocolKind::Aodv);
     let mut s = chain();
-    s.explicit_flows = Some(vec![Flow {
-        src: NodeId(0),
-        dst: NodeId(4),
-        rate_pps: 30.0,
-        packet_bytes: 512,
-    }]);
+    s.explicit_flows =
+        Some(vec![Flow { src: NodeId(0), dst: NodeId(4), rate_pps: 30.0, packet_bytes: 512 }]);
     let fast = s.run(ProtocolKind::Aodv);
     assert!(
         fast.delivery_ratio() <= slow.delivery_ratio() + 0.02,

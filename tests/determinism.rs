@@ -1,7 +1,8 @@
 //! Cross-crate determinism: identical seeds must give bit-identical trials
 //! for every protocol, and the parallel runner must preserve that.
 
-use rica_repro::harness::{run_trials, ProtocolKind, Scenario};
+use rica_repro::exec::{ExecOptions, SweepPlan};
+use rica_repro::harness::{run_trials, run_trials_with, sweep, ProtocolKind, Scenario};
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::builder()
@@ -37,6 +38,57 @@ fn parallel_runner_matches_direct_runs() {
         let direct = s.run_seeded(ProtocolKind::Bgca, s.seed + i as u64);
         assert_eq!(*summary, direct, "trial {i} differs under threading");
     }
+}
+
+/// The exec engine's hard invariant: the same plan and seed produce
+/// identical `TrialSummary` vectors and merged `Aggregate`s with 1, 2 and
+/// 8 workers, no matter how completion order raced.
+#[test]
+fn worker_count_never_changes_results() {
+    let base = Scenario::builder().nodes(10).flows(2).duration_secs(8.0).seed(21).build();
+    let plan = SweepPlan::new(
+        vec![ProtocolKind::Rica, ProtocolKind::Aodv],
+        vec![0.0, 36.0],
+        vec![10],
+        3,
+        21,
+    );
+    let reference = sweep::run_plan(&plan, &base, &ExecOptions::serial());
+    for workers in [2, 8] {
+        let racy = sweep::run_plan(&plan, &base, &ExecOptions::with_workers(workers));
+        assert_eq!(racy.cells.len(), reference.cells.len());
+        for (r, s) in reference.cells.iter().zip(&racy.cells) {
+            assert_eq!(r.trials, s.trials, "{workers} workers changed a TrialSummary");
+            assert_eq!(r.aggregate, s.aggregate, "{workers} workers changed an Aggregate");
+        }
+    }
+}
+
+/// Same invariant through the plain trial runner.
+#[test]
+fn run_trials_is_worker_count_invariant() {
+    let s = scenario(33);
+    let reference = run_trials_with(&s, ProtocolKind::Bgca, 5, &ExecOptions::serial());
+    for workers in [2, 8] {
+        let racy = run_trials_with(&s, ProtocolKind::Bgca, 5, &ExecOptions::with_workers(workers));
+        assert_eq!(reference, racy, "{workers} workers changed run_trials output");
+    }
+}
+
+/// The JSON artifact is byte-identical across worker counts (it contains
+/// no scheduling-dependent data besides the explicitly-excluded wall
+/// clock, which we normalise here).
+#[test]
+fn sweep_artifact_is_worker_count_invariant() {
+    let base = scenario(3);
+    let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![36.0], vec![10], 2, 3);
+    let render = |workers| {
+        let mut result = sweep::run_plan(&plan, &base, &ExecOptions::with_workers(workers));
+        result.wall_secs = 0.0;
+        result.workers = 0;
+        rica_repro::exec::sweep_json(&result, |k| k.name().to_string(), &[])
+    };
+    assert_eq!(render(1), render(4), "artifact bytes depend on worker count");
 }
 
 #[test]

@@ -90,11 +90,7 @@ fn crashed_source_stops_generating() {
     let s = two_relay_diamond(vec![(10.0, NodeId(0))]);
     let r = s.run(ProtocolKind::Rica);
     // ~8 pkt/s for ~10 s, Poisson: well under 120.
-    assert!(
-        r.generated < 120,
-        "source kept generating after its crash: {}",
-        r.generated
-    );
+    assert!(r.generated < 120, "source kept generating after its crash: {}", r.generated);
 }
 
 #[test]

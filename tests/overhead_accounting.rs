@@ -21,8 +21,7 @@ fn run(kind: ProtocolKind) -> rica_repro::harness::TrialReport {
 fn overhead_equals_control_plus_acks_over_time() {
     for kind in ProtocolKind::ALL {
         let r = run(kind);
-        let expect =
-            (r.control_bits_total() + r.ack_bits) as f64 / r.duration.as_secs_f64() / 1e3;
+        let expect = (r.control_bits_total() + r.ack_bits) as f64 / r.duration.as_secs_f64() / 1e3;
         assert!(
             (r.overhead_kbps - expect).abs() < 1e-9,
             "{kind}: overhead {} != {}",
@@ -40,10 +39,7 @@ fn ack_bits_cover_at_least_the_delivered_hops() {
         let r = run(kind);
         let acks = r.ack_bits / (DATA_ACK_BYTES as u64 * 8);
         let delivered_hops = (r.avg_hops * r.delivered as f64).round() as u64;
-        assert!(
-            acks >= delivered_hops,
-            "{kind}: {acks} ACKs < {delivered_hops} delivered hops"
-        );
+        assert!(acks >= delivered_hops, "{kind}: {acks} ACKs < {delivered_hops} delivered hops");
     }
 }
 

@@ -32,12 +32,20 @@ fn control_packet() -> impl Strategy<Value = ControlPacket> {
     prop_oneof![
         (node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..8).prop_map(
             |(src, dst, bcast_id, csi_hops, topo_hops)| ControlPacket::Rreq {
-                src, dst, bcast_id, csi_hops, topo_hops
+                src,
+                dst,
+                bcast_id,
+                csi_hops,
+                topo_hops
             }
         ),
         (node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..8).prop_map(
             |(src, dst, seq, csi_hops, topo_hops)| ControlPacket::Rrep {
-                src, dst, seq, csi_hops, topo_hops
+                src,
+                dst,
+                seq,
+                csi_hops,
+                topo_hops
             }
         ),
         (node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..6, proptest::option::of(node_id()))
@@ -45,11 +53,14 @@ fn control_packet() -> impl Strategy<Value = ControlPacket> {
                 ControlPacket::CsiCheck { src, dst, bcast_id, csi_hops, ttl, received_from }
             }),
         (node_id(), node_id()).prop_map(|(src, dst)| ControlPacket::Rupd { src, dst }),
-        (node_id(), node_id(), node_id())
-            .prop_map(|(src, dst, reporter)| ControlPacket::Rerr { src, dst, reporter }),
+        (node_id(), node_id(), node_id()).prop_map(|(src, dst, reporter)| ControlPacket::Rerr {
+            src,
+            dst,
+            reporter
+        }),
         Just(ControlPacket::Beacon),
-        (node_id(), 0u64..6, proptest::collection::vec((node_id(), class()), 0..4))
-            .prop_map(|(origin, seq, links)| ControlPacket::Lsu {
+        (node_id(), 0u64..6, proptest::collection::vec((node_id(), class()), 0..4)).prop_map(
+            |(origin, seq, links)| ControlPacket::Lsu {
                 origin,
                 seq,
                 entries: links
@@ -57,20 +68,37 @@ fn control_packet() -> impl Strategy<Value = ControlPacket> {
                     .map(|(neighbor, class)| LsuEntry { neighbor, class })
                     .collect(),
                 down: vec![],
-            }),
+            }
+        ),
         (node_id(), node_id(), 0u64..4, 0u8..8, 0u8..8, 0u32..50).prop_map(
             |(src, dst, bcast_id, topo_hops, stable_links, load)| ControlPacket::Bq {
-                src, dst, bcast_id, topo_hops, stable_links, load
+                src,
+                dst,
+                bcast_id,
+                topo_hops,
+                stable_links,
+                load
             }
         ),
         (node_id(), node_id(), node_id(), 0u64..4, 0u8..6, 0.0f64..30.0, 0u8..8).prop_map(
             |(src, dst, origin, bcast_id, ttl, csi_hops, topo_hops)| ControlPacket::Lq {
-                src, dst, origin, bcast_id, ttl, csi_hops, topo_hops
+                src,
+                dst,
+                origin,
+                bcast_id,
+                ttl,
+                csi_hops,
+                topo_hops
             }
         ),
         (node_id(), node_id(), node_id(), 0u64..4, 0.0f64..30.0, 0u8..8).prop_map(
             |(src, dst, origin, seq, csi_hops, topo_hops)| ControlPacket::LqRep {
-                src, dst, origin, seq, csi_hops, topo_hops
+                src,
+                dst,
+                origin,
+                seq,
+                csi_hops,
+                topo_hops
             }
         ),
     ]
