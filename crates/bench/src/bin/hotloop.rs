@@ -1,0 +1,246 @@
+//! Hot-loop wall-clock recorder: the perf trajectory behind `BENCH_micro.json`.
+//!
+//! Times the single-trial hot path (the thing `rica-exec` multiplies
+//! across the sweep grid) plus the substrate micro-loops, and appends the
+//! numbers as a labeled snapshot to a committed JSON artifact so speedups
+//! are recorded measurements, not claims.
+//!
+//! ```text
+//! cargo run --release -p rica-bench --bin hotloop                    # measure + print
+//! cargo run --release -p rica-bench --bin hotloop -- --label after   # …and append a snapshot
+//! cargo run --release -p rica-bench --bin hotloop -- --compare       # first vs last snapshot
+//! cargo run --release -p rica-bench --bin hotloop -- --quick         # CI smoke (seconds, no file)
+//! ```
+//!
+//! Workloads:
+//!
+//! * `trial/paper50/<PROTO>` — one 100 s trial of the paper's §III.A grid
+//!   (50 nodes, 10 flows, 36 km/h, 10 pkt/s) per protocol, seed 1.
+//! * `trial/scale200/RICA` — 200 nodes / 20 flows / 100 s: the scenario
+//!   the spatial grid exists for.
+//! * `micro/…` — event-queue, channel-sampling and mobility loops with
+//!   fixed iteration counts (seconds per fixed workload, comparable
+//!   across snapshots).
+//!
+//! Each workload runs `--reps` times (default 3) and the minimum wall
+//! time is recorded, which is the most noise-robust statistic on a busy
+//! container.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rica_channel::{ChannelConfig, ChannelModel};
+use rica_harness::{ProtocolKind, Scenario};
+use rica_mobility::{Field, Vec2, Waypoint};
+use rica_sim::{EventQueue, Rng, SimTime};
+
+struct Opts {
+    label: Option<String>,
+    json: PathBuf,
+    compare: bool,
+    quick: bool,
+    reps: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        label: None,
+        json: PathBuf::from("BENCH_micro.json"),
+        compare: false,
+        quick: false,
+        reps: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => opts.label = Some(args.next().expect("--label needs a value")),
+            "--json" => opts.json = PathBuf::from(args.next().expect("--json needs a path")),
+            "--compare" => opts.compare = true,
+            "--quick" => opts.quick = true,
+            "--reps" => {
+                opts.reps =
+                    args.next().expect("--reps needs a value").parse().expect("bad --reps value")
+            }
+            other => panic!("unknown argument {other:?} (see crates/bench/src/bin/hotloop.rs)"),
+        }
+    }
+    opts
+}
+
+/// Minimum wall-clock seconds of `reps` runs of `work`.
+fn time_min<O>(reps: usize, mut work: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        black_box(work());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    let trial_secs = if quick { 4.0 } else { 100.0 };
+    let reps = if quick { 1 } else { reps };
+
+    // The paper grid: 50 nodes, 10 flows, 36 km/h, 10 pkt/s.
+    for kind in ProtocolKind::ALL {
+        let s = Scenario::builder()
+            .mean_speed_kmh(36.0)
+            .rate_pps(10.0)
+            .duration_secs(trial_secs)
+            .seed(1)
+            .build();
+        let secs = time_min(reps, || s.run_seeded(kind, 1));
+        entries.push((format!("trial/paper50/{}", kind.name()), secs));
+        eprintln!("  timed trial/paper50/{}", kind.name());
+    }
+
+    // The scale target the spatial grid unlocks.
+    let s200 = Scenario::builder()
+        .nodes(200)
+        .flows(20)
+        .rate_pps(10.0)
+        .mean_speed_kmh(36.0)
+        .duration_secs(trial_secs)
+        .seed(1)
+        .build();
+    let secs = time_min(reps, || s200.run_seeded(ProtocolKind::Rica, 1));
+    entries.push(("trial/scale200/RICA".to_string(), secs));
+    eprintln!("  timed trial/scale200/RICA");
+
+    // Substrate micro-loops (fixed op counts → comparable seconds).
+    let micro_iters = if quick { 10_000u64 } else { 200_000 };
+    entries.push((
+        "micro/event_queue_push_pop".to_string(),
+        time_min(reps, || {
+            let mut rng = Rng::new(1);
+            let mut q = EventQueue::new();
+            for i in 0..micro_iters {
+                q.schedule(SimTime::from_nanos(rng.u64_below(1_000_000_000)), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        }),
+    ));
+    entries.push((
+        "micro/channel_class_sequential".to_string(),
+        time_min(reps, || {
+            let mut model = ChannelModel::new(ChannelConfig::default(), Rng::new(3));
+            let a = Vec2::new(0.0, 0.0);
+            let p = Vec2::new(120.0, 40.0);
+            let mut acc = 0u32;
+            for i in 0..micro_iters {
+                let t = SimTime::from_nanos(i * 1_000_000);
+                if let Some(cl) = model.class_between(0, 1, a, p, t) {
+                    acc += cl.level() as u32;
+                }
+            }
+            acc
+        }),
+    ));
+    entries.push((
+        "micro/mobility_position".to_string(),
+        time_min(reps, || {
+            let mut w = Waypoint::new(Field::PAPER, 20.0, 3.0, Rng::new(5));
+            let mut acc = 0.0f64;
+            for i in 0..micro_iters {
+                acc += w.position_at(SimTime::from_nanos(i * 50_000_000)).x;
+            }
+            acc
+        }),
+    ));
+    entries
+}
+
+// ------------------------------------------------------------- artifact IO
+
+fn snapshot_json(label: &str, entries: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("    {\"label\":");
+    out.push_str(&rica_exec::json_string(label));
+    out.push_str(",\"entries\":{\n");
+    for (i, (name, secs)) in entries.iter().enumerate() {
+        out.push_str("      ");
+        out.push_str(&rica_exec::json_string(name));
+        out.push_str(&format!(":{secs:.6}"));
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    }}");
+    out
+}
+
+fn append_snapshot(path: &Path, label: &str, entries: &[(String, f64)]) {
+    let snap = snapshot_json(label, entries);
+    let doc = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let end = existing.rfind("\n  ]").unwrap_or_else(|| {
+                panic!("{}: not a hotloop artifact (missing snapshot array)", path.display())
+            });
+            format!("{},\n{}\n  ]\n}}\n", &existing[..end], snap)
+        }
+        Err(_) => format!("{{\n  \"schema\": 1,\n  \"snapshots\": [\n{snap}\n  ]\n}}\n"),
+    };
+    std::fs::write(path, doc).expect("write artifact");
+    println!("appended snapshot {label:?} to {}", path.display());
+}
+
+/// Extracts `(label, entries)` per snapshot with a scanner matched to this
+/// file's own writer (the workspace builds offline; no serde).
+fn parse_snapshots(doc: &str) -> Vec<(String, Vec<(String, f64)>)> {
+    let mut snaps = Vec::new();
+    for block in doc.split("{\"label\":").skip(1) {
+        let label = block.split('"').nth(1).unwrap_or("?").to_string();
+        let Some(entries_at) = block.find("\"entries\":{") else { continue };
+        let body = &block[entries_at + "\"entries\":{".len()..];
+        let Some(end) = body.find('}') else { continue };
+        let mut entries = Vec::new();
+        for line in body[..end].split(',') {
+            let mut parts = line.trim().splitn(2, "\":");
+            let (Some(name), Some(val)) = (parts.next(), parts.next()) else { continue };
+            let name = name.trim().trim_start_matches('"').to_string();
+            if let Ok(secs) = val.trim().parse::<f64>() {
+                entries.push((name, secs));
+            }
+        }
+        snaps.push((label, entries));
+    }
+    snaps
+}
+
+fn compare(path: &Path) {
+    let doc =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let snaps = parse_snapshots(&doc);
+    assert!(snaps.len() >= 2, "need at least two snapshots to compare, found {}", snaps.len());
+    let (base_label, base) = &snaps[0];
+    let (cur_label, cur) = &snaps[snaps.len() - 1];
+    println!("{:<34} {:>12} {:>12} {:>9}", "workload", base_label, cur_label, "speedup");
+    for (name, base_secs) in base {
+        let Some((_, cur_secs)) = cur.iter().find(|(n, _)| n == name) else { continue };
+        println!("{name:<34} {base_secs:>11.4}s {cur_secs:>11.4}s {:>8.2}x", base_secs / cur_secs);
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    if opts.compare {
+        compare(&opts.json);
+        return;
+    }
+    let entries = run_all(opts.quick, opts.reps);
+    println!("{:<34} {:>12}", "workload", "wall");
+    for (name, secs) in &entries {
+        println!("{name:<34} {secs:>11.4}s");
+    }
+    if let Some(label) = &opts.label {
+        append_snapshot(&opts.json, label, &entries);
+    }
+}
