@@ -81,8 +81,15 @@ impl ChannelModel {
     ///
     /// Panics if `a == b`.
     pub fn snr_db(&mut self, a: u32, b: u32, pos_a: Vec2, pos_b: Vec2, t: SimTime) -> f64 {
+        self.snr_db_at_distance(a, b, pos_a.distance(pos_b), t)
+    }
+
+    /// [`ChannelModel::snr_db`] with the pair distance already computed —
+    /// the hot path ([`ChannelModel::class_between`]) measures the
+    /// distance once for both the range check and the SNR mean.
+    fn snr_db_at_distance(&mut self, a: u32, b: u32, distance_m: f64, t: SimTime) -> f64 {
         assert_ne!(a, b, "no self-channel");
-        let mean = self.config.mean_snr_db(pos_a.distance(pos_b));
+        let mean = self.config.mean_snr_db(distance_m);
         let st = self.pair_state(a, b);
         // Split borrows: sample each process with the pair's own rng.
         let PairState { shadow, fade, rng } = st;
@@ -106,11 +113,15 @@ impl ChannelModel {
         pos_b: Vec2,
         t: SimTime,
     ) -> Option<ChannelClass> {
-        if pos_a.distance_sq(pos_b) > self.config.tx_range_m * self.config.tx_range_m {
+        // One displacement serves both the (squared) range check and the
+        // SNR mean; `hypot` keeps the distance bit-identical to
+        // `Vec2::distance`.
+        let d = pos_a - pos_b;
+        if d.x * d.x + d.y * d.y > self.config.tx_range_m * self.config.tx_range_m {
             return None;
         }
         let thresholds = self.config.class_thresholds_db;
-        let snr = self.snr_db(a, b, pos_a, pos_b, t);
+        let snr = self.snr_db_at_distance(a, b, d.x.hypot(d.y), t);
         Some(ChannelClass::from_snr_db(snr, thresholds))
     }
 
