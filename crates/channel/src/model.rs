@@ -1,7 +1,5 @@
 //! The network-wide channel model: one composite SNR process per node pair.
 
-use std::collections::HashMap;
-
 use rica_mobility::Vec2;
 use rica_sim::{Rng, SimTime};
 
@@ -25,15 +23,43 @@ struct PairState {
 /// deterministically from the model seed and the pair id — so the channel
 /// realisation of pair `(3, 7)` is identical no matter how many other pairs
 /// exist or in what order they are queried.
+///
+/// Storage is a flat triangular-indexed table rather than a hash map: the
+/// unordered pair `(lo, hi)` lives at slot `hi·(hi−1)/2 + lo`, so the hot
+/// per-reception CSI lookup is one bounds-checked index instead of a hash
+/// and probe. [`ChannelModel::with_nodes`] pre-sizes the table for a known
+/// terminal count; ids beyond it grow the table on demand.
 #[derive(Debug)]
 pub struct ChannelModel {
     config: ChannelConfig,
     master: Rng,
-    pairs: HashMap<(u32, u32), PairState>,
+    /// Triangular table of lazily-created pair processes. Boxed so a cold
+    /// slot costs one pointer: the table is O(n²) in the node count, but
+    /// only pairs that ever interact pay for real state — keeping large
+    /// node-count sweeps (the roadmap's scaling axis) affordable.
+    pairs: Vec<Option<Box<PairState>>>,
+    instantiated: usize,
+}
+
+/// The unordered pair `{a, b}` as `(lo, hi)`.
+fn ordered_pair(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Flat slot of an ordered pair: `hi·(hi−1)/2 + lo`.
+fn tri_index(lo: u32, hi: u32) -> usize {
+    (hi as usize) * (hi as usize - 1) / 2 + lo as usize
 }
 
 impl ChannelModel {
     /// Creates a model with the given configuration and master seed stream.
+    ///
+    /// The pair table starts empty and grows on demand; prefer
+    /// [`ChannelModel::with_nodes`] when the terminal count is known.
     ///
     /// # Panics
     ///
@@ -43,7 +69,16 @@ impl ChannelModel {
         if let Err(e) = config.validate() {
             panic!("invalid ChannelConfig: {e}");
         }
-        ChannelModel { config, master, pairs: HashMap::new() }
+        ChannelModel { config, master, pairs: Vec::new(), instantiated: 0 }
+    }
+
+    /// [`ChannelModel::new`] with the pair table pre-sized for `nodes`
+    /// terminals (ids `0..nodes`), avoiding all growth on the hot path.
+    pub fn with_nodes(config: ChannelConfig, master: Rng, nodes: u32) -> Self {
+        let mut model = Self::new(config, master);
+        let n = nodes as usize;
+        model.pairs.resize_with(n * n.saturating_sub(1) / 2, || None);
+        model
     }
 
     /// The model configuration.
@@ -51,25 +86,24 @@ impl ChannelModel {
         &self.config
     }
 
-    fn pair_key(a: u32, b: u32) -> (u32, u32) {
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
-        }
-    }
-
     fn pair_state(&mut self, a: u32, b: u32) -> &mut PairState {
-        let key = Self::pair_key(a, b);
-        let (config, master) = (&self.config, &self.master);
-        self.pairs.entry(key).or_insert_with(|| {
+        let (lo, hi) = ordered_pair(a, b);
+        let idx = tri_index(lo, hi);
+        if idx >= self.pairs.len() {
+            self.pairs.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.pairs[idx];
+        if slot.is_none() {
             // Stable stream id from the pair: works for any node count < 2^32.
-            let stream = ((key.0 as u64) << 32) | key.1 as u64;
-            let mut rng = master.fork(stream);
-            let shadow = OuProcess::new(config.shadow_sigma_db, config.shadow_tau_s, &mut rng);
-            let fade = OuProcess::new(config.fade_sigma_db, config.fade_tau_s, &mut rng);
-            PairState { shadow, fade, rng }
-        })
+            let stream = ((lo as u64) << 32) | hi as u64;
+            let mut rng = self.master.fork(stream);
+            let shadow =
+                OuProcess::new(self.config.shadow_sigma_db, self.config.shadow_tau_s, &mut rng);
+            let fade = OuProcess::new(self.config.fade_sigma_db, self.config.fade_tau_s, &mut rng);
+            *slot = Some(Box::new(PairState { shadow, fade, rng }));
+            self.instantiated += 1;
+        }
+        slot.as_mut().expect("just filled")
     }
 
     /// Composite SNR (dB) of the link between nodes `a` and `b` at instant
@@ -132,7 +166,7 @@ impl ChannelModel {
 
     /// Number of pair processes instantiated so far (diagnostics).
     pub fn active_pairs(&self) -> usize {
-        self.pairs.len()
+        self.instantiated
     }
 }
 
@@ -253,6 +287,30 @@ mod tests {
         let total_secs = steps as f64 * dt;
         let dwell = total_secs / switches.max(1) as f64;
         assert!((0.3..10.0).contains(&dwell), "mean dwell {dwell} s ({switches} switches)");
+    }
+
+    #[test]
+    fn pre_sized_table_matches_lazy_growth() {
+        // The flat table must give every pair the same realisation whether
+        // it was pre-sized or grown on demand — and the same as before the
+        // HashMap → triangular-Vec change (stream ids are unchanged).
+        let mut pre = ChannelModel::with_nodes(ChannelConfig::default(), Rng::new(9), 6);
+        let mut lazy = model(9);
+        let pb = Vec2::new(100.0, 0.0);
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                for i in 0..5 {
+                    let t = secs(i as f64 * 0.2);
+                    assert_eq!(
+                        pre.class_between(a, b, Vec2::ZERO, pb, t),
+                        lazy.class_between(b, a, pb, Vec2::ZERO, t),
+                        "pair ({a},{b}) diverged"
+                    );
+                }
+            }
+        }
+        assert_eq!(pre.active_pairs(), 15);
+        assert_eq!(lazy.active_pairs(), 15);
     }
 
     #[test]

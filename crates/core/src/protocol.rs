@@ -529,8 +529,8 @@ impl RoutingProtocol for Rica {
         "RICA"
     }
 
-    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
-        match pkt {
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: &ControlPacket, rx: RxInfo) {
+        match *pkt {
             ControlPacket::Rreq { src, dst, bcast_id, csi_hops, topo_hops } => {
                 self.on_rreq(ctx, rx, src, dst, bcast_id, csi_hops, topo_hops)
             }
@@ -704,7 +704,7 @@ mod tests {
             topo_hops: 1,
         };
         // Arrives over a class-C link: distance 1 + 3.33.
-        p.on_control(&mut ctx, rreq.clone(), rx(2, ChannelClass::C));
+        p.on_control(&mut ctx, &rreq, rx(2, ChannelClass::C));
         assert_eq!(ctx.broadcasts.len(), 1);
         match &ctx.broadcasts[0] {
             ControlPacket::Rreq { csi_hops, topo_hops, .. } => {
@@ -714,7 +714,7 @@ mod tests {
             other => panic!("expected RREQ, got {other:?}"),
         }
         // The same flood from another neighbour is discarded.
-        p.on_control(&mut ctx, rreq, rx(3, ChannelClass::A));
+        p.on_control(&mut ctx, &rreq, rx(3, ChannelClass::A));
         assert_eq!(ctx.broadcasts.len(), 1, "history table suppressed the copy");
     }
 
@@ -730,12 +730,12 @@ mod tests {
             topo_hops: topo,
         };
         // First copy: 6 hops via n1 (link class A adds 1.0 → 6.0 total).
-        p.on_control(&mut ctx, mk(5.0, 3), rx(1, ChannelClass::A));
+        p.on_control(&mut ctx, &mk(5.0, 3), rx(1, ChannelClass::A));
         assert!(ctx.unicasts.is_empty(), "reply deferred to the window close");
         // Better copy: 4.33 via n2 (3.33 + class-A link 1.0).
-        p.on_control(&mut ctx, mk(3.33, 4), rx(2, ChannelClass::A));
+        p.on_control(&mut ctx, &mk(3.33, 4), rx(2, ChannelClass::A));
         // Worse copy: ignored.
-        p.on_control(&mut ctx, mk(9.0, 2), rx(3, ChannelClass::A));
+        p.on_control(&mut ctx, &mk(9.0, 2), rx(3, ChannelClass::A));
         // Close the reply window.
         let timer = ctx.fire_next_timer();
         assert_eq!(timer, Timer::ReplyWindow { src: NodeId(0), dst: NodeId(9) });
@@ -765,7 +765,7 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 3,
@@ -777,7 +777,7 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 3,
@@ -799,7 +799,7 @@ mod tests {
         src_ctx.clear_actions();
         src.on_control(
             &mut src_ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 3,
@@ -837,7 +837,7 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -912,7 +912,7 @@ mod tests {
             ttl: 3,
             received_from: Some(NodeId(7)),
         };
-        p.on_control(&mut ctx, check.clone(), rx(7, ChannelClass::B));
+        p.on_control(&mut ctx, &check, rx(7, ChannelClass::B));
         assert_eq!(ctx.broadcasts.len(), 1);
         match &ctx.broadcasts[0] {
             ControlPacket::CsiCheck { csi_hops, ttl, received_from, .. } => {
@@ -925,7 +925,7 @@ mod tests {
         let poss = p.possible_route(NodeId(0), NodeId(9)).unwrap();
         assert_eq!(poss.downstream, NodeId(7), "first-copy sender is the possible downstream");
         // Duplicate copy of the same wave: dropped.
-        p.on_control(&mut ctx, check, rx(3, ChannelClass::A));
+        p.on_control(&mut ctx, &check, rx(3, ChannelClass::A));
         assert_eq!(ctx.broadcasts.len(), 1);
         assert_eq!(
             p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream,
@@ -940,7 +940,7 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -960,7 +960,7 @@ mod tests {
         // A check arrives via a *different* neighbour with a better metric.
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 11,
@@ -973,7 +973,7 @@ mod tests {
         // Another, worse candidate in the same window via the old neighbour.
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 11,
@@ -1005,7 +1005,7 @@ mod tests {
         let (mut ctx, mut p) = source_with_route();
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 11,
@@ -1031,7 +1031,7 @@ mod tests {
         // Relay learned a possible downstream from a check wave.
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 4,
@@ -1059,7 +1059,7 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 4,
@@ -1087,7 +1087,7 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 4,
@@ -1100,7 +1100,7 @@ mod tests {
         ctx.advance(SimDuration::from_millis(30));
         p.on_control(
             &mut ctx,
-            ControlPacket::Rupd { src: NodeId(0), dst: NodeId(9) },
+            &ControlPacket::Rupd { src: NodeId(0), dst: NodeId(9) },
             rx(0, ChannelClass::A),
         );
         let e = p.route_entry(NodeId(0), NodeId(9)).unwrap();
@@ -1119,7 +1119,7 @@ mod tests {
         // Active route with downstream n7.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -1133,7 +1133,7 @@ mod tests {
         let mut relay = Rica::new();
         relay.on_control(
             &mut src_ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -1144,7 +1144,7 @@ mod tests {
         );
         relay.on_control(
             &mut src_ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -1157,7 +1157,7 @@ mod tests {
         // REER from n3 (not the downstream n7): ignored.
         relay.on_control(
             &mut src_ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(3) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(3) },
             rx(3, ChannelClass::A),
         );
         assert!(src_ctx.unicasts.is_empty());
@@ -1169,7 +1169,7 @@ mod tests {
         // REER from the true downstream propagates upstream and invalidates.
         relay.on_control(
             &mut src_ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(7) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(7) },
             rx(7, ChannelClass::A),
         );
         assert_eq!(src_ctx.unicasts.len(), 1);
@@ -1183,7 +1183,7 @@ mod tests {
         // Fresh CSI activity.
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 1,
@@ -1199,7 +1199,7 @@ mod tests {
         // REER from the downstream: scenario 1 — checks are flowing, no flood.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
             rx(5, ChannelClass::A),
         );
         assert!(ctx.broadcasts.is_empty(), "no RREQ while CSI checks are fresh");
@@ -1212,7 +1212,7 @@ mod tests {
         // No CSI checks ever received: scenario 2.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
             rx(5, ChannelClass::A),
         );
         assert_eq!(ctx.broadcasts.len(), 1);
@@ -1233,7 +1233,7 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 1,
@@ -1252,7 +1252,7 @@ mod tests {
         let mut p = Rica::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -1263,7 +1263,7 @@ mod tests {
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,

@@ -28,7 +28,7 @@ fn figure_1_route_discovery() {
     // 6, 7, and 4.33 like the figure.
     p.on_control(
         &mut dst,
-        ControlPacket::Rreq {
+        &ControlPacket::Rreq {
             src: NodeId(0),
             dst: NodeId(9),
             bcast_id: 0,
@@ -39,7 +39,7 @@ fn figure_1_route_discovery() {
     );
     p.on_control(
         &mut dst,
-        ControlPacket::Rreq {
+        &ControlPacket::Rreq {
             src: NodeId(0),
             dst: NodeId(9),
             bcast_id: 0,
@@ -50,7 +50,7 @@ fn figure_1_route_discovery() {
     );
     p.on_control(
         &mut dst,
-        ControlPacket::Rreq {
+        &ControlPacket::Rreq {
             src: NodeId(0),
             dst: NodeId(9),
             bcast_id: 0,
@@ -80,7 +80,13 @@ fn repeated_waves_track_the_best_neighbour() {
     // Establish a first route via n5.
     p.on_control(
         &mut ctx,
-        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 5.0, topo_hops: 3 },
+        &ControlPacket::Rrep {
+            src: NodeId(0),
+            dst: NodeId(9),
+            seq: 0,
+            csi_hops: 5.0,
+            topo_hops: 3,
+        },
         rx(5, ChannelClass::A),
     );
     let mut expected = NodeId(5);
@@ -89,7 +95,7 @@ fn repeated_waves_track_the_best_neighbour() {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::CsiCheck {
+            &ControlPacket::CsiCheck {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: wave,
@@ -121,13 +127,19 @@ fn rerr_recovery_via_next_wave() {
     let mut p = Rica::new();
     p.on_control(
         &mut ctx,
-        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 5.0, topo_hops: 3 },
+        &ControlPacket::Rrep {
+            src: NodeId(0),
+            dst: NodeId(9),
+            seq: 0,
+            csi_hops: 5.0,
+            topo_hops: 3,
+        },
         rx(5, ChannelClass::A),
     );
     // A check confirms the wave machinery is alive.
     p.on_control(
         &mut ctx,
-        ControlPacket::CsiCheck {
+        &ControlPacket::CsiCheck {
             src: NodeId(0),
             dst: NodeId(9),
             bcast_id: 0,
@@ -143,7 +155,7 @@ fn rerr_recovery_via_next_wave() {
     // Route dies.
     p.on_control(
         &mut ctx,
-        ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
+        &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(5) },
         rx(5, ChannelClass::A),
     );
     assert!(ctx.broadcasts.is_empty(), "scenario 1: no flood while checks flow");
@@ -156,7 +168,7 @@ fn rerr_recovery_via_next_wave() {
     ctx.advance(SimDuration::from_millis(400));
     p.on_control(
         &mut ctx,
-        ControlPacket::CsiCheck {
+        &ControlPacket::CsiCheck {
             src: NodeId(0),
             dst: NodeId(9),
             bcast_id: 1,
@@ -221,12 +233,12 @@ fn destination_ignores_answered_floods() {
         csi_hops: 1.0,
         topo_hops: 1,
     };
-    p.on_control(&mut ctx, rreq.clone(), rx(1, ChannelClass::A));
+    p.on_control(&mut ctx, &rreq, rx(1, ChannelClass::A));
     let t = ctx.fire_next_timer();
     p.on_timer(&mut ctx, t);
     assert_eq!(ctx.unicasts.len(), 1);
     // Late copy of the same flood: no second reply window, no second RREP.
-    p.on_control(&mut ctx, rreq, rx(2, ChannelClass::A));
+    p.on_control(&mut ctx, &rreq, rx(2, ChannelClass::A));
     assert!(
         !ctx.pending_timers().iter().any(|t| matches!(t.timer, Timer::ReplyWindow { .. })),
         "no new window for an answered flood"
@@ -247,12 +259,12 @@ fn old_wave_cannot_regress_possible_route() {
         ttl: 3,
         received_from: Some(NodeId(from)),
     };
-    p.on_control(&mut ctx, check(5, 7), rx(7, ChannelClass::A));
+    p.on_control(&mut ctx, &check(5, 7), rx(7, ChannelClass::A));
     assert_eq!(p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream, NodeId(7));
     // Stale wave 3 via n8: must not regress.
-    p.on_control(&mut ctx, check(3, 8), rx(8, ChannelClass::A));
+    p.on_control(&mut ctx, &check(3, 8), rx(8, ChannelClass::A));
     assert_eq!(p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream, NodeId(7));
     // Newer wave 6 via n8: updates.
-    p.on_control(&mut ctx, check(6, 8), rx(8, ChannelClass::A));
+    p.on_control(&mut ctx, &check(6, 8), rx(8, ChannelClass::A));
     assert_eq!(p.possible_route(NodeId(0), NodeId(9)).unwrap().downstream, NodeId(8));
 }

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use rica_channel::{ChannelClass, ChannelModel};
 use rica_mac::{backoff_delay, CommonMedium, TxId};
 use rica_metrics::{Metrics, TrialSummary};
-use rica_mobility::{kmh_to_ms, Vec2, Waypoint};
+use rica_mobility::{kmh_to_ms, SpatialGrid, Vec2, Waypoint};
 use rica_net::{
     ControlPacket, DataPacket, DropReason, FlowId, LinkQueue, NodeCtx, NodeId, ProtocolConfig,
     RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
@@ -18,6 +18,13 @@ use crate::scenario::{Flow, ProtocolKind, Scenario};
 const ACK_TIMEOUT: SimDuration = SimDuration::from_millis(5);
 /// Backoff between data retransmission attempts.
 const DATA_RETRY_BACKOFF: SimDuration = SimDuration::from_millis(5);
+/// How far (metres) any terminal may drift before the neighbor grid's
+/// position snapshot is rebuilt. Grid queries inflate their radius by this
+/// bound, so candidate sets stay conservative (scan-identical) while the
+/// O(n) snapshot cost amortises over many events. Smaller = tighter
+/// candidate sets but more frequent rebuilds; 20 m keeps the rebuild
+/// cadence around one per simulated second at the paper's top speeds.
+const GRID_SLACK_M: f64 = 20.0;
 
 #[derive(Debug)]
 enum Event {
@@ -87,13 +94,76 @@ pub struct World<'s> {
     flows: Vec<Flow>,
     flow_seq: Vec<u64>,
     flow_rng: Vec<Rng>,
-    timer_tokens: BTreeMap<u64, EventToken>,
-    next_timer_token: u64,
+    timers: TimerSlab,
     /// Crashed terminals (failure injection).
     dead: Vec<bool>,
     end: SimTime,
     /// Safety valve against pathological event storms.
     max_events: u64,
+    /// Fastest any terminal can move (m/s); 0 for static topologies.
+    max_speed_ms: f64,
+    /// Memoized per-node positions at the current event timestamp, so one
+    /// broadcast evaluates each trajectory at most once.
+    pos_cache: Vec<Vec2>,
+    pos_stamp: Vec<SimTime>,
+    /// Neighbor-candidate grid over a periodic position snapshot.
+    grid: SpatialGrid,
+    /// Grid queries stay conservative until this instant; `None` = stale.
+    grid_valid_until: Option<SimTime>,
+    /// Scratch: candidate node ids from grid queries.
+    scratch_candidates: Vec<u32>,
+    /// Scratch: per-broadcast receiver outcomes.
+    scratch_receivers: Vec<(usize, RxInfo)>,
+    /// Scratch: expired packets surfaced by queue pops.
+    scratch_expired: Vec<DataPacket>,
+}
+
+/// Pending protocol-timer registrations: a generation-tagged slab.
+///
+/// The packed token is `generation << 32 | slot`; a slot's generation bumps
+/// on removal, so a [`TimerToken`] held after its timer fired (or was
+/// cancelled) can never alias a newer registration — reproducing the
+/// "cancel after fire is a no-op" semantics of the `BTreeMap` this
+/// replaces, with O(1) re-usable slots and zero steady-state allocation.
+#[derive(Debug, Default)]
+struct TimerSlab {
+    slots: Vec<(u32, Option<EventToken>)>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Claims a slot and returns its packed token; bind the scheduled
+    /// event with [`TimerSlab::bind`].
+    fn reserve(&mut self) -> u64 {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push((0, None));
+            (self.slots.len() - 1) as u32
+        });
+        let gen = self.slots[slot as usize].0;
+        ((gen as u64) << 32) | slot as u64
+    }
+
+    fn bind(&mut self, token: u64, ev: EventToken) {
+        let slot = (token & u64::from(u32::MAX)) as usize;
+        debug_assert_eq!(self.slots[slot].0, (token >> 32) as u32, "bind of stale token");
+        self.slots[slot].1 = Some(ev);
+    }
+
+    /// Frees the token's slot, returning its event if the token was live.
+    /// Stale tokens (fired, cancelled, or never issued) return `None`.
+    fn remove(&mut self, token: u64) -> Option<EventToken> {
+        let slot = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        match self.slots.get_mut(slot) {
+            Some(s) if s.0 == gen && s.1.is_some() => {
+                let ev = s.1.take();
+                s.0 = s.0.wrapping_add(1);
+                self.free.push(slot as u32);
+                ev
+            }
+            _ => None,
+        }
+    }
 }
 
 impl<'s> std::fmt::Debug for World<'s> {
@@ -140,28 +210,79 @@ impl<'s> World<'s> {
         let protos: Vec<Box<dyn RoutingProtocol>> =
             (0..scenario.nodes).map(|_| kind.make()).collect();
         let flow_rng: Vec<Rng> = (0..flows.len()).map(|i| master.fork(4_000 + i as u64)).collect();
+        // Pinned topologies never move regardless of the configured speed.
+        // Mobile ones move at least at the waypoint model's clamp floor,
+        // even when the configured speed is smaller — the grid's staleness
+        // bound must use the *actual* maximum.
+        let grid_speed = if scenario.pinned_positions.is_some() || max_speed_ms == 0.0 {
+            0.0
+        } else {
+            max_speed_ms.max(Waypoint::MIN_SPEED_MS)
+        };
+        let grid_cell = (scenario.mac.range_m / 3.0).max(GRID_SLACK_M);
         World {
             scenario,
             sim: Simulator::new(),
             nodes,
             protos,
-            channel: ChannelModel::new(scenario.channel.clone(), master.fork(1)),
+            channel: ChannelModel::with_nodes(
+                scenario.channel.clone(),
+                master.fork(1),
+                scenario.nodes as u32,
+            ),
             medium: CommonMedium::new(&scenario.mac),
             metrics: Metrics::new(),
             flow_seq: vec![0; flows.len()],
             flows,
             flow_rng,
-            timer_tokens: BTreeMap::new(),
-            next_timer_token: 0,
+            timers: TimerSlab::default(),
             dead: vec![false; scenario.nodes],
             end: SimTime::ZERO + scenario.duration,
             max_events: 500_000_000,
+            max_speed_ms: grid_speed,
+            pos_cache: vec![Vec2::ZERO; scenario.nodes],
+            // `SimTime::MAX` never equals an event timestamp: all stale.
+            pos_stamp: vec![SimTime::MAX; scenario.nodes],
+            grid: SpatialGrid::new(scenario.field, grid_cell),
+            grid_valid_until: None,
+            scratch_candidates: Vec::new(),
+            scratch_receivers: Vec::new(),
+            scratch_expired: Vec::new(),
         }
     }
 
+    /// The position of node `i` at the current instant, memoized per event
+    /// timestamp (trajectory evaluation advances waypoint legs; one event
+    /// should pay for each node at most once).
     fn position(&mut self, i: usize) -> Vec2 {
         let now = self.sim.now();
-        self.nodes[i].mobility.position_at(now)
+        if self.pos_stamp[i] == now {
+            return self.pos_cache[i];
+        }
+        let p = self.nodes[i].mobility.position_at(now);
+        self.pos_cache[i] = p;
+        self.pos_stamp[i] = now;
+        p
+    }
+
+    /// Rebuilds the neighbor grid if any terminal may have drifted more
+    /// than [`GRID_SLACK_M`] since the last position snapshot.
+    fn ensure_grid(&mut self) {
+        let now = self.sim.now();
+        if let Some(valid) = self.grid_valid_until {
+            if now <= valid {
+                return;
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let _ = self.position(i);
+        }
+        self.grid.rebuild(&self.pos_cache);
+        self.grid_valid_until = Some(if self.max_speed_ms > 0.0 {
+            now.saturating_add(SimDuration::from_secs_f64(GRID_SLACK_M / self.max_speed_ms))
+        } else {
+            SimTime::MAX
+        });
     }
 
     fn link_class(&mut self, a: usize, b: usize) -> Option<ChannelClass> {
@@ -208,15 +329,11 @@ impl<'s> World<'s> {
     pub fn step_until(&mut self, until: SimTime) -> u64 {
         let until = until.min(self.end);
         let mut events = 0u64;
-        while let Some(t) = self.sim.peek_time() {
-            if t > until {
-                break;
-            }
+        // `max_events` is the safety valve against pathological storms;
+        // results remain valid up to the instant the valve trips.
+        while events < self.max_events {
+            let Some((_, ev)) = self.sim.step_at_or_before(until) else { break };
             events += 1;
-            if events > self.max_events {
-                break; // safety valve; results remain valid up to `t`
-            }
-            let (_, ev) = self.sim.step().expect("peeked");
             self.handle(ev);
         }
         events
@@ -278,7 +395,7 @@ impl<'s> World<'s> {
             Event::MacTxEnd { node, tx } => self.on_mac_tx_end(node, tx),
             Event::DataTxEnd { from, to } => self.on_data_tx_end(from, to),
             Event::ProtoTimer { node, timer, token } => {
-                self.timer_tokens.remove(&token);
+                self.timers.remove(token);
                 self.dispatch(node, move |proto, ctx| proto.on_timer(ctx, timer));
             }
             Event::Crash { node } => {
@@ -345,7 +462,9 @@ impl<'s> World<'s> {
         }
         let pos = self.position(node);
         if self.medium.is_busy_near(node as u32, pos, now) {
-            let mac = self.scenario.mac.clone();
+            // `self.scenario` is a shared borrow with its own lifetime, so
+            // the config needs no clone alongside the node borrow.
+            let mac = &self.scenario.mac;
             let st = &mut self.nodes[node];
             st.mac_attempts += 1;
             if st.mac_attempts > mac.max_attempts {
@@ -355,7 +474,7 @@ impl<'s> World<'s> {
                 self.metrics.on_ctrl_queue_drop();
                 self.sim.schedule_in(mac.ifs, Event::MacAttempt { node });
             } else {
-                let delay = backoff_delay(&mac, st.mac_attempts - 1, &mut st.rng);
+                let delay = backoff_delay(mac, st.mac_attempts - 1, &mut st.rng);
                 self.sim.schedule_in(delay, Event::MacAttempt { node });
             }
             return;
@@ -378,19 +497,42 @@ impl<'s> World<'s> {
         let range = self.scenario.mac.range_m;
         let p_tx = self.position(node);
         // Determine the outcome at every potential receiver first, then
-        // dispatch (dispatching mutates the world).
-        let n = self.nodes.len();
-        let mut receivers: Vec<(usize, RxInfo)> = Vec::new();
+        // dispatch (dispatching mutates the world). Candidates come from
+        // the spatial grid — a conservative superset in *cell* order, so
+        // the per-candidate work below must stay order-independent (it
+        // touches only per-pair state and counters; survivors are sorted
+        // before dispatch) — and the exact range / collision / class
+        // checks reproduce the full O(n) scan verbatim.
+        // The exact in-range predicate is `distance (hypot) > range`, but
+        // the hypot result is otherwise unused — so decide by squared
+        // distance wherever it is conclusive, and fall back to the exact
+        // hypot only inside a ±1e-9 relative band around the boundary
+        // (astronomically rare; float error is ~1e-15 relative). Same
+        // decisions, no hypot per candidate.
+        let range_sq_hi = (range * (1.0 + 1e-9)) * (range * (1.0 + 1e-9));
+        let range_sq_lo = (range * (1.0 - 1e-9)) * (range * (1.0 - 1e-9));
+        self.ensure_grid();
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        // Unordered candidates: the per-candidate checks below touch
+        // independent per-pair state, so only the surviving receivers need
+        // sorting (there are far fewer of them than candidates).
+        self.grid.query_unordered_into(p_tx, range + GRID_SLACK_M, &mut candidates);
+        self.medium.begin_delivery(tx);
+        let mut receivers = std::mem::take(&mut self.scratch_receivers);
         let mut target_delivered = false;
-        for j in 0..n {
+        for &cand in &candidates {
+            let j = cand as usize;
             if j == node || self.dead[j] {
                 continue;
             }
             let pj = self.position(j);
-            if pj.distance(p_tx) > range {
+            let d_sq = pj.distance_sq(p_tx);
+            let out_of_range =
+                d_sq > range_sq_hi || (d_sq > range_sq_lo && pj.distance(p_tx) > range);
+            if out_of_range {
                 continue;
             }
-            if !self.medium.delivered(tx, j as u32, pj) {
+            if !self.medium.delivered_prepared(j as u32, pj) {
                 self.metrics.on_collision();
                 continue;
             }
@@ -408,6 +550,10 @@ impl<'s> World<'s> {
                 Some(_) => {} // MAC-filtered: not addressed to j
             }
         }
+        self.scratch_candidates = candidates;
+        // Protocol side effects depend on delivery order: dispatch in
+        // ascending node order, exactly like the full scan did.
+        receivers.sort_unstable_by_key(|&(j, _)| j);
         // Unicast MAC-level retransmission on failure.
         if let Some(_t) = out.target {
             if !target_delivered && out.retries < self.scenario.mac.ctrl_retry_limit {
@@ -427,11 +573,14 @@ impl<'s> World<'s> {
             let ifs = self.scenario.mac.ifs;
             self.sim.schedule_in(ifs, Event::MacAttempt { node });
         }
-        // Deliver to the receiving protocols.
-        for (j, info) in receivers {
-            let pkt = out.pkt.clone();
+        // Deliver to the receiving protocols: every receiver borrows the
+        // same packet buffer (no per-receiver clone).
+        for &(j, info) in &receivers {
+            let pkt = &out.pkt;
             self.dispatch(j, move |proto, ctx| proto.on_control(ctx, pkt, info));
         }
+        receivers.clear();
+        self.scratch_receivers = receivers;
     }
 
     // ---------------------------------------------------------- data plane
@@ -453,15 +602,18 @@ impl<'s> World<'s> {
     /// Starts transmitting the next queued packet on `from → to`, if idle.
     fn try_start_data(&mut self, from: usize, to: usize) {
         let now = self.sim.now();
-        let Some(link) = self.nodes[from].links.get_mut(&to) else { return };
-        if link.in_flight.is_some() {
-            return;
-        }
-        let mut expired = Vec::new();
-        let pkt = link.queue.pop_fresh(now, &mut expired);
-        for _ in &expired {
+        let mut expired = std::mem::take(&mut self.scratch_expired);
+        let pkt = match self.nodes[from].links.get_mut(&to) {
+            Some(link) if link.in_flight.is_none() => link.queue.pop_fresh(now, &mut expired),
+            _ => {
+                self.scratch_expired = expired;
+                return;
+            }
+        };
+        for _ in expired.drain(..) {
             self.metrics.on_dropped(DropReason::BufferTimeout);
         }
+        self.scratch_expired = expired;
         let Some(pkt) = pkt else { return };
         let class = self.link_class(from, to);
         let dur = Self::attempt_duration(&pkt, class);
@@ -525,15 +677,14 @@ impl<'s> World<'s> {
     // ------------------------------------------------------------ timers
 
     fn set_timer(&mut self, node: usize, delay: SimDuration, timer: Timer) -> TimerToken {
-        let token = self.next_timer_token;
-        self.next_timer_token += 1;
+        let token = self.timers.reserve();
         let ev = self.sim.schedule_in(delay, Event::ProtoTimer { node, timer, token });
-        self.timer_tokens.insert(token, ev);
+        self.timers.bind(token, ev);
         TimerToken(token)
     }
 
     fn cancel_timer(&mut self, token: TimerToken) {
-        if let Some(ev) = self.timer_tokens.remove(&token.0) {
+        if let Some(ev) = self.timers.remove(token.0) {
             self.sim.cancel(ev);
         }
     }
@@ -636,7 +787,7 @@ impl RoutingProtocol for NullProto {
     fn name(&self) -> &'static str {
         "null"
     }
-    fn on_control(&mut self, _: &mut dyn NodeCtx, _: ControlPacket, _: RxInfo) {
+    fn on_control(&mut self, _: &mut dyn NodeCtx, _: &ControlPacket, _: RxInfo) {
         unreachable!("re-entrant protocol dispatch");
     }
     fn on_data(&mut self, _: &mut dyn NodeCtx, _: DataPacket, _: Option<RxInfo>) {

@@ -38,12 +38,25 @@ pub struct CommonMedium {
     range_sq: f64,
     next_id: u64,
     active: Vec<Transmission>,
+    /// Index into `active` of the transmission staged by
+    /// [`CommonMedium::begin_delivery`].
+    prepared: Option<usize>,
+    /// `(tx_node, position)` of every transmission overlapping the
+    /// prepared one in time — copied inline so the per-receiver collision
+    /// scan walks one compact array.
+    prepared_overlaps: Vec<(u32, Vec2)>,
 }
 
 impl CommonMedium {
     /// Creates an idle medium with the configuration's radio range.
     pub fn new(config: &MacConfig) -> Self {
-        CommonMedium { range_sq: config.range_m * config.range_m, next_id: 0, active: Vec::new() }
+        CommonMedium {
+            range_sq: config.range_m * config.range_m,
+            next_id: 0,
+            active: Vec::new(),
+            prepared: None,
+            prepared_overlaps: Vec::new(),
+        }
     }
 
     fn in_range(&self, a: Vec2, b: Vec2) -> bool {
@@ -61,6 +74,7 @@ impl CommonMedium {
         let id = self.next_id;
         self.next_id += 1;
         self.active.push(Transmission { id, tx_node, pos, start, end });
+        self.prepared = None; // overlap set may be incomplete now
         TxId(id)
     }
 
@@ -100,10 +114,57 @@ impl CommonMedium {
         })
     }
 
+    /// Stages transmission `tx` for per-receiver delivery checks: its
+    /// time-overlap set is computed **once** here, so each subsequent
+    /// [`CommonMedium::delivered_prepared`] is O(overlapping) instead of
+    /// O(active) — the broadcast fan-out pays the scan once per
+    /// transmission, not once per receiver.
+    ///
+    /// Staging is invalidated by [`CommonMedium::begin_tx`] and
+    /// [`CommonMedium::prune_before`] (they reshape `active`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is unknown (already pruned).
+    pub fn begin_delivery(&mut self, tx: TxId) {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx.0)
+            .expect("transmission pruned before delivery check");
+        let t = &self.active[idx];
+        self.prepared_overlaps.clear();
+        for (i, o) in self.active.iter().enumerate() {
+            if i != idx && o.start < t.end && t.start < o.end {
+                self.prepared_overlaps.push((o.tx_node, o.pos));
+            }
+        }
+        self.prepared = Some(idx);
+    }
+
+    /// [`CommonMedium::delivered`] for the transmission staged by
+    /// [`CommonMedium::begin_delivery`], against its precomputed overlap
+    /// set. Produces exactly the same answer as `delivered`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission is staged.
+    pub fn delivered_prepared(&self, rx_node: u32, rx_pos: Vec2) -> bool {
+        let t = &self.active[self.prepared.expect("begin_delivery not called")];
+        if rx_node == t.tx_node || !self.in_range(rx_pos, t.pos) {
+            return false;
+        }
+        !self
+            .prepared_overlaps
+            .iter()
+            .any(|&(o_node, o_pos)| o_node == rx_node || self.in_range(rx_pos, o_pos))
+    }
+
     /// Discards transmissions that ended strictly before `now` (they cannot
     /// overlap any transmission that is still live or future).
     pub fn prune_before(&mut self, now: SimTime) {
         self.active.retain(|t| t.end >= now);
+        self.prepared = None;
     }
 
     /// Number of tracked transmissions (live + just-finished).
@@ -194,6 +255,43 @@ mod tests {
         m.prune_before(t(11));
         assert_eq!(m.tracked(), 1, "a pruned once strictly past its end");
         let _ = a; // a's delivery was checked before pruning in real use
+    }
+
+    #[test]
+    fn prepared_delivery_matches_plain_delivery() {
+        // Dense overlapping mess: every (tx, receiver) pair must answer
+        // identically through the staged and the plain paths.
+        let mut m = medium();
+        let mut rng = rica_sim::Rng::new(11);
+        let mut txs = Vec::new();
+        for node in 0..12u32 {
+            let pos = Vec2::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0));
+            let s = rng.u64_below(20);
+            let d = 1 + rng.u64_below(15);
+            txs.push(m.begin_tx(node, pos, t(s), t(s + d)));
+        }
+        for &tx in &txs {
+            m.begin_delivery(tx);
+            for rx_node in 0..12u32 {
+                let rx_pos = Vec2::new(rx_node as f64 * 80.0, 400.0);
+                assert_eq!(
+                    m.delivered_prepared(rx_node, rx_pos),
+                    m.delivered(tx, rx_node, rx_pos),
+                    "tx {tx:?} → rx {rx_node} diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_delivery not called")]
+    fn unstaged_prepared_delivery_panics() {
+        let mut m = medium();
+        let tx = m.begin_tx(0, Vec2::ZERO, t(0), t(10));
+        m.begin_delivery(tx);
+        // A new transmission invalidates the staging.
+        m.begin_tx(1, Vec2::new(600.0, 0.0), t(0), t(10));
+        m.delivered_prepared(2, Vec2::new(100.0, 0.0));
     }
 
     #[test]

@@ -20,8 +20,13 @@ pub struct Metrics {
     delivered: u64,
     delay: Welford,
     delays_ms: Vec<f64>,
-    drops: BTreeMap<DropReason, u64>,
-    control_bits: BTreeMap<ControlKind, u64>,
+    /// Flat counters indexed by `DropReason as usize` / `ControlKind as
+    /// usize` — these are bumped on the simulator hot path, where a map
+    /// probe per packet is measurable. [`Metrics::finish`] folds them back
+    /// into the summary's maps (zero entries omitted, as the map-based
+    /// recorder produced).
+    drops: [u64; DropReason::ALL.len()],
+    control_bits: [u64; ControlKind::ALL.len()],
     control_tx_count: u64,
     ack_bits: u64,
     hops_total: u64,
@@ -60,13 +65,13 @@ impl Metrics {
 
     /// A data packet was dropped.
     pub fn on_dropped(&mut self, reason: DropReason) {
-        *self.drops.entry(reason).or_insert(0) += 1;
+        self.drops[reason as usize] += 1;
     }
 
     /// A control packet of `kind` was transmitted on the common channel
     /// (each transmission counts, per §III.A).
     pub fn on_control_tx(&mut self, kind: ControlKind, bits: u64) {
-        *self.control_bits.entry(kind).or_insert(0) += bits;
+        self.control_bits[kind as usize] += bits;
         self.control_tx_count += 1;
     }
 
@@ -102,12 +107,24 @@ impl Metrics {
 
     /// Packets dropped so far (all reasons).
     pub fn dropped(&self) -> u64 {
-        self.drops.values().sum()
+        self.drops.iter().sum()
     }
 
     /// Freezes the recorder into a summary for a run of length `duration`.
     pub fn finish(self, duration: SimDuration) -> TrialSummary {
-        let control_bits_total: u64 = self.control_bits.values().sum();
+        let control_bits_total: u64 = self.control_bits.iter().sum();
+        // Only reasons/kinds that actually occurred appear in the maps —
+        // counts are always positive when present.
+        let drops: BTreeMap<DropReason, u64> = DropReason::ALL
+            .into_iter()
+            .filter(|&r| self.drops[r as usize] > 0)
+            .map(|r| (r, self.drops[r as usize]))
+            .collect();
+        let control_bits: BTreeMap<ControlKind, u64> = ControlKind::ALL
+            .into_iter()
+            .filter(|&k| self.control_bits[k as usize] > 0)
+            .map(|k| (k, self.control_bits[k as usize]))
+            .collect();
         let secs = duration.as_secs_f64().max(f64::MIN_POSITIVE);
         let bins = (duration.as_nanos() / THROUGHPUT_BIN.as_nanos()) as usize;
         let mut tput = self.throughput_bins_bits.clone();
@@ -126,13 +143,13 @@ impl Metrics {
             duration,
             generated: self.generated,
             delivered: self.delivered,
-            drops: self.drops,
+            drops,
             delay_mean_ms: self.delay.mean(),
             delay_std_ms: self.delay.population_std(),
             delay_p50_ms: pct(0.50),
             delay_p95_ms: pct(0.95),
             delay_max_ms: delays.last().copied().unwrap_or(0.0),
-            control_bits: self.control_bits,
+            control_bits,
             control_tx_count: self.control_tx_count,
             ack_bits: self.ack_bits,
             overhead_kbps: (control_bits_total + self.ack_bits) as f64 / secs / 1e3,

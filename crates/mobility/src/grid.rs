@@ -1,0 +1,221 @@
+//! A uniform spatial grid for neighbor-candidate queries.
+//!
+//! The simulator's broadcast hot path needs "which terminals might be
+//! within radio range of this point?" many thousands of times per
+//! simulated second. Scanning all `n` terminals per event is O(n);
+//! [`SpatialGrid`] answers with the occupants of the few cells a query
+//! disc overlaps instead.
+//!
+//! The grid holds a *snapshot* of positions ([`SpatialGrid::rebuild`],
+//! O(n) counting sort into CSR buckets, allocation-free after warm-up).
+//! Terminals move between rebuilds, so callers query with an inflated
+//! radius — range plus a bound on how far anything can have moved since
+//! the snapshot — and re-check candidates against exact positions. That
+//! makes the grid a conservative prefilter: results are *identical* to a
+//! full scan, only cheaper.
+
+use crate::{Field, Vec2};
+
+/// A uniform grid over a [`Field`], bucketing point indices by cell.
+///
+/// ```
+/// use rica_mobility::{Field, SpatialGrid, Vec2};
+///
+/// let mut grid = SpatialGrid::new(Field::PAPER, 125.0);
+/// let positions = vec![Vec2::new(10.0, 10.0), Vec2::new(900.0, 900.0), Vec2::new(60.0, 40.0)];
+/// grid.rebuild(&positions);
+/// let mut out = Vec::new();
+/// grid.query_into(Vec2::new(0.0, 0.0), 150.0, &mut out);
+/// assert_eq!(out, vec![0, 2]); // ascending index; far point excluded
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR bucket boundaries: cell `c` owns `items[starts[c]..starts[c+1]]`.
+    starts: Vec<u32>,
+    /// Point indices, bucketed by cell, ascending within each cell.
+    items: Vec<u32>,
+    /// Scratch cursor per cell for the counting sort.
+    cursors: Vec<u32>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid over `field` with cells of roughly
+    /// `cell_hint_m` metres (clamped so the grid stays small and sane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_hint_m` is not strictly positive and finite.
+    pub fn new(field: Field, cell_hint_m: f64) -> Self {
+        assert!(
+            cell_hint_m.is_finite() && cell_hint_m > 0.0,
+            "cell size must be positive and finite, got {cell_hint_m}"
+        );
+        let cols = (field.width() / cell_hint_m).ceil().clamp(1.0, 256.0) as usize;
+        let rows = (field.height() / cell_hint_m).ceil().clamp(1.0, 256.0) as usize;
+        // The effective cell edge covers the field exactly.
+        let cell = (field.width() / cols as f64).max(field.height() / rows as f64);
+        SpatialGrid {
+            cell,
+            cols,
+            rows,
+            starts: vec![0; cols * rows + 1],
+            items: Vec::new(),
+            cursors: vec![0; cols * rows],
+        }
+    }
+
+    fn col_of(&self, x: f64) -> usize {
+        ((x / self.cell) as usize).min(self.cols - 1)
+    }
+
+    fn row_of(&self, y: f64) -> usize {
+        ((y / self.cell) as usize).min(self.rows - 1)
+    }
+
+    /// Re-indexes the grid from a position snapshot (index `i` of
+    /// `positions` becomes item `i`). Allocation-free once warm.
+    ///
+    /// Positions outside the field clamp to the boundary cells, so stray
+    /// points are never lost — only binned approximately, which the
+    /// caller's exact re-check absorbs.
+    pub fn rebuild(&mut self, positions: &[Vec2]) {
+        let cells = self.cols * self.rows;
+        let mut counts = std::mem::take(&mut self.cursors);
+        counts.fill(0);
+        for p in positions {
+            counts[self.row_of(p.y) * self.cols + self.col_of(p.x)] += 1;
+        }
+        let mut running = 0u32;
+        for (start, count) in self.starts.iter_mut().zip(counts.iter_mut()) {
+            *start = running;
+            running += *count;
+            // `counts` becomes the per-cell write cursor.
+            *count = *start;
+        }
+        self.starts[cells] = running;
+        self.items.resize(positions.len(), 0);
+        for (i, p) in positions.iter().enumerate() {
+            let c = self.row_of(p.y) * self.cols + self.col_of(p.x);
+            self.items[counts[c] as usize] = i as u32;
+            counts[c] += 1;
+        }
+        self.cursors = counts;
+    }
+
+    /// Collects into `out` (cleared first) every item whose *snapshot* cell
+    /// intersects the axis-aligned bounding square of the disc
+    /// `(center, radius)`, in ascending item order.
+    ///
+    /// This is a superset of the items within `radius` of `center` at
+    /// snapshot time; callers must re-check candidates exactly (and with a
+    /// radius inflated by any movement since [`SpatialGrid::rebuild`]).
+    pub fn query_into(&self, center: Vec2, radius: f64, out: &mut Vec<u32>) {
+        self.query_unordered_into(center, radius, out);
+        // Cells are visited row-major; restore global index order so
+        // downstream iteration is deterministic and scan-identical.
+        out.sort_unstable();
+    }
+
+    /// [`SpatialGrid::query_into`] without the final sort: candidates
+    /// arrive in cell (row-major) order, ascending only *within* each
+    /// cell. For callers whose per-candidate work is order-independent —
+    /// they sort (or don't care about) the survivors — this skips sorting
+    /// the superset.
+    pub fn query_unordered_into(&self, center: Vec2, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let c0 = self.col_of((center.x - radius).max(0.0));
+        let c1 = self.col_of((center.x + radius).max(0.0));
+        let r0 = self.row_of((center.y - radius).max(0.0));
+        let r1 = self.row_of((center.y + radius).max(0.0));
+        for row in r0..=r1 {
+            // Cells of one row are contiguous in the CSR layout, so the
+            // whole `c0..=c1` span is a single slice.
+            let base = row * self.cols;
+            let (lo, hi) = (self.starts[base + c0] as usize, self.starts[base + c1 + 1] as usize);
+            out.extend_from_slice(&self.items[lo..hi]);
+        }
+    }
+
+    /// Number of cells along x and y (diagnostics).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with(points: &[Vec2]) -> SpatialGrid {
+        let mut g = SpatialGrid::new(Field::PAPER, 125.0);
+        g.rebuild(points);
+        g
+    }
+
+    #[test]
+    fn query_is_a_superset_of_the_exact_disc() {
+        let mut rng = rica_sim::Rng::new(42);
+        let points: Vec<Vec2> = (0..300).map(|_| Field::PAPER.random_point(&mut rng)).collect();
+        let g = grid_with(&points);
+        let mut out = Vec::new();
+        for q in 0..50 {
+            let center = Field::PAPER.random_point(&mut rng);
+            let radius = 50.0 + (q as f64) * 10.0;
+            g.query_into(center, radius, &mut out);
+            for (i, p) in points.iter().enumerate() {
+                if p.distance(center) <= radius {
+                    assert!(
+                        out.contains(&(i as u32)),
+                        "point {i} at {p} within {radius} of {center} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_ascend_and_rebuild_replaces() {
+        let mut g = grid_with(&[Vec2::new(500.0, 500.0), Vec2::new(510.0, 505.0)]);
+        let mut out = Vec::new();
+        g.query_into(Vec2::new(505.0, 505.0), 30.0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        // Rebuild with one point moved far away.
+        g.rebuild(&[Vec2::new(500.0, 500.0), Vec2::new(20.0, 20.0)]);
+        g.query_into(Vec2::new(505.0, 505.0), 30.0, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn whole_field_query_returns_everything_once() {
+        let mut rng = rica_sim::Rng::new(7);
+        let points: Vec<Vec2> = (0..64).map(|_| Field::PAPER.random_point(&mut rng)).collect();
+        let g = grid_with(&points);
+        let mut out = Vec::new();
+        g.query_into(Vec2::new(500.0, 500.0), 2_000.0, &mut out);
+        assert_eq!(out, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn boundary_points_are_kept() {
+        let g = grid_with(&[Vec2::new(1000.0, 1000.0), Vec2::ZERO]);
+        let mut out = Vec::new();
+        g.query_into(Vec2::new(999.0, 999.0), 5.0, &mut out);
+        assert_eq!(out, vec![0]);
+        g.query_into(Vec2::ZERO, 1.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn tiny_field_is_one_cell() {
+        let mut g = SpatialGrid::new(Field::new(10.0, 10.0), 125.0);
+        assert_eq!(g.dims(), (1, 1));
+        g.rebuild(&[Vec2::new(1.0, 1.0), Vec2::new(9.0, 9.0)]);
+        let mut out = Vec::new();
+        g.query_into(Vec2::new(5.0, 5.0), 0.1, &mut out);
+        // Everything shares the single cell: both are candidates.
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 
 mod field;
+mod grid;
 mod vec2;
 mod waypoint;
 
 pub use field::Field;
+pub use grid::SpatialGrid;
 pub use vec2::Vec2;
 pub use waypoint::Waypoint;
 

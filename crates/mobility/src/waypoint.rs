@@ -46,6 +46,12 @@ pub struct Waypoint {
 const MIN_SPEED_MS: f64 = 1e-3;
 
 impl Waypoint {
+    /// The floor every *moving* trajectory's leg speed is clamped to
+    /// (m/s); a `max_speed` of exactly `0` is genuinely static. Anything
+    /// bounding displacement over time (e.g. a spatial index's staleness
+    /// window) must assume at least this speed for mobile terminals.
+    pub const MIN_SPEED_MS: f64 = MIN_SPEED_MS;
+
     /// Creates a trajectory.
     ///
     /// * `max_speed` — MAXSPEED in m/s; each leg's speed is uniform in

@@ -176,6 +176,23 @@ pub enum ControlKind {
     LqRep,
 }
 
+impl ControlKind {
+    /// Every kind, in declaration (= `Ord`) order; `kind as usize` indexes
+    /// this table, which lets hot counters use flat arrays instead of maps.
+    pub const ALL: [ControlKind; 10] = [
+        ControlKind::Rreq,
+        ControlKind::Rrep,
+        ControlKind::CsiCheck,
+        ControlKind::Rupd,
+        ControlKind::Rerr,
+        ControlKind::Beacon,
+        ControlKind::Lsu,
+        ControlKind::Bq,
+        ControlKind::Lq,
+        ControlKind::LqRep,
+    ];
+}
+
 impl ControlPacket {
     /// On-air size in bytes (header + fields), used for transmission delay
     /// and the routing-overhead metric.

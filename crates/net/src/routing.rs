@@ -36,6 +36,17 @@ pub enum DropReason {
     LinkBreak,
 }
 
+impl DropReason {
+    /// Every reason, in declaration (= `Ord`) order; `reason as usize`
+    /// indexes this table (flat drop counters).
+    pub const ALL: [DropReason; 4] = [
+        DropReason::BufferOverflow,
+        DropReason::BufferTimeout,
+        DropReason::NoRoute,
+        DropReason::LinkBreak,
+    ];
+}
+
 impl std::fmt::Display for DropReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -172,7 +183,11 @@ pub trait RoutingProtocol {
     fn on_topology_snapshot(&mut self, _ctx: &mut dyn NodeCtx, _snap: &TopologySnapshot) {}
 
     /// A control packet arrived on the common channel.
-    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo);
+    ///
+    /// The packet is borrowed: one broadcast reaches many receivers, and
+    /// the harness hands every receiver the *same* buffer instead of a
+    /// per-receiver clone. Implementations copy out what they keep.
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: &ControlPacket, rx: RxInfo);
 
     /// A data packet needs handling: either locally generated (`rx ==
     /// None`) or received from the previous hop (`rx == Some(..)`; the

@@ -182,10 +182,10 @@ impl RoutingProtocol for Abr {
         ctx.set_timer(rica_sim::SimDuration::from_nanos(jitter_ns), Timer::Beacon);
     }
 
-    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: &ControlPacket, rx: RxInfo) {
         let me = ctx.id();
         let now = ctx.now();
-        match pkt {
+        match *pkt {
             ControlPacket::Beacon => {
                 let period = ctx.config().beacon_period;
                 let loss = ctx.config().beacon_loss_limit;
@@ -530,7 +530,7 @@ mod tests {
     fn beacon_n_times(p: &mut Abr, ctx: &mut ScriptedCtx, from: u32, n: u32) {
         for _ in 0..n {
             ctx.advance(SimDuration::from_secs(1));
-            p.on_control(ctx, ControlPacket::Beacon, rx(from));
+            p.on_control(ctx, &ControlPacket::Beacon, rx(from));
         }
     }
 
@@ -543,7 +543,7 @@ mod tests {
         assert!(p.is_stable(NodeId(3), &ctx), "threshold is 4 ticks");
         // A long silence breaks the association: ticks restart at 1.
         ctx.advance(SimDuration::from_secs(10));
-        p.on_control(&mut ctx, ControlPacket::Beacon, rx(3));
+        p.on_control(&mut ctx, &ControlPacket::Beacon, rx(3));
         assert_eq!(p.ticks_for(NodeId(3)), 1);
         assert!(!p.is_stable(NodeId(3), &ctx));
     }
@@ -557,7 +557,7 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Bq {
+            &ControlPacket::Bq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -590,11 +590,11 @@ mod tests {
             load,
         };
         // Short but unstable route via n1.
-        p.on_control(&mut ctx, bq(0, 2, 0), rx(1));
+        p.on_control(&mut ctx, &bq(0, 2, 0), rx(1));
         // Longer, fully stable route via n2 — ABR picks this one
         // ("ABR inclines to select the route with the highest stability and
         // normally such a route has a greater number of hops").
-        p.on_control(&mut ctx, bq(4, 5, 0), rx(2));
+        p.on_control(&mut ctx, &bq(4, 5, 0), rx(2));
         let t = ctx.fire_next_timer();
         assert_eq!(t, Timer::ReplyWindow { src: NodeId(0), dst: NodeId(9) });
         p.on_timer(&mut ctx, t);
@@ -614,9 +614,9 @@ mod tests {
             stable_links: stable,
             load,
         };
-        p.on_control(&mut ctx, bq(2, 3, 9), rx(1));
-        p.on_control(&mut ctx, bq(2, 6, 2), rx(2)); // lighter load wins
-        p.on_control(&mut ctx, bq(2, 2, 9), rx(3));
+        p.on_control(&mut ctx, &bq(2, 3, 9), rx(1));
+        p.on_control(&mut ctx, &bq(2, 6, 2), rx(2)); // lighter load wins
+        p.on_control(&mut ctx, &bq(2, 2, 9), rx(3));
         let t = ctx.fire_next_timer();
         p.on_timer(&mut ctx, t);
         assert_eq!(ctx.unicasts[0].0, NodeId(2));
@@ -629,7 +629,7 @@ mod tests {
         // Establish a route as relay: BQ then RREP.
         p.on_control(
             &mut ctx,
-            ControlPacket::Bq {
+            &ControlPacket::Bq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -641,7 +641,7 @@ mod tests {
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -662,7 +662,7 @@ mod tests {
         // The destination answers: packets flush along the partial route.
         p.on_control(
             &mut ctx,
-            ControlPacket::LqRep {
+            &ControlPacket::LqRep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 origin: NodeId(5),
@@ -683,7 +683,7 @@ mod tests {
         let mut p = Abr::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Bq {
+            &ControlPacket::Bq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -695,7 +695,7 @@ mod tests {
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -729,7 +729,7 @@ mod tests {
         let mut relay = Abr::new();
         relay.on_control(
             &mut relay_ctx,
-            ControlPacket::Lq {
+            &ControlPacket::Lq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 origin: NodeId(5),
@@ -746,7 +746,7 @@ mod tests {
         let mut dst = Abr::new();
         dst.on_control(
             &mut dst_ctx,
-            ControlPacket::Lq {
+            &ControlPacket::Lq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 origin: NodeId(5),
@@ -770,7 +770,7 @@ mod tests {
         p.on_data(&mut ctx, data(0, 9, 0), None);
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -782,7 +782,7 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(4) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(4) },
             rx(4),
         );
         assert!(ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Bq { .. })));

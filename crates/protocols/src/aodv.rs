@@ -108,10 +108,10 @@ impl RoutingProtocol for Aodv {
         "AODV"
     }
 
-    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: &ControlPacket, rx: RxInfo) {
         let me = ctx.id();
         let now = ctx.now();
-        match pkt {
+        match *pkt {
             ControlPacket::Rreq { src, dst, bcast_id, topo_hops, .. } => {
                 if src == me {
                     return;
@@ -299,11 +299,11 @@ mod tests {
             csi_hops: 0.0,
             topo_hops: topo,
         };
-        p.on_control(&mut ctx, rreq(4), rx(1));
+        p.on_control(&mut ctx, &rreq(4), rx(1));
         assert_eq!(ctx.unicasts.len(), 1, "immediate reply, no window");
         assert_eq!(ctx.unicasts[0].0, NodeId(1));
         // A shorter copy arrives later: ignored — AODV takes the first path.
-        p.on_control(&mut ctx, rreq(1), rx(2));
+        p.on_control(&mut ctx, &rreq(1), rx(2));
         assert_eq!(ctx.unicasts.len(), 1);
     }
 
@@ -314,7 +314,7 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -340,7 +340,7 @@ mod tests {
         assert_eq!(ctx.broadcasts.len(), 1);
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -362,7 +362,7 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 2,
@@ -374,7 +374,7 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 2,
@@ -410,7 +410,7 @@ mod tests {
         // Route to 9 via 7; flow upstream for (0,9) is 1.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -439,7 +439,7 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -452,7 +452,7 @@ mod tests {
         // REER from n3, but our downstream is n7: stale, ignore.
         p.on_control(
             &mut ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(3) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(3) },
             rx(3),
         );
         assert!(ctx.unicasts.is_empty());
@@ -465,7 +465,7 @@ mod tests {
         let mut p = Aodv::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,

@@ -212,10 +212,10 @@ impl RoutingProtocol for Bgca {
         self.arm_monitor(ctx);
     }
 
-    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: &ControlPacket, rx: RxInfo) {
         let me = ctx.id();
         let now = ctx.now();
-        match pkt {
+        match *pkt {
             ControlPacket::Rreq { src, dst, bcast_id, csi_hops, topo_hops } => {
                 if src == me {
                     return;
@@ -545,7 +545,7 @@ mod tests {
         let mut p = Bgca::new();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: 0,
@@ -556,7 +556,7 @@ mod tests {
         );
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -580,8 +580,8 @@ mod tests {
             csi_hops: csi,
             topo_hops: 2,
         };
-        p.on_control(&mut ctx, mk(5.0), rx(1, ChannelClass::A));
-        p.on_control(&mut ctx, mk(2.0), rx(2, ChannelClass::A));
+        p.on_control(&mut ctx, &mk(5.0), rx(1, ChannelClass::A));
+        p.on_control(&mut ctx, &mk(2.0), rx(2, ChannelClass::A));
         let t = ctx.fire_next_timer();
         assert_eq!(t, Timer::ReplyWindow { src: NodeId(0), dst: NodeId(9) });
         p.on_timer(&mut ctx, t);
@@ -634,7 +634,7 @@ mod tests {
         // The destination's reply arrives via n8: splice.
         p.on_control(
             &mut ctx,
-            ControlPacket::LqRep {
+            &ControlPacket::LqRep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 origin: NodeId(5),
@@ -695,7 +695,7 @@ mod tests {
         p.on_data(&mut ctx, data(0, 9, 0), None);
         p.on_control(
             &mut ctx,
-            ControlPacket::Rrep {
+            &ControlPacket::Rrep {
                 src: NodeId(0),
                 dst: NodeId(9),
                 seq: 0,
@@ -707,7 +707,7 @@ mod tests {
         ctx.clear_actions();
         p.on_control(
             &mut ctx,
-            ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(4) },
+            &ControlPacket::Rerr { src: NodeId(0), dst: NodeId(9), reporter: NodeId(4) },
             rx(4, ChannelClass::A),
         );
         assert!(ctx.broadcasts.iter().any(|b| matches!(b, ControlPacket::Rreq { .. })));

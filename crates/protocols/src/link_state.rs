@@ -22,10 +22,14 @@ use rica_sim::SimTime;
 /// The link-state protocol.
 #[derive(Debug, Default)]
 pub struct LinkState {
-    /// Everyone's advertised adjacencies: origin → (neighbour → CSI cost).
-    topo: BTreeMap<NodeId, BTreeMap<NodeId, f64>>,
-    /// Newest LSU sequence seen per origin (dedup + ordering).
-    lsu_seen: BTreeMap<NodeId, u64>,
+    /// Everyone's advertised adjacencies, indexed by origin id; each list
+    /// is sorted by neighbour id (the relaxation order Dijkstra relies
+    /// on). Flat because LSU dedup + topology reads dominate this
+    /// protocol's hot path.
+    topo: Vec<Vec<(NodeId, f64)>>,
+    /// Newest LSU sequence seen per origin id (dedup + ordering; `None` =
+    /// origin never heard, so *any* sequence — including 0 — is news).
+    lsu_seen: Vec<Option<u64>>,
     /// Our own LSU sequence counter.
     my_seq: u64,
     /// Neighbours heard recently: id → last beacon time.
@@ -36,8 +40,35 @@ pub struct LinkState {
     last_flood: Option<SimTime>,
     /// Whether an adjacency change is waiting for the rate limiter.
     flood_pending: bool,
-    /// Cached next-hop table; `None` when the topology changed.
-    next_hops: Option<BTreeMap<NodeId, NodeId>>,
+    /// Cached next-hop table indexed by destination id; invalidated (and
+    /// recomputed on demand) when the topology changes. Routes are
+    /// recomputed for nearly every data forward under churn, so the
+    /// Dijkstra state below is flat, id-indexed and reused across runs
+    /// instead of per-run `BTreeMap`s.
+    routes_valid: bool,
+    next_hops: Vec<Option<NodeId>>,
+    /// Scratch: tentative cost per node id during Dijkstra.
+    dijkstra_dist: Vec<f64>,
+    /// Scratch: the min-heap frontier.
+    dijkstra_heap: BinaryHeap<FrontierEntry>,
+}
+
+/// Dijkstra frontier entry ordered as a min-heap by `(cost, node id)` —
+/// the node id tie-break keeps the settle order (and therefore the
+/// first-hop choice among equal-cost routes) deterministic.
+#[derive(Debug, PartialEq)]
+struct FrontierEntry(f64, NodeId);
+impl Eq for FrontierEntry {}
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the min cost.
+        other.0.total_cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+    }
 }
 
 impl LinkState {
@@ -49,60 +80,91 @@ impl LinkState {
     /// The computed next hop towards `dst` on this terminal's current view.
     pub fn next_hop_to(&mut self, me: NodeId, dst: NodeId) -> Option<NodeId> {
         self.ensure_routes(me);
-        self.next_hops.as_ref().expect("just computed").get(&dst).copied()
+        self.next_hops.get(dst.index()).copied().flatten()
     }
 
     /// Number of link entries in this terminal's topology view.
     pub fn view_size(&self) -> usize {
-        self.topo.values().map(|m| m.len()).sum()
+        self.topo.iter().map(|m| m.len()).sum()
     }
 
     fn invalidate_routes(&mut self) {
-        self.next_hops = None;
+        self.routes_valid = false;
+    }
+
+    /// The (created-on-demand) adjacency list of `origin`.
+    fn topo_entry(&mut self, origin: NodeId) -> &mut Vec<(NodeId, f64)> {
+        let i = origin.index();
+        if i >= self.topo.len() {
+            self.topo.resize_with(i + 1, Vec::new);
+        }
+        &mut self.topo[i]
+    }
+
+    /// Inserts or updates one sorted-adjacency entry.
+    fn adj_set(adj: &mut Vec<(NodeId, f64)>, n: NodeId, cost: f64) {
+        match adj.binary_search_by_key(&n, |e| e.0) {
+            Ok(i) => adj[i].1 = cost,
+            Err(i) => adj.insert(i, (n, cost)),
+        }
+    }
+
+    /// Removes one sorted-adjacency entry (no-op when absent).
+    fn adj_remove(adj: &mut Vec<(NodeId, f64)>, n: NodeId) {
+        if let Ok(i) = adj.binary_search_by_key(&n, |e| e.0) {
+            adj.remove(i);
+        }
+    }
+
+    /// Highest node id mentioned anywhere in the topology view (bounds the
+    /// flat Dijkstra state).
+    fn max_known_id(&self, me: NodeId) -> usize {
+        let mut max = me.index();
+        for (origin, adj) in self.topo.iter().enumerate() {
+            if let Some(&(last, _)) = adj.last() {
+                max = max.max(origin).max(last.index());
+            }
+        }
+        max
     }
 
     /// Dijkstra over the advertised topology (CSI hop costs), producing the
     /// first hop towards every reachable destination.
+    ///
+    /// Settle order is `(cost, node id)` with relaxation in ascending
+    /// neighbour order — the same order the `BTreeMap`-based version
+    /// produced, so the selected routes are identical; only the bookkeeping
+    /// is flat and reused.
     fn ensure_routes(&mut self, me: NodeId) {
-        if self.next_hops.is_some() {
+        if self.routes_valid {
             return;
         }
-        #[derive(PartialEq)]
-        struct Entry(f64, NodeId);
-        impl Eq for Entry {}
-        impl PartialOrd for Entry {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Entry {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Reversed: BinaryHeap is a max-heap, we need the min cost.
-                other.0.total_cmp(&self.0).then_with(|| other.1.cmp(&self.1))
-            }
-        }
-        let mut dist: BTreeMap<NodeId, f64> = BTreeMap::new();
-        let mut first_hop: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-        let mut heap = BinaryHeap::new();
-        dist.insert(me, 0.0);
-        heap.push(Entry(0.0, me));
-        while let Some(Entry(d, u)) = heap.pop() {
-            if dist.get(&u).copied().unwrap_or(f64::INFINITY) < d {
+        let len = self.max_known_id(me) + 1;
+        self.next_hops.clear();
+        self.next_hops.resize(len, None);
+        self.dijkstra_dist.clear();
+        self.dijkstra_dist.resize(len, f64::INFINITY);
+        let heap = &mut self.dijkstra_heap;
+        heap.clear();
+        self.dijkstra_dist[me.index()] = 0.0;
+        heap.push(FrontierEntry(0.0, me));
+        while let Some(FrontierEntry(d, u)) = heap.pop() {
+            if self.dijkstra_dist[u.index()] < d {
                 continue;
             }
-            let Some(adj) = self.topo.get(&u) else { continue };
-            for (&v, &cost) in adj {
+            let Some(adj) = self.topo.get(u.index()) else { continue };
+            for &(v, cost) in adj {
                 let nd = d + cost;
-                if nd < dist.get(&v).copied().unwrap_or(f64::INFINITY) {
-                    dist.insert(v, nd);
-                    let fh = if u == me { v } else { first_hop[&u] };
-                    first_hop.insert(v, fh);
-                    heap.push(Entry(nd, v));
+                if nd < self.dijkstra_dist[v.index()] {
+                    self.dijkstra_dist[v.index()] = nd;
+                    self.next_hops[v.index()] =
+                        if u == me { Some(v) } else { self.next_hops[u.index()] };
+                    heap.push(FrontierEntry(nd, v));
                 }
             }
         }
-        first_hop.remove(&me);
-        self.next_hops = Some(first_hop);
+        self.next_hops[me.index()] = None;
+        self.routes_valid = true;
     }
 
     /// Whether the measured adjacency differs enough from the advertised
@@ -175,7 +237,11 @@ impl LinkState {
         self.last_flood = Some(now);
         self.my_seq += 1;
         // Update our own view immediately.
-        self.topo.insert(me, self.advertised.iter().map(|(&n, &c)| (n, c.csi_hops())).collect());
+        // `advertised` iterates in ascending id order: the list collects
+        // already sorted.
+        let own: Vec<(NodeId, f64)> =
+            self.advertised.iter().map(|(&n, &c)| (n, c.csi_hops())).collect();
+        *self.topo_entry(me) = own;
         self.invalidate_routes();
         ctx.broadcast(ControlPacket::Lsu { origin: me, seq: self.my_seq, entries, down });
     }
@@ -202,8 +268,8 @@ impl RoutingProtocol for LinkState {
         let now = ctx.now();
         for &(a, b, class) in &snap.links {
             let cost = class.csi_hops();
-            self.topo.entry(a).or_default().insert(b, cost);
-            self.topo.entry(b).or_default().insert(a, cost);
+            Self::adj_set(self.topo_entry(a), b, cost);
+            Self::adj_set(self.topo_entry(b), a, cost);
             if a == me {
                 self.advertised.insert(b, class);
                 self.neighbors.insert(b, now);
@@ -215,34 +281,44 @@ impl RoutingProtocol for LinkState {
         self.invalidate_routes();
     }
 
-    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: ControlPacket, rx: RxInfo) {
+    fn on_control(&mut self, ctx: &mut dyn NodeCtx, pkt: &ControlPacket, rx: RxInfo) {
         let me = ctx.id();
         let now = ctx.now();
-        match pkt {
+        match *pkt {
             ControlPacket::Beacon => {
                 self.neighbors.insert(rx.from, now);
             }
-            ControlPacket::Lsu { origin, seq, entries, down } => {
+            ControlPacket::Lsu { origin, seq, ref entries, ref down } => {
                 if origin == me {
                     return;
                 }
-                if self.lsu_seen.get(&origin).is_some_and(|&s| seq <= s) {
+                if self.lsu_seen.get(origin.index()).copied().flatten().is_some_and(|s| seq <= s) {
                     return; // old news
                 }
-                self.lsu_seen.insert(origin, seq);
+                if origin.index() >= self.lsu_seen.len() {
+                    self.lsu_seen.resize(origin.index() + 1, None);
+                }
+                self.lsu_seen[origin.index()] = Some(seq);
                 // Apply the delta to our copy of origin's adjacency. A
                 // missed LSU leaves stale links behind — intentionally, per
                 // the paper's change-flooding scheme.
-                let adj = self.topo.entry(origin).or_default();
-                for e in &entries {
-                    adj.insert(e.neighbor, e.class.csi_hops());
+                let adj = self.topo_entry(origin);
+                for e in entries {
+                    Self::adj_set(adj, e.neighbor, e.class.csi_hops());
                 }
-                for d in &down {
-                    adj.remove(d);
+                for d in down {
+                    Self::adj_remove(adj, *d);
                 }
                 self.invalidate_routes();
                 // Flood on: every terminal re-broadcasts a fresh LSU once.
-                ctx.broadcast(ControlPacket::Lsu { origin, seq, entries, down });
+                // Only the forwarder clones the payload — receivers that
+                // drop the packet never copy it.
+                ctx.broadcast(ControlPacket::Lsu {
+                    origin,
+                    seq,
+                    entries: entries.clone(),
+                    down: down.clone(),
+                });
             }
             _ => {}
         }
@@ -281,7 +357,10 @@ impl RoutingProtocol for LinkState {
 
     fn current_downstream(&self, _src: NodeId, dst: NodeId) -> Option<NodeId> {
         // Best-effort: only the cached table (recomputing needs &mut).
-        self.next_hops.as_ref().and_then(|m| m.get(&dst).copied())
+        if !self.routes_valid {
+            return None;
+        }
+        self.next_hops.get(dst.index()).copied().flatten()
     }
 
     fn on_link_failure(
@@ -294,8 +373,8 @@ impl RoutingProtocol for LinkState {
         // Remove the adjacency from our view and advertise the change.
         self.neighbors.remove(&neighbor);
         self.advertised.remove(&neighbor);
-        if let Some(adj) = self.topo.get_mut(&me) {
-            adj.remove(&neighbor);
+        if let Some(adj) = self.topo.get_mut(me.index()) {
+            Self::adj_remove(adj, neighbor);
         }
         self.invalidate_routes();
         self.flood_pending = true;
@@ -379,16 +458,16 @@ mod tests {
             entries: vec![],
             down: vec![NodeId(9)],
         };
-        p.on_control(&mut ctx, lsu.clone(), rx(1));
+        p.on_control(&mut ctx, &lsu, rx(1));
         assert_eq!(p.next_hop_to(NodeId(0), NodeId(9)), None, "view updated");
         assert_eq!(ctx.broadcasts.len(), 1, "flooded on");
         // The same LSU again: suppressed.
-        p.on_control(&mut ctx, lsu, rx(2));
+        p.on_control(&mut ctx, &lsu, rx(2));
         assert_eq!(ctx.broadcasts.len(), 1);
         // An older seq: suppressed too.
         p.on_control(
             &mut ctx,
-            ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: vec![], down: vec![] },
+            &ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: vec![], down: vec![] },
             rx(2),
         );
         assert_eq!(ctx.broadcasts.len(), 1);
@@ -401,7 +480,7 @@ mod tests {
         p.on_start(&mut ctx);
         // Hear a neighbour, then run a beacon tick and a sampling tick with
         // a measurable link.
-        p.on_control(&mut ctx, ControlPacket::Beacon, rx(3));
+        p.on_control(&mut ctx, &ControlPacket::Beacon, rx(3));
         ctx.set_link_class(NodeId(3), Some(ChannelClass::B));
         ctx.advance(SimDuration::from_secs(1));
         p.on_timer(&mut ctx, Timer::Beacon);
@@ -437,7 +516,7 @@ mod tests {
         let mut ctx = ScriptedCtx::new(NodeId(0));
         let mut p = LinkState::new();
         p.on_start(&mut ctx);
-        p.on_control(&mut ctx, ControlPacket::Beacon, rx(3));
+        p.on_control(&mut ctx, &ControlPacket::Beacon, rx(3));
         ctx.set_link_class(NodeId(3), Some(ChannelClass::A));
         ctx.advance(SimDuration::from_secs(1));
         p.on_timer(&mut ctx, Timer::LinkMonitor); // flood #1

@@ -41,7 +41,7 @@ fn ls_missed_delta_leaves_stale_link_until_next_change() {
     // unrelated change: our stale view still routes via the dead link.
     p.on_control(
         &mut ctx,
-        ControlPacket::Lsu {
+        &ControlPacket::Lsu {
             origin: NodeId(1),
             seq: 3,
             entries: vec![LsuEntry { neighbor: NodeId(0), class: ChannelClass::B }],
@@ -57,7 +57,7 @@ fn ls_missed_delta_leaves_stale_link_until_next_change() {
     // Seq 4 finally mentions the link: healed.
     p.on_control(
         &mut ctx,
-        ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: vec![], down: vec![NodeId(9)] },
+        &ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: vec![], down: vec![NodeId(9)] },
         rx(1),
     );
     assert_eq!(p.next_hop_to(NodeId(0), NodeId(9)), None);
@@ -85,7 +85,7 @@ fn ls_equal_cost_routes_are_deterministic() {
         // Force recompute via an irrelevant LSU.
         p.on_control(
             &mut ctx,
-            ControlPacket::Lsu { origin: NodeId(7), seq, entries: vec![], down: vec![] },
+            &ControlPacket::Lsu { origin: NodeId(7), seq, entries: vec![], down: vec![] },
             rx(7),
         );
         assert_eq!(p.next_hop_to(NodeId(0), NodeId(9)), first);
@@ -100,7 +100,7 @@ fn abr_lq_for_unknown_flow_is_harmless() {
     let mut p = Abr::new();
     p.on_control(
         &mut ctx,
-        ControlPacket::LqRep {
+        &ControlPacket::LqRep {
             src: NodeId(0),
             dst: NodeId(9),
             origin: NodeId(5),
@@ -142,8 +142,8 @@ fn abr_duplicate_lq_is_suppressed() {
         csi_hops: 0.0,
         topo_hops: 0,
     };
-    p.on_control(&mut ctx, lq.clone(), rx(5));
-    p.on_control(&mut ctx, lq, rx(4));
+    p.on_control(&mut ctx, &lq, rx(5));
+    p.on_control(&mut ctx, &lq, rx(4));
     let lqs = ctx.broadcasts.iter().filter(|b| b.kind() == ControlKind::Lq).count();
     assert_eq!(lqs, 1, "each LQ flood relayed once");
 }
@@ -157,7 +157,7 @@ fn bgca_stale_lqrep_seq_is_ignored() {
     // Install a route and break it, starting repair with bcast id 0.
     p.on_control(
         &mut ctx,
-        ControlPacket::Rreq {
+        &ControlPacket::Rreq {
             src: NodeId(0),
             dst: NodeId(9),
             bcast_id: 0,
@@ -168,7 +168,13 @@ fn bgca_stale_lqrep_seq_is_ignored() {
     );
     p.on_control(
         &mut ctx,
-        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 1.0, topo_hops: 2 },
+        &ControlPacket::Rrep {
+            src: NodeId(0),
+            dst: NodeId(9),
+            seq: 0,
+            csi_hops: 1.0,
+            topo_hops: 2,
+        },
         rx(7),
     );
     p.on_link_failure(&mut ctx, NodeId(7), vec![data(0, 9, 0)]);
@@ -176,7 +182,7 @@ fn bgca_stale_lqrep_seq_is_ignored() {
     // A reply answering a *different* (stale) query: must not splice.
     p.on_control(
         &mut ctx,
-        ControlPacket::LqRep {
+        &ControlPacket::LqRep {
             src: NodeId(0),
             dst: NodeId(9),
             origin: NodeId(5),
@@ -212,7 +218,7 @@ fn aodv_reverse_path_survives_multiple_floods() {
     for bcast in 0..3u64 {
         p.on_control(
             &mut ctx,
-            ControlPacket::Rreq {
+            &ControlPacket::Rreq {
                 src: NodeId(0),
                 dst: NodeId(9),
                 bcast_id: bcast,
@@ -227,7 +233,13 @@ fn aodv_reverse_path_survives_multiple_floods() {
     // because bcast 1 came from node (1 % 2) + 1 = 2).
     p.on_control(
         &mut ctx,
-        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 1, csi_hops: 0.0, topo_hops: 3 },
+        &ControlPacket::Rrep {
+            src: NodeId(0),
+            dst: NodeId(9),
+            seq: 1,
+            csi_hops: 0.0,
+            topo_hops: 3,
+        },
         rx(7),
     );
     assert_eq!(ctx.unicasts.len(), 1);
@@ -240,7 +252,13 @@ fn aodv_data_refreshes_route_lifetime() {
     let mut p = Aodv::new();
     p.on_control(
         &mut ctx,
-        ControlPacket::Rrep { src: NodeId(0), dst: NodeId(9), seq: 0, csi_hops: 0.0, topo_hops: 2 },
+        &ControlPacket::Rrep {
+            src: NodeId(0),
+            dst: NodeId(9),
+            seq: 0,
+            csi_hops: 0.0,
+            topo_hops: 2,
+        },
         rx(7),
     );
     // Keep the route warm with traffic every 2 s (timeout is 3 s): it must

@@ -1,8 +1,5 @@
 //! The event queue and the clock-advancing simulator loop.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-
 use crate::time::{SimDuration, SimTime};
 
 /// Opaque handle to a scheduled event, used to cancel it.
@@ -18,25 +15,93 @@ struct Scheduled<E> {
     event: E,
 }
 
-// BinaryHeap is a max-heap: invert the ordering so the earliest (time, seq)
-// pops first. `seq` breaks ties FIFO — two events scheduled for the same
-// instant fire in scheduling order, which protocol logic relies on.
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+impl<E> Scheduled<E> {
+    /// The heap key: earliest time first, `seq` breaking ties FIFO — two
+    /// events scheduled for the same instant fire in scheduling order,
+    /// which protocol logic relies on. Keys are unique (`seq` is), so the
+    /// pop sequence is a total order independent of heap shape.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+/// A 4-ary min-heap of scheduled events.
+///
+/// Why not `std::collections::BinaryHeap`: the simulator pays one push and
+/// one pop per event, and a 4-ary layout halves the sift depth (and does
+/// its children comparisons within one cache line), which is worth real
+/// percentages at millions of events per trial. Pop order is identical to
+/// any correct heap because keys are unique and totally ordered.
+struct DaryHeap<E> {
+    items: Vec<Scheduled<E>>,
+}
+
+/// Heap arity.
+const D: usize = 4;
+
+impl<E> DaryHeap<E> {
+    fn new() -> Self {
+        DaryHeap { items: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn peek(&self) -> Option<&Scheduled<E>> {
+        self.items.first()
+    }
+
+    fn push(&mut self, item: Scheduled<E>) {
+        self.items.push(item);
+        // Sift up.
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if self.items[parent].key() <= self.items[i].key() {
+                break;
+            }
+            self.items.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        let len = self.items.len();
+        if len <= 1 {
+            return self.items.pop();
+        }
+        self.items.swap(0, len - 1);
+        let top = self.items.pop();
+        // Sift down.
+        let len = len - 1;
+        let mut i = 0;
+        loop {
+            let first_child = i * D + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            let last_child = (first_child + D).min(len);
+            for c in (first_child + 1)..last_child {
+                if self.items[c].key() < self.items[best].key() {
+                    best = c;
+                }
+            }
+            if self.items[i].key() <= self.items[best].key() {
+                break;
+            }
+            self.items.swap(i, best);
+            i = best;
+        }
+        top
     }
 }
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
 
 /// A cancellable priority queue of timestamped events.
 ///
@@ -55,8 +120,13 @@ impl<E> Eq for Scheduled<E> {}
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<u64>,
+    heap: DaryHeap<E>,
+    /// Cancellation flags, bit-indexed by `seq`. Sequence numbers are
+    /// dense, so this is a plain bitset — the per-pop cancellation check
+    /// on the hot path is one array load instead of a hash probe. Grows
+    /// only on `cancel` (one bit per event ever scheduled).
+    cancelled: Vec<u64>,
+    cancelled_live: usize,
     next_seq: u64,
     popped: u64,
 }
@@ -70,7 +140,29 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0, popped: 0 }
+        EventQueue {
+            heap: DaryHeap::new(),
+            cancelled: Vec::new(),
+            cancelled_live: 0,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    #[inline]
+    fn is_cancelled(&self, seq: u64) -> bool {
+        match self.cancelled.get((seq / 64) as usize) {
+            Some(word) => (word >> (seq % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Clears the flag for a surfaced cancelled event (its seq can never
+    /// pop again, but the live count feeds diagnostics).
+    #[inline]
+    fn consume_cancelled(&mut self, seq: u64) {
+        self.cancelled[(seq / 64) as usize] &= !(1 << (seq % 64));
+        self.cancelled_live -= 1;
     }
 
     /// Schedules `event` to fire at absolute time `time`.
@@ -93,14 +185,23 @@ impl<E> EventQueue<E> {
         if token.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(token.0)
+        let word = (token.0 / 64) as usize;
+        if word >= self.cancelled.len() {
+            self.cancelled.resize(word + 1, 0);
+        }
+        let mask = 1 << (token.0 % 64);
+        let newly = self.cancelled[word] & mask == 0;
+        self.cancelled[word] |= mask;
+        self.cancelled_live += usize::from(newly);
+        newly
     }
 
     /// Removes and returns the earliest live event, skipping cancelled ones.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Scheduled { time, seq, event }) = self.heap.pop() {
             self.popped += 1;
-            if self.cancelled.remove(&seq) {
+            if self.is_cancelled(seq) {
+                self.consume_cancelled(seq);
                 continue;
             }
             return Some((time, event));
@@ -108,14 +209,34 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Pops the earliest live event **iff** its timestamp is ≤ `until` —
+    /// the driver-loop primitive, doing one cancellation check per event
+    /// where a `peek_time` + `pop` pair does two.
+    pub fn pop_at_or_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            if self.heap.peek()?.time > until {
+                // Head may be a cancelled event, but leaving it parked is
+                // harmless: it is skipped whenever it surfaces.
+                return None;
+            }
+            let Scheduled { time, seq, event } = self.heap.pop().expect("peeked");
+            self.popped += 1;
+            if self.is_cancelled(seq) {
+                self.consume_cancelled(seq);
+                continue;
+            }
+            return Some((time, event));
+        }
+    }
+
     /// The timestamp of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(head) = self.heap.peek() {
-            if self.cancelled.contains(&head.seq) {
+            if self.is_cancelled(head.seq) {
                 let seq = head.seq;
                 self.heap.pop();
                 self.popped += 1;
-                self.cancelled.remove(&seq);
+                self.consume_cancelled(seq);
                 continue;
             }
             return Some(head.time);
@@ -155,7 +276,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("pending", &self.heap.len())
-            .field("cancelled", &self.cancelled.len())
+            .field("cancelled", &self.cancelled_live)
             .field("popped", &self.popped)
             .finish()
     }
@@ -208,6 +329,15 @@ impl<E> Simulator<E> {
     /// Pops the next event and advances the clock to its timestamp.
     pub fn step(&mut self) -> Option<(SimTime, E)> {
         let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        Some((time, event))
+    }
+
+    /// [`Simulator::step`], but only if the next event is at or before
+    /// `until`; otherwise the clock holds and `None` is returned.
+    pub fn step_at_or_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop_at_or_before(until)?;
         debug_assert!(time >= self.now, "event queue went backwards");
         self.now = time;
         Some((time, event))

@@ -133,7 +133,7 @@ fn drive(kind: ProtocolKind, me: NodeId, actions: &[Action]) -> ScriptedCtx {
         match a.clone() {
             Action::Control(pkt, from, class) => {
                 if from != me {
-                    proto.on_control(&mut ctx, pkt, RxInfo { from, class });
+                    proto.on_control(&mut ctx, &pkt, RxInfo { from, class });
                 }
             }
             Action::Data { src, dst, seq, from } => {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate / compare the committed perf trajectory (BENCH_micro.json).
+#
+#   tools/bench.sh record <label>   build release, run the micro benches and
+#                                   the hotloop recorder, append a snapshot
+#   tools/bench.sh compare          print first-vs-last snapshot speedups
+#   tools/bench.sh smoke            quick run (CI): everything builds and runs
+#
+# The artifact lives at the repo root; snapshots are labeled and append-only,
+# so the perf trajectory across PRs stays reviewable in git history.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+case "${1:-}" in
+  record)
+    label="${2:?usage: tools/bench.sh record <label>}"
+    cargo build --release -q
+    cargo bench --bench micro
+    cargo run --release -q -p rica-bench --bin hotloop -- --label "$label"
+    ;;
+  compare)
+    cargo run --release -q -p rica-bench --bin hotloop -- --compare
+    ;;
+  smoke)
+    cargo run --release -q -p rica-bench --bin hotloop -- --quick
+    ;;
+  *)
+    echo "usage: tools/bench.sh {record <label>|compare|smoke}" >&2
+    exit 2
+    ;;
+esac
