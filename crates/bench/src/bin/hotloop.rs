@@ -18,6 +18,9 @@
 //!   (50 nodes, 10 flows, 36 km/h, 10 pkt/s) per protocol, seed 1.
 //! * `trial/scale200/RICA` — 200 nodes / 20 flows / 100 s: the scenario
 //!   the spatial grid exists for.
+//! * `trial/workload_burst/RICA` — the same 200-node grid at the paper's
+//!   20 pkt/s overload driven through `rica-traffic` (on/off bursts,
+//!   bimodal sizes): the workload-generation path's perf trajectory.
 //! * `micro/…` — event-queue, channel-sampling and mobility loops with
 //!   fixed iteration counts (seconds per fixed workload, comparable
 //!   across snapshots).
@@ -34,6 +37,7 @@ use rica_channel::{ChannelConfig, ChannelModel};
 use rica_harness::{ProtocolKind, Scenario};
 use rica_mobility::{Field, Vec2, Waypoint};
 use rica_sim::{EventQueue, Rng, SimTime};
+use rica_traffic::{ArrivalSpec, Dwell, SizeSpec, WorkloadSpec};
 
 struct Opts {
     label: Option<String>,
@@ -109,6 +113,28 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
     let secs = time_min(reps, || s200.run_seeded(ProtocolKind::Rica, 1));
     entries.push(("trial/scale200/RICA".to_string(), secs));
     eprintln!("  timed trial/scale200/RICA");
+
+    // The workload-generation path at overload: 200 nodes, 20 flows of
+    // bursty on/off traffic at the paper's 20 pkt/s with bimodal sizes.
+    let burst = Scenario::builder()
+        .nodes(200)
+        .flows(20)
+        .rate_pps(20.0)
+        .mean_speed_kmh(36.0)
+        .duration_secs(trial_secs)
+        .seed(1)
+        .workload(WorkloadSpec {
+            arrival: ArrivalSpec::OnOffBurst {
+                on_mean_secs: 0.5,
+                off_mean_secs: 1.5,
+                dwell: Dwell::Exponential,
+            },
+            size: SizeSpec::Bimodal { small: 40, large: 1460, p_small: 0.3 },
+        })
+        .build();
+    let secs = time_min(reps, || burst.run_seeded(ProtocolKind::Rica, 1));
+    entries.push(("trial/workload_burst/RICA".to_string(), secs));
+    eprintln!("  timed trial/workload_burst/RICA");
 
     // Substrate micro-loops (fixed op counts → comparable seconds).
     let micro_iters = if quick { 10_000u64 } else { 200_000 };

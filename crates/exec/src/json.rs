@@ -12,6 +12,12 @@ use rica_metrics::{TrialSummary, Welford};
 use crate::plan::{SweepCell, SweepResult};
 
 /// Schema version stamped into every artifact, bumped on layout changes.
+///
+/// The workload axis is an *additive, conditional* extension of schema 1:
+/// plans whose axis is the single paper-default workload render exactly
+/// the pre-axis bytes (no `workloads`, `workload` or per-trial workload
+/// fields), so artifacts pinned before the axis existed stay
+/// byte-identical; any wider axis adds those fields.
 pub const SWEEP_JSON_SCHEMA: u32 = 1;
 
 /// Renders `s` as a quoted JSON string literal (the escaping used
@@ -87,19 +93,46 @@ fn trial(out: &mut String, t: &TrialSummary) {
     num(out, t.avg_hops);
     let _ = write!(
         out,
-        ",\"collisions\":{},\"link_breaks\":{},\"dropped\":{}}}",
+        ",\"collisions\":{},\"link_breaks\":{},\"dropped\":{}",
         t.collisions,
         t.link_breaks,
         t.dropped()
     );
+    // Workload accounting exists only for non-default workloads, so this
+    // block never appears in (byte-pinned) legacy artifacts.
+    if let Some(w) = &t.workload {
+        out.push_str(",\"workload\":{\"offered_kbps\":");
+        num(out, w.offered_kbps(t.duration));
+        out.push_str(",\"flows\":[");
+        for (i, f) in w.flows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"generated\":{},\"delivered\":{},", f.generated, f.delivered);
+            out.push_str("\"offered_kbps\":");
+            num(out, f.offered_kbps(t.duration));
+            out.push_str(",\"delivered_kbps\":");
+            num(out, f.delivered_kbps(t.duration));
+            out.push_str(",\"delay_mean_ms\":");
+            num(out, f.delay_mean_ms);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
 }
 
-fn cell<P>(out: &mut String, c: &SweepCell<P>, label: &dyn Fn(&P) -> String) {
+fn cell<P>(out: &mut String, c: &SweepCell<P>, label: &dyn Fn(&P) -> String, name_workload: bool) {
     out.push_str("{\"protocol\":");
     esc(out, &label(&c.protocol));
     out.push_str(",\"speed_kmh\":");
     num(out, c.speed_kmh);
-    let _ = write!(out, ",\"nodes\":{},\"aggregate\":{{", c.nodes);
+    let _ = write!(out, ",\"nodes\":{}", c.nodes);
+    if name_workload {
+        out.push_str(",\"workload\":");
+        esc(out, &c.workload.label());
+    }
+    out.push_str(",\"aggregate\":{");
     let _ = write!(out, "\"trials\":{},", c.aggregate.trials);
     out.push_str("\"delay_ms\":");
     welford(out, &c.aggregate.delay_ms);
@@ -169,13 +202,27 @@ pub fn sweep_json<P>(
         }
         esc(&mut out, &label(p));
     }
-    out.push_str("]},\"cells\":[");
+    out.push(']');
+    // The workload axis appears only when it departs from the paper
+    // default, so legacy artifacts keep their exact pre-axis bytes.
+    let name_workload = !result.plan.default_workload_axis();
+    if name_workload {
+        out.push_str(",\"workloads\":[");
+        for (i, w) in result.plan.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            esc(&mut out, &w.label());
+        }
+        out.push(']');
+    }
+    out.push_str("},\"cells\":[");
     let label_dyn: &dyn Fn(&P) -> String = &label;
     for (i, c) in result.cells.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        cell(&mut out, c, label_dyn);
+        cell(&mut out, c, label_dyn, name_workload);
     }
     out.push_str("]}");
     out
@@ -253,6 +300,34 @@ mod tests {
         let mut s = String::new();
         esc(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn workload_axis_is_named_in_the_artifact() {
+        use rica_traffic::{ArrivalSpec, SizeSpec, WorkloadSpec};
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![10], 1, 5).with_workloads(vec![
+            WorkloadSpec::default(),
+            WorkloadSpec { arrival: ArrivalSpec::Cbr, size: SizeSpec::Fixed },
+        ]);
+        let r = plan.run(&ExecOptions::serial(), |job| {
+            let mut m = Metrics::new();
+            m.enable_workload(1);
+            m.on_generated_flow(0, (job.workload as u64 + 1) * 4288);
+            m.finish(SimDuration::from_secs(4))
+        });
+        let doc = sweep_json(&r, |p| format!("P{p}"), &[]);
+        assert!(doc.contains("\"workloads\":[\"poisson+fixed\",\"cbr+fixed\"]"), "{doc}");
+        assert!(doc.contains("\"workload\":\"cbr+fixed\""), "{doc}");
+        assert!(doc.contains("\"workload\":{\"offered_kbps\":"), "{doc}");
+        assert!(doc.contains("\"flows\":[{\"generated\":1,\"delivered\":0,"), "{doc}");
+    }
+
+    #[test]
+    fn default_workload_axis_artifact_is_byte_stable() {
+        // A legacy plan (implicit single default workload) must render no
+        // workload fields at all — golden artifact hashes depend on it.
+        let doc = sweep_json(&toy_result(), |p| format!("P{p}"), &[]);
+        assert!(!doc.contains("workload"), "unexpected workload fields: {doc}");
     }
 
     #[test]

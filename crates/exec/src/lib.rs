@@ -31,7 +31,10 @@
 //! `Fn(&TrialJob<P>) -> TrialSummary` that actually runs one simulation
 //! trial. `rica-harness` layers the paper's [`Scenario`] vocabulary on
 //! top (see `rica_harness::sweep`), which keeps the dependency graph
-//! acyclic: sim → metrics → **exec** → harness → bench.
+//! acyclic: sim → traffic/metrics → **exec** → harness → bench. (The one
+//! scenario-shaped concept a plan carries is its workload axis —
+//! `rica_traffic::WorkloadSpec` is pure data with no simulator
+//! dependency, so the layering holds.)
 //!
 //! ```
 //! use rica_exec::{ExecOptions, SweepPlan};

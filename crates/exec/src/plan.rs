@@ -1,11 +1,12 @@
 //! Declarative sweep plans and their execution results.
 
 use rica_metrics::{Aggregate, TrialSummary};
+use rica_traffic::WorkloadSpec;
 
 use crate::pool::{run_jobs, ExecOptions};
 
-/// A declarative experiment grid: protocols × speeds × node counts, with
-/// `trials` seeded repetitions per cell.
+/// A declarative experiment grid: protocols × speeds × node counts ×
+/// workloads, with `trials` seeded repetitions per cell.
 ///
 /// The plan is pure data; [`SweepPlan::jobs`] derives the flat job grid
 /// (with per-trial seeds) and [`SweepPlan::run`] executes it.
@@ -17,6 +18,10 @@ pub struct SweepPlan<P> {
     pub speeds_kmh: Vec<f64>,
     /// The node-count axis.
     pub node_counts: Vec<usize>,
+    /// The workload axis ([`SweepPlan::new`] defaults it to the single
+    /// paper workload; widen it with [`SweepPlan::with_workloads`]).
+    /// Jobs reference entries by index ([`TrialJob::workload`]).
+    pub workloads: Vec<WorkloadSpec>,
     /// Seeded repetitions per grid cell.
     pub trials: usize,
     /// Base seed; trial `i` of every cell runs with `base_seed + i`, so
@@ -38,6 +43,9 @@ pub struct TrialJob<P> {
     pub speed_kmh: f64,
     /// Node count of the cell.
     pub nodes: usize,
+    /// Index into [`SweepPlan::workloads`] (kept as an index so the job
+    /// stays `Copy`; resolve it against the plan).
+    pub workload: usize,
     /// Trial number within the cell (`0..trials`).
     pub trial: usize,
     /// Derived seed for this trial — a pure function of the plan.
@@ -54,6 +62,8 @@ pub struct SweepCell<P> {
     pub speed_kmh: f64,
     /// Node count.
     pub nodes: usize,
+    /// The workload the cell ran under.
+    pub workload: WorkloadSpec,
     /// Per-trial summaries, in trial order (deterministic).
     pub trials: Vec<TrialSummary>,
     /// Cross-trial aggregate, folded in trial order.
@@ -83,15 +93,37 @@ impl<P: Copy> SweepPlan<P> {
         trials: usize,
         base_seed: u64,
     ) -> SweepPlan<P> {
-        let plan = SweepPlan { protocols, speeds_kmh, node_counts, trials, base_seed };
+        let plan = SweepPlan {
+            protocols,
+            speeds_kmh,
+            node_counts,
+            workloads: vec![WorkloadSpec::default()],
+            trials,
+            base_seed,
+        };
         assert!(plan.cell_count() > 0, "sweep plan has an empty axis");
         assert!(plan.trials > 0, "sweep plan needs at least one trial per cell");
         plan
     }
 
-    /// Number of grid cells (protocols × speeds × node counts).
+    /// Replaces the workload axis (a first-class sweep dimension: every
+    /// `(protocol, speed, nodes)` cell is repeated once per workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty or any spec fails validation.
+    pub fn with_workloads(mut self, workloads: Vec<WorkloadSpec>) -> SweepPlan<P> {
+        assert!(!workloads.is_empty(), "sweep plan has an empty axis");
+        for w in &workloads {
+            w.validate().expect("invalid workload spec in sweep axis");
+        }
+        self.workloads = workloads;
+        self
+    }
+
+    /// Number of grid cells (protocols × speeds × node counts × workloads).
     pub fn cell_count(&self) -> usize {
-        self.protocols.len() * self.speeds_kmh.len() * self.node_counts.len()
+        self.protocols.len() * self.speeds_kmh.len() * self.node_counts.len() * self.workloads.len()
     }
 
     /// Total number of jobs (cells × trials).
@@ -100,27 +132,30 @@ impl<P: Copy> SweepPlan<P> {
     }
 
     /// Derives the flat job grid, protocol-major then speed then nodes
-    /// then trial. Job order — and every seed in it — is a pure function
-    /// of the plan, which is what makes execution results independent of
-    /// scheduling.
+    /// then workload then trial. Job order — and every seed in it — is a
+    /// pure function of the plan, which is what makes execution results
+    /// independent of scheduling.
     pub fn jobs(&self) -> Vec<TrialJob<P>> {
         let mut jobs = Vec::with_capacity(self.job_count());
         let mut cell = 0;
         for &protocol in &self.protocols {
             for &speed_kmh in &self.speeds_kmh {
                 for &nodes in &self.node_counts {
-                    for trial in 0..self.trials {
-                        jobs.push(TrialJob {
-                            index: jobs.len(),
-                            cell,
-                            protocol,
-                            speed_kmh,
-                            nodes,
-                            trial,
-                            seed: self.base_seed + trial as u64,
-                        });
+                    for workload in 0..self.workloads.len() {
+                        for trial in 0..self.trials {
+                            jobs.push(TrialJob {
+                                index: jobs.len(),
+                                cell,
+                                protocol,
+                                speed_kmh,
+                                nodes,
+                                workload,
+                                trial,
+                                seed: self.base_seed + trial as u64,
+                            });
+                        }
+                        cell += 1;
                     }
-                    cell += 1;
                 }
             }
         }
@@ -145,9 +180,18 @@ impl<P: Copy> SweepPlan<P> {
         for &protocol in &self.protocols {
             for &speed_kmh in &self.speeds_kmh {
                 for &nodes in &self.node_counts {
-                    let trials: Vec<TrialSummary> = it.by_ref().take(self.trials).collect();
-                    let aggregate = Aggregate::from_trials(&trials);
-                    cells.push(SweepCell { protocol, speed_kmh, nodes, trials, aggregate });
+                    for workload in &self.workloads {
+                        let trials: Vec<TrialSummary> = it.by_ref().take(self.trials).collect();
+                        let aggregate = Aggregate::from_trials(&trials);
+                        cells.push(SweepCell {
+                            protocol,
+                            speed_kmh,
+                            nodes,
+                            workload: workload.clone(),
+                            trials,
+                            aggregate,
+                        });
+                    }
                 }
             }
         }
@@ -160,12 +204,41 @@ impl<P: Copy> SweepPlan<P> {
     }
 }
 
+impl<P> SweepPlan<P> {
+    /// `true` when the workload axis is exactly the single paper default
+    /// (legacy plans). Legacy artifacts omit the axis entirely, which
+    /// keeps their bytes — and the golden hashes over them — stable.
+    pub fn default_workload_axis(&self) -> bool {
+        self.workloads.len() == 1 && self.workloads[0].is_paper_default()
+    }
+}
+
 impl<P: Copy + PartialEq> SweepResult<P> {
-    /// The cell for `(protocol, speed, nodes)`, if the plan contains it.
+    /// The first cell for `(protocol, speed, nodes)` in plan order, if
+    /// the plan contains it. On a plan with a widened workload axis this
+    /// is the *first workload's* cell; use [`SweepResult::cell_workload`]
+    /// to select along that axis.
     pub fn cell(&self, protocol: P, speed_kmh: f64, nodes: usize) -> Option<&SweepCell<P>> {
         self.cells
             .iter()
             .find(|c| c.protocol == protocol && c.speed_kmh == speed_kmh && c.nodes == nodes)
+    }
+
+    /// The cell for `(protocol, speed, nodes, workload)`, if the plan
+    /// contains it.
+    pub fn cell_workload(
+        &self,
+        protocol: P,
+        speed_kmh: f64,
+        nodes: usize,
+        workload: &WorkloadSpec,
+    ) -> Option<&SweepCell<P>> {
+        self.cells.iter().find(|c| {
+            c.protocol == protocol
+                && c.speed_kmh == speed_kmh
+                && c.nodes == nodes
+                && c.workload == *workload
+        })
     }
 
     /// All cells for one protocol, in plan (speed-major) order.
@@ -232,5 +305,48 @@ mod tests {
     #[should_panic(expected = "empty axis")]
     fn empty_axis_panics() {
         SweepPlan::<u8>::new(vec![], vec![0.0], vec![5], 1, 0);
+    }
+
+    #[test]
+    fn workload_axis_multiplies_the_grid() {
+        use rica_traffic::{ArrivalSpec, SizeSpec, WorkloadSpec};
+        let axis = vec![
+            WorkloadSpec::default(),
+            WorkloadSpec { arrival: ArrivalSpec::Cbr, size: SizeSpec::Fixed },
+            WorkloadSpec {
+                arrival: ArrivalSpec::Poisson,
+                size: SizeSpec::Uniform { lo: 64, hi: 1460 },
+            },
+        ];
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 2, 9).with_workloads(axis.clone());
+        assert!(!plan.default_workload_axis());
+        assert_eq!(plan.cell_count(), 3);
+        assert_eq!(plan.job_count(), 6);
+        let jobs = plan.jobs();
+        let workloads: Vec<usize> = jobs.iter().map(|j| j.workload).collect();
+        assert_eq!(workloads, vec![0, 0, 1, 1, 2, 2], "workload-major inside the cell axes");
+        assert_eq!(jobs[2].cell, 1);
+        let r = plan.run(&ExecOptions::serial(), toy_runner);
+        let cell_specs: Vec<&WorkloadSpec> = r.cells.iter().map(|c| &c.workload).collect();
+        assert_eq!(cell_specs, axis.iter().collect::<Vec<_>>());
+        // Lookups: `cell` finds the first workload's cell, `cell_workload`
+        // selects along the axis.
+        assert_eq!(r.cell(1, 0.0, 5).unwrap().workload, axis[0]);
+        let bursty = r.cell_workload(1, 0.0, 5, &axis[2]).expect("third workload cell");
+        assert_eq!(bursty.workload, axis[2]);
+        assert!(r.cell_workload(1, 0.0, 5, &axis[1]).unwrap().workload != axis[2]);
+    }
+
+    #[test]
+    fn legacy_plans_have_a_default_workload_axis() {
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0);
+        assert!(plan.default_workload_axis());
+        assert_eq!(plan.jobs()[0].workload, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty axis")]
+    fn empty_workload_axis_panics() {
+        let _ = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0).with_workloads(vec![]);
     }
 }

@@ -8,8 +8,9 @@
 //! * the CSMA/CA common channel with collisions + per-pair CDMA data
 //!   channels with per-packet ACKs and retransmission-based break detection
 //!   (`rica-mac`),
-//! * 10 Poisson flows of 512-byte packets with 10-packet / 3-second
-//!   per-connection buffers (`rica-net`),
+//! * 10 flows of 512-byte packets with 10-packet / 3-second
+//!   per-connection buffers (`rica-net`) — Poisson by default, any
+//!   `rica-traffic` workload shape via [`Scenario`]'s `workload`,
 //! * one of the five routing protocols per run (`rica-core`,
 //!   `rica-protocols`),
 //! * and the paper's metric set (`rica-metrics`).
@@ -17,8 +18,9 @@
 //! [`Scenario`] describes one configuration; [`Scenario::run`] executes a
 //! single deterministic trial, [`run_trials`] fans 25 seeded trials out
 //! over the `rica-exec` worker pool, [`sweep`] executes whole declarative
-//! sweep plans (protocols × speeds × node counts × trials) through that
-//! engine, and [`experiments`] regenerates every figure of the paper.
+//! sweep plans (protocols × speeds × node counts × workloads × trials)
+//! through that engine, and [`experiments`] regenerates every figure of
+//! the paper.
 //!
 //! ```
 //! use rica_harness::{ProtocolKind, Scenario};

@@ -5,6 +5,7 @@ use rica_mac::MacConfig;
 use rica_mobility::Field;
 use rica_net::{NodeId, ProtocolConfig, RoutingProtocol, DATA_HEADER_BYTES};
 use rica_sim::{Rng, SimDuration};
+use rica_traffic::WorkloadSpec;
 
 /// Which routing protocol a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,17 +61,36 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
-/// One traffic flow: a source/destination pair with a Poisson rate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One traffic flow: a source/destination pair with a mean rate, a mean
+/// packet size and (optionally) its own workload shape.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flow {
     /// Source terminal.
     pub src: NodeId,
     /// Destination terminal.
     pub dst: NodeId,
-    /// Mean packet rate (packets/second).
+    /// Mean packet rate (packets/second). Every workload shape preserves
+    /// this mean, so offered load is comparable across shapes.
     pub rate_pps: f64,
-    /// Payload size in bytes.
+    /// Payload size in bytes (the exact size under the default fixed-size
+    /// workload; the anchor for [`rica_traffic::SizeSpec::Fixed`] otherwise).
     pub packet_bytes: u32,
+    /// Per-flow workload override; `None` inherits the scenario's
+    /// [`Scenario::workload`].
+    pub workload: Option<WorkloadSpec>,
+}
+
+impl Flow {
+    /// A flow with the scenario's workload (the common case).
+    pub fn new(src: NodeId, dst: NodeId, rate_pps: f64, packet_bytes: u32) -> Flow {
+        Flow { src, dst, rate_pps, packet_bytes, workload: None }
+    }
+
+    /// Overrides this flow's workload shape.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Flow {
+        self.workload = Some(workload);
+        self
+    }
 }
 
 /// A complete simulation configuration (§III.A defaults).
@@ -92,6 +112,10 @@ pub struct Scenario {
     pub rate_pps: f64,
     /// Data payload size (paper: 512 bytes).
     pub packet_bytes: u32,
+    /// Workload shape applied to every flow that has no per-flow override
+    /// (paper default: Poisson arrivals of fixed-size packets, which
+    /// reproduces the legacy traffic stream bit for bit).
+    pub workload: WorkloadSpec,
     /// Explicit flow list (overrides random flow selection).
     pub explicit_flows: Option<Vec<Flow>>,
     /// Pins every terminal to a fixed position (tests/examples needing an
@@ -147,12 +171,7 @@ impl Scenario {
             if src == dst || !used.insert((src, dst)) {
                 continue;
             }
-            flows.push(Flow {
-                src: NodeId(src),
-                dst: NodeId(dst),
-                rate_pps: self.rate_pps,
-                packet_bytes: self.packet_bytes,
-            });
+            flows.push(Flow::new(NodeId(src), NodeId(dst), self.rate_pps, self.packet_bytes));
         }
         flows
     }
@@ -185,6 +204,7 @@ impl Default for ScenarioBuilder {
                 flows: 10,
                 rate_pps: 10.0,
                 packet_bytes: 512,
+                workload: WorkloadSpec::default(),
                 explicit_flows: None,
                 pinned_positions: None,
                 node_failures: Vec::new(),
@@ -238,6 +258,13 @@ impl ScenarioBuilder {
     /// Sets the data payload size (bytes).
     pub fn packet_bytes(mut self, v: u32) -> Self {
         self.scenario.packet_bytes = v;
+        self
+    }
+
+    /// Sets the workload shape for every flow without a per-flow override
+    /// (default: the paper's Poisson + fixed-size workload).
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.scenario.workload = spec;
         self
     }
 
@@ -307,7 +334,29 @@ impl ScenarioBuilder {
             assert!(node.index() < s.nodes, "failure for unknown node {node}");
         }
         assert!(s.duration > SimDuration::ZERO, "duration must be positive");
-        assert!(s.rate_pps > 0.0, "rate must be positive");
+        // Finiteness matters — of the rate *and* its reciprocal (a
+        // subnormal rate's mean gap overflows to inf): the generators'
+        // release-build response to a degenerate rate is a silent
+        // saturating gap (zero traffic), so the builder is where an
+        // inf/NaN/subnormal rate must fail loudly.
+        assert!(
+            rica_sim::usable_mean_gap(s.rate_pps).is_some(),
+            "rate must be positive and finite, got {}",
+            s.rate_pps
+        );
+        s.workload.validate().expect("invalid workload spec");
+        if let Some(flows) = &s.explicit_flows {
+            for f in flows {
+                assert!(
+                    rica_sim::usable_mean_gap(f.rate_pps).is_some(),
+                    "flow rate must be positive and finite, got {}",
+                    f.rate_pps
+                );
+                if let Some(w) = &f.workload {
+                    w.validate().expect("invalid per-flow workload spec");
+                }
+            }
+        }
         s.channel.validate().expect("invalid channel config");
         s.mac.validate().expect("invalid MAC config");
         // The BGCA guard needs the offered rate; derive it unless the user
@@ -361,10 +410,32 @@ mod tests {
 
     #[test]
     fn explicit_flows_win() {
-        let flows = vec![Flow { src: NodeId(0), dst: NodeId(1), rate_pps: 5.0, packet_bytes: 256 }];
+        let flows = vec![Flow::new(NodeId(0), NodeId(1), 5.0, 256)];
         let s = Scenario::builder().nodes(4).explicit_flows(flows.clone()).build();
         let mut rng = Rng::new(1);
         assert_eq!(s.trial_flows(&mut rng), flows);
+    }
+
+    #[test]
+    fn workload_defaults_to_the_paper_shape() {
+        use rica_traffic::{ArrivalSpec, SizeSpec};
+        let s = Scenario::builder().build();
+        assert!(s.workload.is_paper_default());
+        let bursty = WorkloadSpec { arrival: ArrivalSpec::Cbr, size: SizeSpec::Fixed };
+        let s = Scenario::builder().workload(bursty.clone()).build();
+        assert_eq!(s.workload, bursty);
+        // Per-flow overrides ride on the flow itself.
+        let f = Flow::new(NodeId(0), NodeId(1), 5.0, 256).with_workload(bursty.clone());
+        assert_eq!(f.workload, Some(bursty));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn bad_workload_rejected() {
+        use rica_traffic::{ArrivalSpec, SizeSpec};
+        Scenario::builder()
+            .workload(WorkloadSpec { arrival: ArrivalSpec::Mixed(vec![]), size: SizeSpec::Fixed })
+            .build();
     }
 
     #[test]
@@ -381,5 +452,16 @@ mod tests {
     #[should_panic(expected = "at least 2 nodes")]
     fn one_node_rejected() {
         Scenario::builder().nodes(1).build();
+    }
+
+    #[test]
+    fn degenerate_rates_rejected_at_build_time() {
+        // Non-finite and subnormal rates must fail loudly here: the
+        // generators' release-build fallback would otherwise silently
+        // yield a zero-traffic trial.
+        for rate in [f64::INFINITY, f64::NAN, 1e-320] {
+            let result = std::panic::catch_unwind(|| Scenario::builder().rate_pps(rate).build());
+            assert!(result.is_err(), "rate {rate} must be rejected");
+        }
     }
 }

@@ -6,14 +6,17 @@
 //! [`TrialJob`] into a [`TrialSummary`](rica_metrics::TrialSummary).
 //! This module supplies that function for the paper's simulator: a base
 //! [`Scenario`] acts as the template, and each job overrides the swept
-//! axes (nodes, mean speed) before running one seeded [`World`] trial.
+//! axes (nodes, mean speed, workload) before running one seeded
+//! [`World`] trial.
 
 use rica_exec::{ExecOptions, SweepPlan, SweepResult, TrialJob};
 use rica_metrics::TrialSummary;
+use rica_traffic::WorkloadSpec;
 
 use crate::{ProtocolKind, Scenario, World};
 
-/// Runs one job of a plan against the template scenario.
+/// Runs one job of a plan against the template scenario; `workload` is
+/// the plan's `workloads[job.workload]` (the job carries only the index).
 ///
 /// # Panics
 ///
@@ -21,7 +24,11 @@ use crate::{ProtocolKind, Scenario, World};
 /// builder would normally enforce: fewer than 2 nodes, or a template
 /// with pinned positions whose length differs from the job's node count
 /// (pinned topologies cannot be node-count swept).
-pub fn run_job(base: &Scenario, job: &TrialJob<ProtocolKind>) -> TrialSummary {
+pub fn run_job(
+    base: &Scenario,
+    workload: &WorkloadSpec,
+    job: &TrialJob<ProtocolKind>,
+) -> TrialSummary {
     assert!(job.nodes >= 2, "sweep node count must be at least 2, got {}", job.nodes);
     if let Some(pinned) = &base.pinned_positions {
         assert!(
@@ -35,20 +42,23 @@ pub fn run_job(base: &Scenario, job: &TrialJob<ProtocolKind>) -> TrialSummary {
     let mut scenario = base.clone();
     scenario.nodes = job.nodes;
     scenario.mean_speed_kmh = job.speed_kmh;
+    scenario.workload = workload.clone();
     World::new(&scenario, job.protocol, job.seed).run()
 }
 
 /// Executes `plan` over the worker pool: every job runs `base` with the
-/// job's node count, mean speed, protocol and seed.
+/// job's node count, mean speed, workload, protocol and seed.
 ///
-/// The template's own `nodes`, `mean_speed_kmh` and `seed` are ignored —
-/// the plan's axes are authoritative.
+/// The template's own `nodes`, `mean_speed_kmh`, `workload` and `seed`
+/// are ignored — the plan's axes are authoritative. (Per-flow workload
+/// overrides on explicit template flows still win over the plan axis,
+/// like every other per-flow field.)
 pub fn run_plan(
     plan: &SweepPlan<ProtocolKind>,
     base: &Scenario,
     opts: &ExecOptions,
 ) -> SweepResult<ProtocolKind> {
-    plan.run(opts, |job| run_job(base, job))
+    plan.run(opts, |job| run_job(base, &plan.workloads[job.workload], job))
 }
 
 /// Renders a labeled set of executed sweeps as one JSON artifact
@@ -134,6 +144,39 @@ mod tests {
         assert!(doc.contains("\"la\\\"bel\""));
         assert!(doc.contains("esc\\u001band\\u0000nul"));
         assert!(!doc.contains("u{1b}"), "Rust Debug escapes are not JSON: {doc}");
+    }
+
+    #[test]
+    fn workload_axis_overrides_template() {
+        use rica_traffic::{ArrivalSpec, Dwell, SizeSpec};
+        let base = tiny_base();
+        let bursty = WorkloadSpec {
+            arrival: ArrivalSpec::OnOffBurst {
+                on_mean_secs: 0.5,
+                off_mean_secs: 1.5,
+                dwell: Dwell::Exponential,
+            },
+            size: SizeSpec::Fixed,
+        };
+        let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![18.0], vec![8], 1, 7)
+            .with_workloads(vec![WorkloadSpec::default(), bursty.clone()]);
+        let result = run_plan(&plan, &base, &ExecOptions::serial());
+        assert_eq!(result.cells.len(), 2);
+        // Cell 0 ran the default workload: no workload accounting, same
+        // bytes as a direct legacy run.
+        let direct = base.run_seeded(ProtocolKind::Rica, 7);
+        assert_eq!(result.cells[0].trials[0], direct);
+        assert_eq!(result.cells[0].trials[0].workload, None);
+        // Cell 1 ran the bursty workload: accounting present, different
+        // traffic under the same seed.
+        let t = &result.cells[1].trials[0];
+        let w = t.workload.as_ref().expect("bursty trial records workload");
+        assert!(w.offered_bits > 0);
+        assert_eq!(w.flows.iter().map(|f| f.generated).sum::<u64>(), t.generated);
+        assert_ne!(t.generated, direct.generated, "bursty arrivals should differ");
+        // The artifact names the axis and the cells.
+        let doc = rica_exec::sweep_json(&result, |k| k.name().to_string(), &[]);
+        assert!(doc.contains(&format!("\"workload\":\"{}\"", bursty.label())), "{doc}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use rica_net::{
     RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
 };
 use rica_sim::{EventToken, Rng, SimDuration, SimTime, Simulator};
+use rica_traffic::TrafficModel;
 
 use crate::scenario::{Flow, ProtocolKind, Scenario};
 
@@ -93,7 +94,8 @@ pub struct World<'s> {
     metrics: Metrics,
     flows: Vec<Flow>,
     flow_seq: Vec<u64>,
-    flow_rng: Vec<Rng>,
+    /// One workload generator per flow (owns the flow's RNG stream).
+    traffic: Vec<Box<dyn TrafficModel>>,
     timers: TimerSlab,
     /// Crashed terminals (failure injection).
     dead: Vec<bool>,
@@ -209,7 +211,41 @@ impl<'s> World<'s> {
             .collect();
         let protos: Vec<Box<dyn RoutingProtocol>> =
             (0..scenario.nodes).map(|_| kind.make()).collect();
-        let flow_rng: Vec<Rng> = (0..flows.len()).map(|i| master.fork(4_000 + i as u64)).collect();
+        // Scenario fields are pub and routinely mutated after build(), so
+        // the builder's rate validation can be bypassed; re-check here in
+        // every build profile — the generators' release-mode response to
+        // a degenerate rate is a silent zero-traffic trial, which must
+        // stay a loud failure instead.
+        for f in &flows {
+            assert!(
+                rica_sim::usable_mean_gap(f.rate_pps).is_some(),
+                "flow {} -> {} has an unusable rate {}",
+                f.src,
+                f.dst,
+                f.rate_pps
+            );
+        }
+        // One generator per flow, seed-forked exactly where the legacy
+        // per-flow Poisson RNGs were (stream 4000 + flow index), so the
+        // default workload reproduces the legacy traffic bit for bit.
+        let traffic: Vec<Box<dyn TrafficModel>> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let spec = f.workload.as_ref().unwrap_or(&scenario.workload);
+                spec.build(f.rate_pps, f.packet_bytes, master.fork(4_000 + i as u64))
+            })
+            .collect();
+        // Workload accounting (offered load, per-flow breakdowns) is
+        // opt-in so default-workload summaries — and the golden hashes
+        // pinned over them — keep their exact historical shape.
+        let mut metrics = Metrics::new();
+        if flows
+            .iter()
+            .any(|f| !f.workload.as_ref().unwrap_or(&scenario.workload).is_paper_default())
+        {
+            metrics.enable_workload(flows.len());
+        }
         // Pinned topologies never move regardless of the configured speed.
         // Mobile ones move at least at the waypoint model's clamp floor,
         // even when the configured speed is smaller — the grid's staleness
@@ -231,10 +267,10 @@ impl<'s> World<'s> {
                 scenario.nodes as u32,
             ),
             medium: CommonMedium::new(&scenario.mac),
-            metrics: Metrics::new(),
+            metrics,
             flow_seq: vec![0; flows.len()],
             flows,
-            flow_rng,
+            traffic,
             timers: TimerSlab::default(),
             dead: vec![false; scenario.nodes],
             end: SimTime::ZERO + scenario.duration,
@@ -318,8 +354,7 @@ impl<'s> World<'s> {
         }
         // Prime the traffic processes.
         for f in 0..self.flows.len() {
-            let gap =
-                rica_net::poisson::next_interarrival(&mut self.flow_rng[f], self.flows[f].rate_pps);
+            let gap = self.traffic[f].next_gap();
             self.sim.schedule_in(gap, Event::Traffic { flow: f });
         }
     }
@@ -413,16 +448,21 @@ impl<'s> World<'s> {
 
     fn on_traffic(&mut self, flow: usize) {
         let now = self.sim.now();
-        let f = self.flows[flow];
-        if self.dead[f.src.index()] {
+        let (src, dst) = (self.flows[flow].src, self.flows[flow].dst);
+        if self.dead[src.index()] {
             return; // a crashed source generates nothing, ever again
         }
+        // Per emitted packet the workload model draws size first, then
+        // the gap to the next packet — the default (fixed-size Poisson)
+        // model draws nothing for the size, reproducing the legacy
+        // single-exponential-per-packet stream exactly.
+        let bytes = self.traffic[flow].packet_bytes();
         let seq = self.flow_seq[flow];
         self.flow_seq[flow] += 1;
-        let pkt = DataPacket::new(FlowId(flow as u32), seq, f.src, f.dst, f.packet_bytes, now);
-        self.metrics.on_generated();
-        self.dispatch(f.src.index(), move |proto, ctx| proto.on_data(ctx, pkt, None));
-        let gap = rica_net::poisson::next_interarrival(&mut self.flow_rng[flow], f.rate_pps);
+        let pkt = DataPacket::new(FlowId(flow as u32), seq, src, dst, bytes, now);
+        self.metrics.on_generated_flow(flow as u32, pkt.size_bits());
+        self.dispatch(src.index(), move |proto, ctx| proto.on_data(ctx, pkt, None));
+        let gap = self.traffic[flow].next_gap();
         self.sim.schedule_in(gap, Event::Traffic { flow });
     }
 
@@ -887,12 +927,7 @@ mod tests {
                 Vec2::new(490.0, 500.0),
                 Vec2::new(710.0, 500.0),
             ])
-            .explicit_flows(vec![Flow {
-                src: NodeId(0),
-                dst: NodeId(3),
-                rate_pps: 5.0,
-                packet_bytes: 512,
-            }])
+            .explicit_flows(vec![Flow::new(NodeId(0), NodeId(3), 5.0, 512)])
             .build();
         for kind in ProtocolKind::ALL {
             let r = s.run(kind);
@@ -923,6 +958,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unusable rate")]
+    fn post_build_degenerate_flow_rate_fails_loudly() {
+        // The builder validates rates, but Scenario fields are pub and
+        // the test suites mutate them after build(); the trial itself
+        // must still fail loudly (in every build profile) rather than
+        // silently generating no traffic.
+        let mut s = small_static(false);
+        s.explicit_flows = Some(vec![Flow::new(NodeId(0), NodeId(1), 0.0, 512)]);
+        s.run(ProtocolKind::Rica);
+    }
+
+    #[test]
     fn out_of_range_pair_delivers_nothing() {
         let s = Scenario::builder()
             .nodes(2)
@@ -930,12 +977,7 @@ mod tests {
             .mean_speed_kmh(0.0)
             .seed(9)
             .pinned_positions(vec![Vec2::new(0.0, 0.0), Vec2::new(900.0, 900.0)])
-            .explicit_flows(vec![Flow {
-                src: NodeId(0),
-                dst: NodeId(1),
-                rate_pps: 10.0,
-                packet_bytes: 512,
-            }])
+            .explicit_flows(vec![Flow::new(NodeId(0), NodeId(1), 10.0, 512)])
             .build();
         for kind in ProtocolKind::ALL {
             let r = s.run(kind);

@@ -166,6 +166,7 @@ mod tests {
             collisions: 5,
             link_breaks: 2,
             ctrl_queue_drops: 0,
+            workload: None,
         }
     }
 
@@ -296,6 +297,7 @@ mod proptests {
             collisions: delivered * 3,
             link_breaks: generated % 5,
             ctrl_queue_drops: 0,
+            workload: None,
         }
     }
 

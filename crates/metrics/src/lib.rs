@@ -31,6 +31,6 @@ mod welford;
 
 pub use aggregate::Aggregate;
 pub use csv::csv_document;
-pub use recorder::{Metrics, TrialSummary};
+pub use recorder::{FlowSummary, Metrics, TrialSummary, WorkloadSummary};
 pub use table::{format_table, Align};
 pub use welford::Welford;

@@ -35,6 +35,36 @@ pub struct Metrics {
     collisions: u64,
     link_breaks: u64,
     ctrl_queue_drops: u64,
+    /// Per-flow offered-load/delivery accumulators; `None` until
+    /// [`Metrics::enable_workload`] opts the trial in (the harness does so
+    /// for every non-default workload, keeping default trials — and their
+    /// pinned golden summaries — untouched).
+    workload: Option<WorkloadAcc>,
+}
+
+#[derive(Debug, Default)]
+struct WorkloadAcc {
+    offered_bits: u64,
+    flows: Vec<FlowAcc>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FlowAcc {
+    generated: u64,
+    delivered: u64,
+    offered_bits: u64,
+    delivered_bits: u64,
+    delay: Welford,
+}
+
+impl WorkloadAcc {
+    fn flow(&mut self, flow: u32) -> &mut FlowAcc {
+        let idx = flow as usize;
+        if self.flows.len() <= idx {
+            self.flows.resize(idx + 1, FlowAcc::default());
+        }
+        &mut self.flows[idx]
+    }
 }
 
 impl Metrics {
@@ -43,9 +73,32 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Opts the trial into workload accounting: offered load (generated
+    /// bits) and per-flow delivery/latency breakdowns, frozen into
+    /// [`TrialSummary::workload`]. Expected flow count `flows` pre-sizes
+    /// the table (flows beyond it still record).
+    pub fn enable_workload(&mut self, flows: usize) {
+        let mut acc = WorkloadAcc::default();
+        acc.flows.resize(flows, FlowAcc::default());
+        self.workload = Some(acc);
+    }
+
     /// A source generated a data packet.
     pub fn on_generated(&mut self) {
         self.generated += 1;
+    }
+
+    /// A source generated a data packet of `bits` on-air bits for `flow`
+    /// ([`Metrics::on_generated`] plus offered-load accounting when
+    /// workload recording is enabled).
+    pub fn on_generated_flow(&mut self, flow: u32, bits: u64) {
+        self.generated += 1;
+        if let Some(w) = &mut self.workload {
+            w.offered_bits += bits;
+            let f = w.flow(flow);
+            f.generated += 1;
+            f.offered_bits += bits;
+        }
     }
 
     /// A data packet reached its destination at `now`.
@@ -61,6 +114,12 @@ impl Metrics {
             self.throughput_bins_bits.resize(bin + 1, 0);
         }
         self.throughput_bins_bits[bin] += pkt.size_bits();
+        if let Some(w) = &mut self.workload {
+            let f = w.flow(pkt.flow.0);
+            f.delivered += 1;
+            f.delivered_bits += pkt.size_bits();
+            f.delay.push(delay_ms);
+        }
     }
 
     /// A data packet was dropped.
@@ -170,12 +229,88 @@ impl Metrics {
             collisions: self.collisions,
             link_breaks: self.link_breaks,
             ctrl_queue_drops: self.ctrl_queue_drops,
+            workload: self.workload.map(|w| WorkloadSummary {
+                offered_bits: w.offered_bits,
+                flows: w
+                    .flows
+                    .iter()
+                    .map(|f| FlowSummary {
+                        generated: f.generated,
+                        delivered: f.delivered,
+                        offered_bits: f.offered_bits,
+                        delivered_bits: f.delivered_bits,
+                        delay_mean_ms: f.delay.mean(),
+                    })
+                    .collect(),
+            }),
         }
     }
 }
 
+/// Offered-load and per-flow breakdowns of one trial, present only when
+/// the trial opted in via [`Metrics::enable_workload`] (the harness does
+/// so whenever a flow's workload departs from the paper default).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSummary {
+    /// Total on-air bits generated at sources (payload + data header) —
+    /// the *offered* load, as opposed to the delivered throughput.
+    pub offered_bits: u64,
+    /// Per-flow breakdowns, indexed by `FlowId`.
+    pub flows: Vec<FlowSummary>,
+}
+
+impl WorkloadSummary {
+    /// Offered load in kbps over a trial of length `duration`.
+    pub fn offered_kbps(&self, duration: SimDuration) -> f64 {
+        bits_to_kbps(self.offered_bits, duration)
+    }
+}
+
+/// One flow's share of a trial (see [`WorkloadSummary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlowSummary {
+    /// Packets generated at the flow's source.
+    pub generated: u64,
+    /// Packets delivered to the flow's destination.
+    pub delivered: u64,
+    /// On-air bits generated (offered load share).
+    pub offered_bits: u64,
+    /// On-air bits delivered.
+    pub delivered_bits: u64,
+    /// Mean end-to-end delay of the flow's delivered packets (ms).
+    pub delay_mean_ms: f64,
+}
+
+impl FlowSummary {
+    /// The flow's delivery ratio in `[0, 1]` (1 if nothing was generated).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// The flow's offered load in kbps over a trial of length `duration`.
+    pub fn offered_kbps(&self, duration: SimDuration) -> f64 {
+        bits_to_kbps(self.offered_bits, duration)
+    }
+
+    /// The flow's delivered throughput in kbps over a trial of length
+    /// `duration`.
+    pub fn delivered_kbps(&self, duration: SimDuration) -> f64 {
+        bits_to_kbps(self.delivered_bits, duration)
+    }
+}
+
+/// The one kbps conversion every workload-summary rate shares (duration
+/// clamped away from zero).
+fn bits_to_kbps(bits: u64, duration: SimDuration) -> f64 {
+    bits as f64 / duration.as_secs_f64().max(f64::MIN_POSITIVE) / 1e3
+}
+
 /// Frozen results of one simulation trial — the paper's metric set.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct TrialSummary {
     /// Simulated duration.
     pub duration: SimDuration,
@@ -215,6 +350,43 @@ pub struct TrialSummary {
     pub link_breaks: u64,
     /// Control packets dropped at full MAC queues.
     pub ctrl_queue_drops: u64,
+    /// Offered-load / per-flow workload breakdown; `None` unless the
+    /// trial enabled workload accounting (non-default workloads only).
+    pub workload: Option<WorkloadSummary>,
+}
+
+/// Hand-rolled to reproduce the derived rendering *exactly* when
+/// `workload` is `None`: the golden fixed-seed tests pin FNV hashes of
+/// this output for pre-`rica-traffic` scenarios, and those must stay
+/// byte-identical. Non-default workloads (always `Some`) append the
+/// field like a normal derive would.
+impl std::fmt::Debug for TrialSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("TrialSummary");
+        s.field("duration", &self.duration)
+            .field("generated", &self.generated)
+            .field("delivered", &self.delivered)
+            .field("drops", &self.drops)
+            .field("delay_mean_ms", &self.delay_mean_ms)
+            .field("delay_std_ms", &self.delay_std_ms)
+            .field("delay_p50_ms", &self.delay_p50_ms)
+            .field("delay_p95_ms", &self.delay_p95_ms)
+            .field("delay_max_ms", &self.delay_max_ms)
+            .field("control_bits", &self.control_bits)
+            .field("control_tx_count", &self.control_tx_count)
+            .field("ack_bits", &self.ack_bits)
+            .field("overhead_kbps", &self.overhead_kbps)
+            .field("avg_link_throughput_kbps", &self.avg_link_throughput_kbps)
+            .field("avg_hops", &self.avg_hops)
+            .field("throughput_kbps", &self.throughput_kbps)
+            .field("collisions", &self.collisions)
+            .field("link_breaks", &self.link_breaks)
+            .field("ctrl_queue_drops", &self.ctrl_queue_drops);
+        if let Some(workload) = &self.workload {
+            s.field("workload", workload);
+        }
+        s.finish()
+    }
 }
 
 impl TrialSummary {
@@ -334,6 +506,54 @@ mod tests {
         assert!((s.throughput_kbps[0] - bits / 4.0 / 1e3).abs() < 1e-9);
         assert!((s.throughput_kbps[1] - 2.0 * bits / 4.0 / 1e3).abs() < 1e-9);
         assert_eq!(s.throughput_kbps[2], 0.0, "empty trailing bin padded");
+    }
+
+    #[test]
+    fn workload_accounting_is_opt_in() {
+        // Disabled (the default): same counters, no workload block, and —
+        // load-bearing for the golden hashes — a Debug rendering with no
+        // `workload` field at all.
+        let mut m = Metrics::new();
+        m.on_generated_flow(0, 4288);
+        let plain = m.finish(SimDuration::from_secs(10));
+        assert_eq!(plain.generated, 1);
+        assert_eq!(plain.workload, None);
+        assert!(!format!("{plain:?}").contains("workload"));
+
+        // Enabled: offered bits and per-flow breakdowns appear.
+        let mut m = Metrics::new();
+        m.enable_workload(2);
+        m.on_generated_flow(0, 4288);
+        m.on_generated_flow(0, 4288);
+        m.on_generated_flow(1, 512);
+        let p = pkt_with_hops(&[ChannelClass::A], 1.0);
+        m.on_delivered(&p, SimTime::from_secs_f64(1.25));
+        let s = m.finish(SimDuration::from_secs(10));
+        let w = s.workload.as_ref().expect("workload enabled");
+        assert_eq!(w.offered_bits, 4288 * 2 + 512);
+        assert!((w.offered_kbps(s.duration) - (4288.0 * 2.0 + 512.0) / 10.0 / 1e3).abs() < 1e-12);
+        assert_eq!(w.flows.len(), 2);
+        assert_eq!(w.flows[0].generated, 2);
+        assert_eq!(w.flows[0].delivered, 1);
+        assert_eq!(w.flows[0].delivered_bits, p.size_bits());
+        assert!((w.flows[0].delay_mean_ms - 250.0).abs() < 1e-9);
+        assert!((w.flows[0].delivery_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(w.flows[1].generated, 1);
+        assert_eq!(w.flows[1].delivery_ratio(), 0.0);
+        assert!(format!("{s:?}").contains("workload: WorkloadSummary"));
+    }
+
+    #[test]
+    fn workload_flow_table_grows_on_demand() {
+        let mut m = Metrics::new();
+        m.enable_workload(1);
+        m.on_generated_flow(3, 100);
+        let s = m.finish(SimDuration::from_secs(1));
+        let w = s.workload.unwrap();
+        assert_eq!(w.flows.len(), 4);
+        assert_eq!(w.flows[3].offered_bits, 100);
+        assert_eq!(w.flows[3].delivery_ratio(), 0.0);
+        assert_eq!(w.flows[0].delivery_ratio(), 1.0, "idle flow generated nothing");
     }
 
     #[test]

@@ -1,15 +1,27 @@
 //! Poisson traffic helpers (§III.A: "The generation of data packets in each
 //! source terminal follows a Poisson arrival process, i.e., the
 //! inter-arrival of two packets is exponential distributed").
+//!
+//! The harness now drives traffic through `rica-traffic`'s pluggable
+//! [`TrafficModel`](../../rica_traffic/trait.TrafficModel.html)s; this
+//! helper remains the standalone exponential-gap primitive (and the
+//! reference the default model is bit-compatible with).
 
 use rica_sim::{Rng, SimDuration};
+
+/// Returned instead of an `inf`/NaN gap when the rate is degenerate —
+/// the flow simply never fires (see [`SimDuration::NEVER`], shared with
+/// `rica_traffic::SATURATED_GAP`).
+pub const SATURATED_GAP: SimDuration = SimDuration::NEVER;
 
 /// Draws the next packet inter-arrival time for a flow of `rate_pps`
 /// packets per second.
 ///
-/// # Panics
-///
-/// Panics if `rate_pps` is not strictly positive and finite.
+/// A degenerate rate — non-positive, non-finite, or subnormal enough
+/// that the mean gap `1/rate` is not a positive finite number — is a
+/// caller bug: debug builds fire a `debug_assert`, release builds
+/// saturate to [`SATURATED_GAP`] (the flow simply never fires) instead
+/// of producing an `inf`/NaN gap that would poison the event clock.
 ///
 /// ```
 /// use rica_sim::Rng;
@@ -18,8 +30,19 @@ use rica_sim::{Rng, SimDuration};
 /// assert!(gap.as_secs_f64() > 0.0);
 /// ```
 pub fn next_interarrival(rng: &mut Rng, rate_pps: f64) -> SimDuration {
-    assert!(rate_pps.is_finite() && rate_pps > 0.0, "rate must be > 0, got {rate_pps}");
-    SimDuration::from_secs_f64(rng.exp(1.0 / rate_pps))
+    // `usable_mean_gap` owns the subtle cases: subnormal rates whose
+    // reciprocal overflows to inf (which `Rng::exp` would hard-assert
+    // on) and infinite rates whose mean gap collapses to zero.
+    let mean_gap = rica_sim::usable_mean_gap(rate_pps);
+    debug_assert!(mean_gap.is_some(), "rate must be > 0 with a finite mean gap, got {rate_pps}");
+    let Some(mean_gap) = mean_gap else {
+        return SATURATED_GAP;
+    };
+    let secs = rng.exp(mean_gap);
+    if secs >= SATURATED_GAP.as_secs_f64() {
+        return SATURATED_GAP; // absurdly small rate: clamp before the clock overflows
+    }
+    SimDuration::from_secs_f64(secs)
 }
 
 #[cfg(test)]
@@ -60,9 +83,21 @@ mod tests {
         assert!((var / mean - 1.0).abs() < 0.1, "fano {}", var / mean);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "rate must be > 0")]
-    fn zero_rate_panics() {
+    fn zero_rate_asserts_in_debug_builds() {
         next_interarrival(&mut Rng::new(1), 0.0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn degenerate_rates_saturate_in_release_builds() {
+        // Includes the subtle degenerates: a subnormal rate (reciprocal
+        // overflows to inf) and an infinite rate (mean gap collapses to
+        // zero) — both would trip `Rng::exp`'s hard assert if unguarded.
+        for rate in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY, 1e-320, f64::INFINITY] {
+            assert_eq!(next_interarrival(&mut Rng::new(1), rate), SATURATED_GAP, "rate {rate}");
+        }
     }
 }

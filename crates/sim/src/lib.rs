@@ -41,4 +41,4 @@ mod time;
 
 pub use queue::{EventQueue, EventToken, Simulator};
 pub use rng::Rng;
-pub use time::{SimDuration, SimTime};
+pub use time::{usable_mean_gap, SimDuration, SimTime};

@@ -88,6 +88,12 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
     /// The largest representable span.
     pub const MAX: SimDuration = SimDuration(u64::MAX);
+    /// ~136 years of simulated time — "never" for any realistic trial.
+    /// The single saturating fallback that rate-driven generators
+    /// (`rica_net::poisson`, `rica-traffic`) return instead of an
+    /// `inf`/NaN gap when a rate is degenerate; shared here so the two
+    /// crates cannot drift.
+    pub const NEVER: SimDuration = SimDuration::from_secs(u32::MAX as u64);
 
     /// Builds a span from whole nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
@@ -147,6 +153,18 @@ impl SimDuration {
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         SimDuration(secs_to_nanos(self.as_secs_f64() * factor))
     }
+}
+
+/// The mean inter-arrival gap `1/rate_pps` of a packet rate, if the rate
+/// is usable — `None` for every degenerate class a rate-driven generator
+/// must reject: zero/negative/NaN rates, infinite rates (the gap
+/// collapses to zero) and subnormal rates (the reciprocal overflows to
+/// inf). Lives next to [`SimDuration::NEVER`] so every generator crate
+/// shares one predicate instead of hand-copying the floating-point edge
+/// cases.
+pub fn usable_mean_gap(rate_pps: f64) -> Option<f64> {
+    let mean_gap = 1.0 / rate_pps;
+    (rate_pps > 0.0 && mean_gap.is_finite() && mean_gap > 0.0).then_some(mean_gap)
 }
 
 fn secs_to_nanos(secs: f64) -> u64 {

@@ -20,10 +20,10 @@ fn main() {
     // Two bidirectional swaps: (3 ⇄ 27) and (11 ⇄ 40), each direction a
     // 20 pkt/s stream of 512-byte chunks.
     let flows = vec![
-        Flow { src: NodeId(3), dst: NodeId(27), rate_pps: 20.0, packet_bytes: PACKET_BYTES },
-        Flow { src: NodeId(27), dst: NodeId(3), rate_pps: 20.0, packet_bytes: PACKET_BYTES },
-        Flow { src: NodeId(11), dst: NodeId(40), rate_pps: 20.0, packet_bytes: PACKET_BYTES },
-        Flow { src: NodeId(40), dst: NodeId(11), rate_pps: 20.0, packet_bytes: PACKET_BYTES },
+        Flow::new(NodeId(3), NodeId(27), 20.0, PACKET_BYTES),
+        Flow::new(NodeId(27), NodeId(3), 20.0, PACKET_BYTES),
+        Flow::new(NodeId(11), NodeId(40), 20.0, PACKET_BYTES),
+        Flow::new(NodeId(40), NodeId(11), 20.0, PACKET_BYTES),
     ];
     let packets_needed = FILE_BYTES / PACKET_BYTES as u64;
 

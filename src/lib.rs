@@ -12,6 +12,8 @@
 //! * [`channel`] — 4-class (ABICM) time-varying wireless channel model
 //! * [`mac`] — multi-code CDMA MAC: CSMA/CA common channel + PN data channels
 //! * [`net`] — packet vocabulary, link queues, traffic, routing traits
+//! * [`traffic`] — declarative workload generation (arrival processes ×
+//!   packet-size distributions)
 //! * [`metrics`] — simulation metrics (delay, delivery, overhead, …)
 //! * [`exec`] — parallel deterministic experiment-execution engine
 //! * [`rica`] — the RICA protocol (the paper's contribution)
@@ -46,6 +48,7 @@ pub use rica_mobility as mobility;
 pub use rica_net as net;
 pub use rica_protocols as protocols;
 pub use rica_sim as sim;
+pub use rica_traffic as traffic;
 
 /// Convenience prelude re-exporting the most common types.
 pub mod prelude {
@@ -54,4 +57,5 @@ pub mod prelude {
     pub use rica_harness::{ProtocolKind, Scenario, ScenarioBuilder, TrialReport};
     pub use rica_net::{NodeId, RoutingProtocol};
     pub use rica_sim::{Rng, SimTime};
+    pub use rica_traffic::{ArrivalSpec, Dwell, SizeSpec, WorkloadSpec};
 }

@@ -18,12 +18,7 @@ fn chain() -> Scenario {
             Vec2::new(650.0, 500.0),
             Vec2::new(850.0, 500.0),
         ])
-        .explicit_flows(vec![Flow {
-            src: NodeId(0),
-            dst: NodeId(4),
-            rate_pps: 5.0,
-            packet_bytes: 512,
-        }])
+        .explicit_flows(vec![Flow::new(NodeId(0), NodeId(4), 5.0, 512)])
         .build()
 }
 
@@ -53,12 +48,7 @@ fn partitioned_network_delivers_nothing_but_drops_cleanly() {
             Vec2::new(900.0, 900.0),
             Vec2::new(1000.0, 900.0),
         ])
-        .explicit_flows(vec![Flow {
-            src: NodeId(0),
-            dst: NodeId(3),
-            rate_pps: 10.0,
-            packet_bytes: 512,
-        }])
+        .explicit_flows(vec![Flow::new(NodeId(0), NodeId(3), 10.0, 512)])
         .build();
     for kind in ProtocolKind::ALL {
         let r = s.run(kind);
@@ -79,8 +69,8 @@ fn partitioned_network_delivers_nothing_but_drops_cleanly() {
 fn bidirectional_flows_coexist() {
     let mut s = chain();
     s.explicit_flows = Some(vec![
-        Flow { src: NodeId(0), dst: NodeId(4), rate_pps: 5.0, packet_bytes: 512 },
-        Flow { src: NodeId(4), dst: NodeId(0), rate_pps: 5.0, packet_bytes: 512 },
+        Flow::new(NodeId(0), NodeId(4), 5.0, 512),
+        Flow::new(NodeId(4), NodeId(0), 5.0, 512),
     ]);
     for kind in [ProtocolKind::Rica, ProtocolKind::Aodv] {
         let r = s.run(kind);
@@ -118,8 +108,7 @@ fn higher_load_cannot_increase_delivery_ratio_on_a_bottleneck() {
     // the ratio may only go down relative to 5 pkt/s.
     let slow = chain().run(ProtocolKind::Aodv);
     let mut s = chain();
-    s.explicit_flows =
-        Some(vec![Flow { src: NodeId(0), dst: NodeId(4), rate_pps: 30.0, packet_bytes: 512 }]);
+    s.explicit_flows = Some(vec![Flow::new(NodeId(0), NodeId(4), 30.0, 512)]);
     let fast = s.run(ProtocolKind::Aodv);
     assert!(
         fast.delivery_ratio() <= slow.delivery_ratio() + 0.02,

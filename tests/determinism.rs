@@ -91,6 +91,54 @@ fn sweep_artifact_is_worker_count_invariant() {
     assert_eq!(render(1), render(4), "artifact bytes depend on worker count");
 }
 
+/// The workload axis keeps the hard invariant at overload scale: a
+/// 200-node bursty 20 pkt/s sweep over three distinct workload shapes
+/// renders byte-identical `sweep_results.json` artifacts with 1, 2 and
+/// 8 workers.
+#[test]
+fn bursty_overload_sweep_is_worker_count_invariant() {
+    use rica_repro::traffic::{ArrivalSpec, Dwell, SizeSpec, WorkloadSpec};
+    let base = Scenario::builder()
+        .nodes(200)
+        .flows(10)
+        .rate_pps(20.0) // the paper's overload regime
+        .duration_secs(5.0)
+        .seed(17)
+        .build();
+    let workloads = vec![
+        WorkloadSpec::default(),
+        WorkloadSpec {
+            arrival: ArrivalSpec::OnOffBurst {
+                on_mean_secs: 0.5,
+                off_mean_secs: 1.5,
+                dwell: Dwell::Exponential,
+            },
+            size: SizeSpec::Fixed,
+        },
+        WorkloadSpec {
+            arrival: ArrivalSpec::OnOffBurst {
+                on_mean_secs: 0.5,
+                off_mean_secs: 1.5,
+                dwell: Dwell::Pareto { shape: 1.5 },
+            },
+            size: SizeSpec::Bimodal { small: 40, large: 1460, p_small: 0.3 },
+        },
+    ];
+    let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![36.0], vec![200], 1, 17)
+        .with_workloads(workloads);
+    let render = |workers| {
+        let mut result = sweep::run_plan(&plan, &base, &ExecOptions::with_workers(workers));
+        result.wall_secs = 0.0;
+        result.workers = 0;
+        rica_repro::exec::sweep_json(&result, |k| k.name().to_string(), &[])
+    };
+    let reference = render(1);
+    assert!(reference.contains("\"workloads\":["), "axis must be named in the artifact");
+    for workers in [2, 8] {
+        assert_eq!(render(workers), reference, "{workers} workers changed the artifact");
+    }
+}
+
 #[test]
 fn protocol_does_not_perturb_other_seeds() {
     // The trial for seed k is independent of which other seeds ran before.

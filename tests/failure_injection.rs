@@ -19,12 +19,7 @@ fn two_relay_diamond(failures: Vec<(f64, NodeId)>) -> Scenario {
             Vec2::new(280.0, 420.0),
             Vec2::new(460.0, 500.0),
         ])
-        .explicit_flows(vec![Flow {
-            src: NodeId(0),
-            dst: NodeId(3),
-            rate_pps: 8.0,
-            packet_bytes: 512,
-        }])
+        .explicit_flows(vec![Flow::new(NodeId(0), NodeId(3), 8.0, 512)])
         .node_failures(failures)
         .build()
 }
@@ -64,12 +59,7 @@ fn crash_of_the_only_relay_stops_delivery() {
             Vec2::new(300.0, 500.0),
             Vec2::new(500.0, 500.0),
         ])
-        .explicit_flows(vec![Flow {
-            src: NodeId(0),
-            dst: NodeId(2),
-            rate_pps: 8.0,
-            packet_bytes: 512,
-        }])
+        .explicit_flows(vec![Flow::new(NodeId(0), NodeId(2), 8.0, 512)])
         .node_failures(vec![(10.0, NodeId(1))])
         .build();
     for kind in ProtocolKind::ALL {

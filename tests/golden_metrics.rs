@@ -97,6 +97,39 @@ fn mobile_25_node_summaries_are_pinned() {
     check(&s, GOLDEN, "mobile25");
 }
 
+/// 12 mobile nodes under a bursty on/off arrival process with bimodal
+/// (small-ack / large-data) packet sizes — the `rica-traffic` path. The
+/// summary Debug rendering includes the workload block (offered load +
+/// per-flow breakdowns), so the hash pins the new accounting too.
+#[test]
+fn bursty_bimodal_12_node_summaries_are_pinned() {
+    use rica_repro::traffic::{ArrivalSpec, Dwell, SizeSpec, WorkloadSpec};
+    const GOLDEN: &[GoldenRow] = &[
+        (ProtocolKind::Rica, 0x88018d2b63c9b7d1, 999, 116),
+        (ProtocolKind::Bgca, 0x0b29cd30d3ad50e3, 999, 107),
+        (ProtocolKind::Abr, 0x62482850aa616c6a, 999, 91),
+        (ProtocolKind::Aodv, 0xc767fa92090abe4a, 999, 95),
+        (ProtocolKind::LinkState, 0x71746edd6ceb0c6d, 999, 97),
+    ];
+    let s = Scenario::builder()
+        .nodes(12)
+        .flows(3)
+        .rate_pps(10.0)
+        .duration_secs(30.0)
+        .mean_speed_kmh(36.0)
+        .seed(7)
+        .workload(WorkloadSpec {
+            arrival: ArrivalSpec::OnOffBurst {
+                on_mean_secs: 0.5,
+                off_mean_secs: 1.5,
+                dwell: Dwell::Exponential,
+            },
+            size: SizeSpec::Bimodal { small: 40, large: 1460, p_small: 0.3 },
+        })
+        .build();
+    check(&s, GOLDEN, "bursty12");
+}
+
 /// The full `sweep_results.json` artifact through `rica-exec` must stay
 /// byte-identical (modulo the informational wall-clock/worker fields).
 #[test]

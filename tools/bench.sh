@@ -8,6 +8,11 @@
 #
 # The artifact lives at the repo root; snapshots are labeled and append-only,
 # so the perf trajectory across PRs stays reviewable in git history.
+#
+# Workloads covered (see crates/bench/src/bin/hotloop.rs): the paper-grid
+# trials per protocol, the 200-node scale trial, the bursty 200-node
+# overload trial through rica-traffic (trial/workload_burst/RICA), and the
+# substrate micro-loops. `smoke` runs them all in quick mode in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
