@@ -9,6 +9,9 @@
 //! cargo run --release -p rica-bench --bin hotloop                    # measure + print
 //! cargo run --release -p rica-bench --bin hotloop -- --label after   # …and append a snapshot
 //! cargo run --release -p rica-bench --bin hotloop -- --compare       # first vs last snapshot
+//! cargo run --release -p rica-bench --bin hotloop -- --compare --max-regress 20
+//!                                    # …and exit 2 if the last snapshot regressed >20%
+//!                                    # on any entry vs the one before it
 //! cargo run --release -p rica-bench --bin hotloop -- --quick         # CI smoke (seconds, no file)
 //! ```
 //!
@@ -45,6 +48,9 @@ struct Opts {
     compare: bool,
     quick: bool,
     reps: usize,
+    /// With `--compare`: exit non-zero if any entry of the last snapshot
+    /// is more than this many percent slower than the previous snapshot.
+    max_regress: Option<f64>,
 }
 
 fn parse_opts() -> Opts {
@@ -54,6 +60,7 @@ fn parse_opts() -> Opts {
         compare: false,
         quick: false,
         reps: 3,
+        max_regress: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,6 +72,10 @@ fn parse_opts() -> Opts {
             "--reps" => {
                 opts.reps =
                     args.next().expect("--reps needs a value").parse().expect("bad --reps value")
+            }
+            "--max-regress" => {
+                let pct = args.next().expect("--max-regress needs a percentage");
+                opts.max_regress = Some(pct.parse().expect("bad --max-regress value"));
             }
             other => panic!("unknown argument {other:?} (see crates/bench/src/bin/hotloop.rs)"),
         }
@@ -151,6 +162,42 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
                 count += 1;
             }
             count
+        }),
+    ));
+    entries.push((
+        "micro/event_queue_backoff_storm".to_string(),
+        time_min(reps, || {
+            // The MacAttempt pattern: bursts of short-horizon retries
+            // around a sliding `now`, sparse far-future timers, frequent
+            // cancellations, driver-style bounded pops. Deep enough that
+            // the bucket ring engages (unlike push-then-drain above,
+            // which measures the large-heap regime).
+            let mut rng = Rng::new(9);
+            let mut q = EventQueue::new();
+            let mut tokens = Vec::new();
+            let mut now = 0u64;
+            let mut fired = 0u64;
+            for round in 0..(micro_iters / 4) {
+                for _ in 0..3 {
+                    let at = now + 1_000 + rng.u64_below(2_000_000);
+                    tokens.push(q.schedule(SimTime::from_nanos(at), at));
+                }
+                if round % 16 == 0 {
+                    let at = now + 3_000_000_000 + rng.u64_below(1_000_000_000);
+                    tokens.push(q.schedule(SimTime::from_nanos(at), at));
+                }
+                if round % 4 == 0 && !tokens.is_empty() {
+                    let i = rng.u64_below(tokens.len() as u64) as usize;
+                    q.cancel(tokens.swap_remove(i));
+                }
+                let until = now + 1_200_000;
+                while let Some((t, _)) = q.pop_at_or_before(SimTime::from_nanos(until)) {
+                    now = now.max(t.as_nanos());
+                    fired += 1;
+                }
+                now = now.max(until);
+            }
+            fired
         }),
     ));
     entries.push((
@@ -241,7 +288,7 @@ fn parse_snapshots(doc: &str) -> Vec<(String, Vec<(String, f64)>)> {
     snaps
 }
 
-fn compare(path: &Path) {
+fn compare(path: &Path, max_regress: Option<f64>) {
     let doc =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     let snaps = parse_snapshots(&doc);
@@ -253,12 +300,42 @@ fn compare(path: &Path) {
         let Some((_, cur_secs)) = cur.iter().find(|(n, _)| n == name) else { continue };
         println!("{name:<34} {base_secs:>11.4}s {cur_secs:>11.4}s {:>8.2}x", base_secs / cur_secs);
     }
+    // The exit-code gate judges the last snapshot against the one before
+    // it (the trajectory table above is informational): a hot-loop
+    // regression beyond the threshold fails loudly instead of only
+    // printing.
+    let Some(limit_pct) = max_regress else { return };
+    let (prev_label, prev) = &snaps[snaps.len() - 2];
+    let mut failed = false;
+    // A workload that vanished from the current snapshot is a gate
+    // failure too: lost coverage must not read as green.
+    for (name, _) in prev {
+        if !cur.iter().any(|(n, _)| n == name) {
+            eprintln!("MISSING {name}: measured in {prev_label:?} but absent from {cur_label:?}");
+            failed = true;
+        }
+    }
+    for (name, cur_secs) in cur {
+        let Some((_, prev_secs)) = prev.iter().find(|(n, _)| n == name) else { continue };
+        let regress_pct = (cur_secs / prev_secs - 1.0) * 100.0;
+        if regress_pct > limit_pct {
+            eprintln!(
+                "REGRESSION {name}: {prev_secs:.4}s ({prev_label}) -> {cur_secs:.4}s \
+                 ({cur_label}), +{regress_pct:.1}% > {limit_pct:.0}% allowed"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+    println!("gate: no entry regressed more than {limit_pct:.0}% vs {prev_label:?}");
 }
 
 fn main() {
     let opts = parse_opts();
     if opts.compare {
-        compare(&opts.json);
+        compare(&opts.json, opts.max_regress);
         return;
     }
     let entries = run_all(opts.quick, opts.reps);

@@ -148,14 +148,17 @@ impl ChannelModel {
         t: SimTime,
     ) -> Option<ChannelClass> {
         // One displacement serves both the (squared) range check and the
-        // SNR mean; `hypot` keeps the distance bit-identical to
-        // `Vec2::distance`.
+        // SNR mean; `sqrt` of the squared norm keeps the distance
+        // bit-identical to `Vec2::distance` (both avoid `hypot`, whose
+        // overflow guards cost a libm call these bounded coordinates
+        // never need).
         let d = pos_a - pos_b;
-        if d.x * d.x + d.y * d.y > self.config.tx_range_m * self.config.tx_range_m {
+        let d_sq = d.x * d.x + d.y * d.y;
+        if d_sq > self.config.tx_range_m * self.config.tx_range_m {
             return None;
         }
         let thresholds = self.config.class_thresholds_db;
-        let snr = self.snr_db_at_distance(a, b, d.x.hypot(d.y), t);
+        let snr = self.snr_db_at_distance(a, b, d_sq.sqrt(), t);
         Some(ChannelClass::from_snr_db(snr, thresholds))
     }
 

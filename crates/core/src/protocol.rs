@@ -1,10 +1,10 @@
 //! The RICA state machine.
 
-use crate::state::{Candidate, DestState, FlowKey, Tables};
+use crate::state::{Candidate, DestState, FlowKey, SourceState, Tables};
 use crate::{PossibleRoute, RouteEntry};
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
-    Timer,
+    ControlPacket, DataPacket, DropReason, KeyMap, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
+    RxInfo, Timer,
 };
 
 /// The RICA protocol (§II of the paper). One instance runs on every
@@ -36,7 +36,7 @@ impl Rica {
 
     /// The current next hop this node (as a source) uses towards `dst`.
     pub fn next_hop_to(&self, dst: NodeId) -> Option<NodeId> {
-        self.t.sources.get(&dst).and_then(|s| s.next_hop)
+        self.t.sources.get(dst).and_then(|s| s.next_hop)
     }
 
     fn pending(&mut self, ctx: &dyn NodeCtx) -> &mut PendingBuffer {
@@ -55,7 +55,7 @@ impl Rica {
         ctx.broadcast(ControlPacket::Rreq { src: me, dst, bcast_id, csi_hops: 0.0, topo_hops: 0 });
         let timeout = ctx.config().rreq_retry_timeout;
         let token = ctx.set_timer(timeout, Timer::RreqRetry { dst });
-        let st = self.t.sources.entry(dst).or_default();
+        let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
         st.discovery = Some((bcast_id, retries, token));
     }
 
@@ -63,7 +63,7 @@ impl Rica {
     /// opening the window if necessary (§II.D).
     fn offer_candidate(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId, cand: Candidate) {
         let window_len = ctx.config().selection_window;
-        let st = self.t.sources.entry(dst).or_default();
+        let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
         match &mut st.window {
             Some(best) => {
                 if cand.metric < best.metric {
@@ -81,7 +81,7 @@ impl Rica {
     fn commit_candidate(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId) {
         let me = ctx.id();
         let now = ctx.now();
-        let Some(st) = self.t.sources.get_mut(&dst) else { return };
+        let Some(st) = self.t.sources.get_mut(dst) else { return };
         let Some(cand) = st.window.take() else { return };
         let switched = st.next_hop != Some(cand.via);
         st.next_hop = Some(cand.via);
@@ -119,7 +119,7 @@ impl Rica {
         let me = ctx.id();
         let dst = pkt.dst;
         let now = ctx.now();
-        let st = self.t.sources.entry(dst).or_default();
+        let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
         if let Some(nh) = st.next_hop {
             if st.send_update_flag {
                 pkt.route_update = true;
@@ -163,7 +163,7 @@ impl Rica {
             if let Some(p) = self.t.possible.get(&key) {
                 if p.is_fresh(now, detect) {
                     let downstream = p.downstream;
-                    let e = self.t.routes.entry(key).or_insert(RouteEntry {
+                    let e = self.t.routes.or_insert_with(key, || RouteEntry {
                         upstream: None,
                         downstream: None,
                         last_used: now,
@@ -214,7 +214,7 @@ impl Rica {
         let update = pkt.route_update;
         ctx.deliver_local(pkt);
         let period = ctx.config().csi_check_period;
-        let ds = self.t.dests.entry(src).or_insert_with(|| DestState::new(now));
+        let ds = self.t.dests.get_or_insert_with(src, || DestState::new(now));
         ds.last_data_rx = now;
         // The TTL of future CSI checks tracks the *current* path length.
         if update || ds.known_topo_hops == 0 {
@@ -238,7 +238,7 @@ impl Rica {
         let idle = ctx.config().flow_idle_timeout;
         let margin = ctx.config().csi_ttl_margin;
         let period = ctx.config().csi_check_period;
-        let Some(ds) = self.t.dests.get_mut(&src) else { return };
+        let Some(ds) = self.t.dests.get_mut(src) else { return };
         if now.saturating_since(ds.last_data_rx) > idle {
             // Flow is idle: stop checking until data flows again.
             ds.csi_timer_armed = false;
@@ -283,7 +283,7 @@ impl Rica {
             // minimal distance value").
             let now = ctx.now();
             let window = ctx.config().reply_window;
-            let ds = self.t.dests.entry(src).or_insert_with(|| DestState::new(now));
+            let ds = self.t.dests.get_or_insert_with(src, || DestState::new(now));
             if ds.last_replied_bcast.is_some_and(|last| bcast_id <= last) {
                 return; // stale flood already answered
             }
@@ -305,10 +305,10 @@ impl Rica {
         }
         // Intermediate: history-table dedup, remember the reverse pointer,
         // accumulate the CSI distance, re-broadcast.
-        if self.t.rreq_reverse.contains_key(&(key, bcast_id)) {
+        if self.t.rreq_reverse.get(&key).is_some_and(|m| m.contains_key(&bcast_id)) {
             return;
         }
-        self.t.rreq_reverse.insert((key, bcast_id), rx.from);
+        self.t.rreq_reverse.or_insert_with(key, KeyMap::new).insert(bcast_id, rx.from);
         ctx.broadcast(ControlPacket::Rreq {
             src,
             dst,
@@ -335,7 +335,7 @@ impl Rica {
             // The reply reached the source: it becomes a route candidate.
             // If no route exists and no window is open, adopt immediately;
             // otherwise combine within the window (§II.D scenarios).
-            let st = self.t.sources.entry(dst).or_default();
+            let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
             let cand = Candidate { via: rx.from, metric: csi_hops, topo_hops, needs_rupd: false };
             let adopt_now = st.next_hop.is_none() && st.window.is_none();
             if adopt_now {
@@ -348,7 +348,7 @@ impl Rica {
         }
         // Intermediate terminal on the chosen route: install the entry and
         // pass the reply towards the source (§II.B).
-        let Some(&upstream) = self.t.rreq_reverse.get(&(key, seq)) else {
+        let Some(&upstream) = self.t.rreq_reverse.get(&key).and_then(|m| m.get(&seq)) else {
             return; // reverse pointer lost/expired: reply dies here
         };
         self.t.routes.insert(
@@ -377,7 +377,7 @@ impl Rica {
         let key: FlowKey = (src, dst);
         if src == me {
             // The source: this is a route candidate for the flow to `dst`.
-            let st = self.t.sources.entry(dst).or_default();
+            let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
             st.last_csi_rx = Some(now);
             self.offer_candidate(
                 ctx,
@@ -460,7 +460,7 @@ impl Rica {
         let now = ctx.now();
         let period = ctx.config().csi_check_period;
         self.t.routes.remove(&(me, dst));
-        let st = self.t.sources.entry(dst).or_default();
+        let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
         st.next_hop = None;
         // Scenario 1: CSI checks are flowing — the next wave (≤ one period
         // away) will deliver fresh candidates; do not flood.
@@ -478,7 +478,7 @@ impl Rica {
 
     fn on_rreq_retry(&mut self, ctx: &mut dyn NodeCtx, dst: NodeId) {
         let max_retries = ctx.config().rreq_max_retries;
-        let st = self.t.sources.entry(dst).or_default();
+        let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
         let Some((_, retries, _)) = st.discovery else {
             return; // discovery already concluded
         };
@@ -501,7 +501,7 @@ impl Rica {
         debug_assert_eq!(dst, ctx.id());
         let now = ctx.now();
         let period = ctx.config().csi_check_period;
-        let Some(ds) = self.t.dests.get_mut(&src) else { return };
+        let Some(ds) = self.t.dests.get_mut(src) else { return };
         let Some((bcast_id, csi, topo, via)) = ds.reply_window.take() else { return };
         ds.last_replied_bcast = Some(bcast_id);
         ds.known_topo_hops = topo.max(1);
@@ -622,7 +622,7 @@ impl RoutingProtocol for Rica {
                 if let Some(rejected) = self.pending(ctx).push(now, pkt) {
                     ctx.drop_data(rejected, DropReason::BufferOverflow);
                 }
-                let st = self.t.sources.entry(dst).or_default();
+                let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
                 if st.next_hop == Some(neighbor) {
                     st.next_hop = None;
                 }

@@ -1,8 +1,6 @@
 //! RICA's per-node routing state.
 
-use std::collections::BTreeMap;
-
-use rica_net::{NodeId, TimerToken};
+use rica_net::{IdMap, KeyMap, NodeId, TimerToken};
 use rica_sim::{SimDuration, SimTime};
 
 /// A flow is identified by its (source, destination) pair, as in the paper
@@ -121,21 +119,26 @@ impl DestState {
 }
 
 /// All of RICA's per-node tables.
+///
+/// Flat (id-indexed / sorted-vec) storage: these tables are read or
+/// written on every packet the node sees, and the flat containers keep
+/// the exact `BTreeMap` iteration order the fixed-seed outputs depend
+/// on while dropping the per-access pointer chase.
 #[derive(Debug, Default)]
 pub(crate) struct Tables {
     /// Active route entries by flow.
-    pub routes: BTreeMap<FlowKey, RouteEntry>,
+    pub routes: KeyMap<FlowKey, RouteEntry>,
     /// Possible routes from CSI checks, by flow.
-    pub possible: BTreeMap<FlowKey, PossibleRoute>,
-    /// RREQ floods already seen: (flow, bcast id) → upstream (reverse
+    pub possible: KeyMap<FlowKey, PossibleRoute>,
+    /// RREQ floods already seen, per flow: bcast id → upstream (reverse
     /// pointer towards the source).
-    pub rreq_reverse: BTreeMap<(FlowKey, u64), NodeId>,
+    pub rreq_reverse: KeyMap<FlowKey, KeyMap<u64, NodeId>>,
     /// CSI-check waves already re-broadcast (dedup).
-    pub csi_seen: BTreeMap<FlowKey, u64>,
+    pub csi_seen: KeyMap<FlowKey, u64>,
     /// Source-side state per destination.
-    pub sources: BTreeMap<NodeId, SourceState>,
+    pub sources: IdMap<SourceState>,
     /// Destination-side state per source.
-    pub dests: BTreeMap<NodeId, DestState>,
+    pub dests: IdMap<DestState>,
 }
 
 #[cfg(test)]

@@ -384,6 +384,17 @@ impl<'s> World<'s> {
         self.sim.now()
     }
 
+    /// Diagnostics: live events pending in the simulator queue (cancelled
+    /// timers awaiting removal are not counted).
+    pub fn pending_events(&self) -> usize {
+        self.sim.pending()
+    }
+
+    /// Diagnostics: total events the simulator has surfaced so far.
+    pub fn popped(&self) -> u64 {
+        self.sim.popped()
+    }
+
     /// Observability: walks the per-node `current_downstream` pointers of
     /// the flow `(src, dst)` from the source, yielding the route as this
     /// instant's protocol state describes it. Stops at the destination, at

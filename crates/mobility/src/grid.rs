@@ -126,13 +126,21 @@ impl SpatialGrid {
     /// the superset.
     pub fn query_unordered_into(&self, center: Vec2, radius: f64, out: &mut Vec<u32>) {
         out.clear();
-        let c0 = self.col_of((center.x - radius).max(0.0));
-        let c1 = self.col_of((center.x + radius).max(0.0));
         let r0 = self.row_of((center.y - radius).max(0.0));
         let r1 = self.row_of((center.y + radius).max(0.0));
+        let r_sq = radius * radius;
         for row in r0..=r1 {
-            // Cells of one row are contiguous in the CSR layout, so the
-            // whole `c0..=c1` span is a single slice.
+            // Clamp the column span to the disc's chord at this row: the
+            // nearest y of the row bounds |dy|, so any in-radius point in
+            // it satisfies |dx| ≤ √(r² − dy²). Corner cells of the
+            // bounding square never enter the candidate set, and the span
+            // stays one contiguous CSR slice per row.
+            let row_lo = row as f64 * self.cell;
+            let row_hi = row_lo + self.cell;
+            let dy = (row_lo - center.y).max(center.y - row_hi).max(0.0);
+            let chord = (r_sq - dy * dy).max(0.0).sqrt();
+            let c0 = self.col_of((center.x - chord).max(0.0));
+            let c1 = self.col_of((center.x + chord).max(0.0));
             let base = row * self.cols;
             let (lo, hi) = (self.starts[base + c0] as usize, self.starts[base + c1 + 1] as usize);
             out.extend_from_slice(&self.items[lo..hi]);

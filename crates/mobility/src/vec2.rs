@@ -30,7 +30,11 @@ impl Vec2 {
 
     /// Euclidean norm.
     pub fn length(self) -> f64 {
-        self.x.hypot(self.y)
+        // `sqrt(x² + y²)` rather than `hypot`: coordinates are bounded by
+        // the field diagonal (~1.4 km), so the overflow/underflow guards
+        // `hypot` pays a slow libm call for can never trigger; the result
+        // differs by at most 1 ulp, and this runs once per channel sample.
+        (self.x * self.x + self.y * self.y).sqrt()
     }
 
     /// Euclidean distance to another point.

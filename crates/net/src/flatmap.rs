@@ -1,0 +1,330 @@
+//! Flat protocol-state containers.
+//!
+//! The routing protocols keep small per-neighbour / per-flow tables that
+//! sit on the per-event hot path (every beacon, flood copy and data
+//! forward reads or writes one). `BTreeMap` pays a pointer chase and an
+//! allocation per node there; these two containers replace it with flat
+//! storage while keeping the property golden-metrics tests rely on:
+//! **iteration is in ascending key order**, exactly like the `BTreeMap`s
+//! they replace, so every observable side-effect sequence (REER fan-out,
+//! LSU entry order, guard sweeps) is byte-identical.
+//!
+//! * [`IdMap`] — keyed by [`NodeId`], a dense `Vec<Option<T>>` indexed by
+//!   id. O(1) everything; ids are small and dense by construction.
+//! * [`KeyMap`] — keyed by any ordered `Copy` key (flow pairs, flood
+//!   ids), a sorted `Vec<(K, V)>` with binary-search lookup. The tables
+//!   it backs hold a handful of entries per node, where a sorted vec
+//!   beats a tree on every operation.
+
+use crate::NodeId;
+
+/// A dense map keyed by [`NodeId`].
+///
+/// Storage is a plain `Vec<Option<T>>` indexed by `NodeId::index()`,
+/// grown on demand — node ids are dense and bounded by the scenario's
+/// node count. Iteration yields ascending ids, matching the `BTreeMap`
+/// ordering protocol code observably relies on.
+///
+/// ```
+/// use rica_net::{IdMap, NodeId};
+/// let mut m = IdMap::new();
+/// m.insert(NodeId(3), "c");
+/// m.insert(NodeId(1), "a");
+/// assert_eq!(m.get(NodeId(3)), Some(&"c"));
+/// let keys: Vec<_> = m.iter().map(|(n, _)| n).collect();
+/// assert_eq!(keys, vec![NodeId(1), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdMap<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> Default for IdMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IdMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        IdMap { slots: Vec::new(), live: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The value for `id`, if present.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the value for `id`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Whether `id` has an entry.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    #[inline]
+    fn slot(&mut self, id: NodeId) -> &mut Option<T> {
+        let i = id.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        &mut self.slots[i]
+    }
+
+    /// Inserts `value` for `id`, returning the previous value if any.
+    pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
+        let slot = self.slot(id);
+        let old = slot.replace(value);
+        self.live += usize::from(old.is_none());
+        old
+    }
+
+    /// Removes and returns the value for `id`.
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let old = self.slots.get_mut(id.index()).and_then(|s| s.take());
+        self.live -= usize::from(old.is_some());
+        old
+    }
+
+    /// The value for `id`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, id: NodeId, default: impl FnOnce() -> T) -> &mut T {
+        let i = id.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(default());
+            self.live += 1;
+        }
+        self.slots[i].as_mut().expect("just filled")
+    }
+
+    /// Iterates live entries in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (NodeId(i as u32), v)))
+    }
+
+    /// Keeps only the entries for which `keep` returns `true`.
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId, &mut T) -> bool) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = slot {
+                if !keep(NodeId(i as u32), v) {
+                    *slot = None;
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// A sorted-vec map for small ordered keys (flow pairs, flood ids).
+///
+/// Lookup is a binary search over a contiguous `Vec<(K, V)>`; insertion
+/// keeps it sorted. The protocol tables this backs are tiny (one entry
+/// per flow crossing the node, or per flood id of one flow), so the
+/// memmove on insert is a few cache lines — far cheaper than a tree
+/// node allocation. Iteration is ascending by key, like the `BTreeMap`
+/// it replaces.
+///
+/// ```
+/// use rica_net::{KeyMap, NodeId};
+/// let mut m: KeyMap<(NodeId, NodeId), u64> = KeyMap::new();
+/// m.insert((NodeId(2), NodeId(9)), 7);
+/// m.insert((NodeId(0), NodeId(9)), 3);
+/// assert_eq!(m.get(&(NodeId(2), NodeId(9))), Some(&7));
+/// let keys: Vec<_> = m.iter().map(|(k, _)| *k).collect();
+/// assert_eq!(keys, vec![(NodeId(0), NodeId(9)), (NodeId(2), NodeId(9))]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K, V> Default for KeyMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> KeyMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        KeyMap { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = &(K, V)> {
+        self.entries.iter()
+    }
+}
+
+impl<K: Ord + Copy, V> KeyMap<K, V> {
+    #[inline]
+    fn pos(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.pos(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.pos(key).ok().map(|i| &mut self.entries[i].1)
+    }
+
+    /// Whether `key` has an entry.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.pos(key).is_ok()
+    }
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.pos(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value for `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.pos(key).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// The value for `key`, inserting `default()` first if absent.
+    pub fn or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let i = match self.pos(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Keeps only the entries for which `keep` returns `true`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &mut V) -> bool) {
+        self.entries.retain_mut(|(k, v)| keep(k, v));
+    }
+}
+
+impl<K, V> IntoIterator for KeyMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+
+    /// Consumes the map, yielding entries in ascending key order.
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idmap_basics() {
+        let mut m = IdMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(NodeId(5), 50), None);
+        assert_eq!(m.insert(NodeId(5), 55), Some(50), "replace returns old");
+        assert_eq!(m.len(), 1);
+        m.insert(NodeId(2), 20);
+        assert_eq!(m.get(NodeId(2)), Some(&20));
+        assert_eq!(m.get(NodeId(99)), None, "past the end is absent");
+        *m.get_or_insert_with(NodeId(7), || 0) += 1;
+        assert_eq!(m.get(NodeId(7)), Some(&1));
+        assert_eq!(m.remove(NodeId(5)), Some(55));
+        assert_eq!(m.remove(NodeId(5)), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn idmap_iterates_ascending_and_retains() {
+        let mut m = IdMap::new();
+        for id in [9u32, 1, 4, 6] {
+            m.insert(NodeId(id), id * 10);
+        }
+        let keys: Vec<u32> = m.iter().map(|(n, _)| n.raw()).collect();
+        assert_eq!(keys, vec![1, 4, 6, 9], "ascending like a BTreeMap");
+        m.retain(|n, _| n.raw() % 2 == 0);
+        let keys: Vec<u32> = m.iter().map(|(n, _)| n.raw()).collect();
+        assert_eq!(keys, vec![4, 6]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn keymap_basics() {
+        let mut m: KeyMap<(u32, u64), &str> = KeyMap::new();
+        assert_eq!(m.insert((1, 2), "a"), None);
+        assert_eq!(m.insert((1, 2), "b"), Some("a"));
+        m.insert((0, 9), "z");
+        assert!(m.contains_key(&(0, 9)));
+        assert_eq!(m.get(&(1, 2)), Some(&"b"));
+        assert_eq!(m.get(&(1, 3)), None);
+        m.or_insert_with((1, 3), || "c");
+        let keys: Vec<_> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(0, 9), (1, 2), (1, 3)], "sorted order");
+        assert_eq!(m.remove(&(1, 2)), Some("b"));
+        assert_eq!(m.len(), 2);
+        m.retain(|k, _| k.0 == 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn keymap_matches_btreemap_order_under_churn() {
+        use std::collections::BTreeMap;
+        let mut flat: KeyMap<(u32, u32), u32> = KeyMap::new();
+        let mut tree: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        // A deterministic churn of inserts/removes over a small key space.
+        let mut x = 12345u32;
+        for _ in 0..500 {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            let key = ((x >> 8) % 7, (x >> 16) % 7);
+            if x.is_multiple_of(3) {
+                assert_eq!(flat.remove(&key), tree.remove(&key));
+            } else {
+                assert_eq!(flat.insert(key, x), tree.insert(key, x));
+            }
+            let a: Vec<_> = flat.iter().map(|(k, v)| (*k, *v)).collect();
+            let b: Vec<_> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(a, b, "iteration diverged from BTreeMap");
+        }
+    }
+}

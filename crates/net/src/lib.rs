@@ -19,6 +19,9 @@
 //!   see [`testing::ScriptedCtx`].
 //! * [`ProtocolConfig`] — every tunable constant of every protocol, with the
 //!   paper's values as defaults.
+//! * [`IdMap`] / [`KeyMap`] — flat per-node / per-flow state containers
+//!   with `BTreeMap` iteration order, shared by all protocol
+//!   implementations (their tables sit on the per-event hot path).
 //! * [`poisson`] — Poisson traffic helpers (§III.A: exponential
 //!   inter-arrivals).
 //!
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod flatmap;
 mod ids;
 mod packet;
 mod pending;
@@ -36,6 +40,7 @@ mod routing;
 pub mod testing;
 
 pub use config::ProtocolConfig;
+pub use flatmap::{IdMap, KeyMap};
 pub use ids::{FlowId, NodeId};
 pub use packet::{
     ControlKind, ControlPacket, DataPacket, LsuEntry, DATA_ACK_BYTES, DATA_HEADER_BYTES,

@@ -102,10 +102,13 @@ pub enum ControlPacket {
         origin: NodeId,
         /// Origin-local sequence number (newer wins).
         seq: u64,
-        /// Links whose class changed (or that came up), with the new class.
-        entries: Vec<LsuEntry>,
+        /// Links whose class changed (or that came up), with the new
+        /// class. Shared (`Arc`) because a flood is re-broadcast once per
+        /// terminal: the payload is built once by the origin and
+        /// reference-counted through every re-flood instead of cloned.
+        entries: std::sync::Arc<[LsuEntry]>,
         /// Links that went down since the previous LSU.
-        down: Vec<NodeId>,
+        down: std::sync::Arc<[NodeId]>,
     },
     /// ABR broadcast query: an RREQ that also accumulates route stability
     /// and load, so the destination can apply ABR's selection rules.
@@ -353,7 +356,7 @@ mod tests {
             ControlPacket::Rupd { src: NodeId(0), dst: NodeId(1) },
             ControlPacket::Rerr { src: NodeId(0), dst: NodeId(1), reporter: NodeId(2) },
             ControlPacket::Beacon,
-            ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: vec![], down: vec![] },
+            ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: [].into(), down: [].into() },
             ControlPacket::Bq {
                 src: NodeId(0),
                 dst: NodeId(1),
@@ -391,16 +394,18 @@ mod tests {
 
     #[test]
     fn lsu_size_grows_with_entries() {
-        let empty = ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: vec![], down: vec![] };
+        let empty =
+            ControlPacket::Lsu { origin: NodeId(0), seq: 0, entries: [].into(), down: [].into() };
         let three = ControlPacket::Lsu {
             origin: NodeId(0),
             seq: 0,
-            entries: vec![
+            entries: [
                 LsuEntry { neighbor: NodeId(1), class: ChannelClass::A },
                 LsuEntry { neighbor: NodeId(2), class: ChannelClass::B },
                 LsuEntry { neighbor: NodeId(3), class: ChannelClass::D },
-            ],
-            down: vec![NodeId(4)],
+            ]
+            .into(),
+            down: [NodeId(4)].into(),
         };
         assert_eq!(three.size_bytes(), empty.size_bytes() + 14);
     }

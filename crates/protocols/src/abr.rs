@@ -3,11 +3,9 @@
 //! awareness, and localized-query (LQ) repair at the break point while data
 //! waits in the repairing terminal.
 
-use std::collections::BTreeMap;
-
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
-    Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, IdMap, KeyMap, NodeCtx, NodeId, PendingBuffer,
+    RoutingProtocol, RxInfo, Timer, TimerToken,
 };
 use rica_sim::SimTime;
 
@@ -33,21 +31,22 @@ impl Score {
 #[derive(Debug, Default)]
 pub struct Abr {
     /// Associativity ticks per neighbour: (consecutive beacons, last heard).
-    ticks: BTreeMap<NodeId, (u32, SimTime)>,
-    /// BQ dedup + reverse pointers: `(flow, bcast) → upstream`.
-    reverse: BTreeMap<(FlowKey, u64), NodeId>,
-    /// LQ dedup + reverse pointers: `(flow, origin, bcast) → towards origin`.
-    lq_reverse: BTreeMap<(FlowKey, NodeId, u64), NodeId>,
+    ticks: IdMap<(u32, SimTime)>,
+    /// Per-flow BQ dedup + reverse pointers: bcast id → upstream.
+    reverse: KeyMap<FlowKey, KeyMap<u64, NodeId>>,
+    /// Per-flow LQ dedup + reverse pointers: (origin, bcast) → towards
+    /// origin.
+    lq_reverse: KeyMap<FlowKey, KeyMap<(NodeId, u64), NodeId>>,
     /// Per-flow route entries.
-    routes: BTreeMap<FlowKey, FlowEntry>,
+    routes: KeyMap<FlowKey, FlowEntry>,
     /// Destination-side BQ collection window per source.
-    windows: BTreeMap<NodeId, (u64, Score, NodeId)>,
+    windows: IdMap<(u64, Score, NodeId)>,
     /// Destination-side: highest BQ flood already answered, per source.
-    replied: BTreeMap<NodeId, u64>,
+    replied: IdMap<u64>,
     /// Source-side discovery state per destination.
-    discovery: BTreeMap<NodeId, (u64, u32, TimerToken)>,
+    discovery: IdMap<(u64, u32, TimerToken)>,
     /// In-progress local repairs per flow.
-    repairs: BTreeMap<FlowKey, Repair>,
+    repairs: KeyMap<FlowKey, Repair>,
     pending: Option<PendingBuffer>,
     next_bcast: u64,
     next_lq: u64,
@@ -61,7 +60,7 @@ impl Abr {
 
     /// Associativity ticks currently credited to `neighbor`.
     pub fn ticks_for(&self, neighbor: NodeId) -> u32 {
-        self.ticks.get(&neighbor).map_or(0, |&(t, _)| t)
+        self.ticks.get(neighbor).map_or(0, |&(t, _)| t)
     }
 
     /// The downstream of the flow `(src, dst)` at this terminal, if routed.
@@ -110,7 +109,7 @@ impl Abr {
             ctx.send_data(nh, pkt);
             return;
         }
-        let discovering = self.discovery.contains_key(&dst);
+        let discovering = self.discovery.contains(dst);
         if let Some(rejected) = self.pending(ctx).push(now, pkt) {
             ctx.drop_data(rejected, DropReason::BufferOverflow);
         }
@@ -189,7 +188,7 @@ impl RoutingProtocol for Abr {
             ControlPacket::Beacon => {
                 let period = ctx.config().beacon_period;
                 let loss = ctx.config().beacon_loss_limit;
-                let entry = self.ticks.entry(rx.from).or_insert((0, now));
+                let entry = self.ticks.get_or_insert_with(rx.from, || (0, now));
                 let gap = now.saturating_since(entry.1);
                 if gap > period.mul_f64(loss as f64 + 0.5) {
                     entry.0 = 1; // association broke; start over
@@ -207,11 +206,11 @@ impl RoutingProtocol for Abr {
                 let new_stable = stable_links.saturating_add(stable_inc);
                 let new_topo = topo_hops.saturating_add(1);
                 if dst == me {
-                    if self.replied.get(&src).is_some_and(|&b| bcast_id <= b) {
+                    if self.replied.get(src).is_some_and(|&b| bcast_id <= b) {
                         return;
                     }
                     let score = Score { stable_links: new_stable, load, topo: new_topo };
-                    match self.windows.get_mut(&src) {
+                    match self.windows.get_mut(src) {
                         Some((wid, best, via)) if *wid == bcast_id => {
                             if score.better_than(best) {
                                 *best = score;
@@ -229,10 +228,10 @@ impl RoutingProtocol for Abr {
                     }
                     return;
                 }
-                if self.reverse.contains_key(&(key, bcast_id)) {
+                if self.reverse.get(&key).is_some_and(|m| m.contains_key(&bcast_id)) {
                     return;
                 }
-                self.reverse.insert((key, bcast_id), rx.from);
+                self.reverse.or_insert_with(key, KeyMap::new).insert(bcast_id, rx.from);
                 let new_load = load.saturating_add(ctx.data_queue_total() as u32);
                 ctx.broadcast(ControlPacket::Bq {
                     src,
@@ -246,10 +245,10 @@ impl RoutingProtocol for Abr {
             ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops } => {
                 let key: FlowKey = (src, dst);
                 if src == me {
-                    if let Some((_, _, token)) = self.discovery.remove(&dst) {
+                    if let Some((_, _, token)) = self.discovery.remove(dst) {
                         ctx.cancel_timer(token);
                     }
-                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                     e.downstream = Some(rx.from);
                     e.upstream = None;
                     e.last_used = now;
@@ -258,8 +257,8 @@ impl RoutingProtocol for Abr {
                     self.flush_pending(ctx, dst);
                     return;
                 }
-                let Some(&up) = self.reverse.get(&(key, seq)) else { return };
-                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                let Some(&up) = self.reverse.get(&key).and_then(|m| m.get(&seq)) else { return };
+                let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                 e.upstream = Some(up);
                 e.downstream = Some(rx.from);
                 e.last_used = now;
@@ -272,10 +271,12 @@ impl RoutingProtocol for Abr {
                     return;
                 }
                 let key: FlowKey = (src, dst);
-                if self.lq_reverse.contains_key(&(key, origin, bcast_id)) {
+                if self.lq_reverse.get(&key).is_some_and(|m| m.contains_key(&(origin, bcast_id))) {
                     return;
                 }
-                self.lq_reverse.insert((key, origin, bcast_id), rx.from);
+                self.lq_reverse
+                    .or_insert_with(key, KeyMap::new)
+                    .insert((origin, bcast_id), rx.from);
                 let new_csi = csi_hops + rx.class.csi_hops();
                 let new_topo = topo_hops.saturating_add(1);
                 if dst == me {
@@ -318,7 +319,7 @@ impl RoutingProtocol for Abr {
                         self.repairs.insert(key, repair); // answer to an old query
                         return;
                     }
-                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                     e.downstream = Some(rx.from);
                     e.last_used = now;
                     e.hops_to_dst = topo_hops.max(1);
@@ -328,10 +329,12 @@ impl RoutingProtocol for Abr {
                     }
                     return;
                 }
-                let Some(&toward_origin) = self.lq_reverse.get(&(key, origin, seq)) else {
+                let Some(&toward_origin) =
+                    self.lq_reverse.get(&key).and_then(|m| m.get(&(origin, seq)))
+                else {
                     return;
                 };
-                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                 e.upstream = Some(toward_origin);
                 e.downstream = Some(rx.from);
                 e.last_used = now;
@@ -349,7 +352,7 @@ impl RoutingProtocol for Abr {
                 }
                 if src == me {
                     self.routes.remove(&key);
-                    if !self.discovery.contains_key(&dst) {
+                    if !self.discovery.contains(dst) {
                         self.start_discovery(ctx, dst, 0);
                     }
                 } else {
@@ -416,14 +419,14 @@ impl RoutingProtocol for Abr {
                 ctx.set_timer(period, Timer::Beacon);
             }
             Timer::RreqRetry { dst } => {
-                let Some(&(_, retries, _)) = self.discovery.get(&dst) else { return };
+                let Some(&(_, retries, _)) = self.discovery.get(dst) else { return };
                 let me = ctx.id();
                 if self.routes.get(&(me, dst)).is_some_and(|e| e.downstream.is_some()) {
-                    self.discovery.remove(&dst);
+                    self.discovery.remove(dst);
                     return;
                 }
                 if retries >= ctx.config().rreq_max_retries {
-                    self.discovery.remove(&dst);
+                    self.discovery.remove(dst);
                     let dropped = self.pending(ctx).drop_for(dst);
                     for pkt in dropped {
                         ctx.drop_data(pkt, DropReason::NoRoute);
@@ -435,9 +438,9 @@ impl RoutingProtocol for Abr {
             Timer::ReplyWindow { src, dst } => {
                 debug_assert_eq!(dst, ctx.id());
                 let now = ctx.now();
-                let Some((bcast_id, score, via)) = self.windows.remove(&src) else { return };
+                let Some((bcast_id, score, via)) = self.windows.remove(src) else { return };
                 self.replied.insert(src, bcast_id);
-                let e = self.routes.entry((src, dst)).or_insert_with(|| FlowEntry::new(now));
+                let e = self.routes.or_insert_with((src, dst), || FlowEntry::new(now));
                 e.upstream = Some(via);
                 e.last_used = now;
                 ctx.unicast(
@@ -472,11 +475,11 @@ impl RoutingProtocol for Abr {
     ) {
         let me = ctx.id();
         let now = ctx.now();
-        self.ticks.remove(&neighbor);
+        self.ticks.remove(neighbor);
         // Group the stranded packets per flow.
-        let mut per_flow: BTreeMap<FlowKey, Vec<DataPacket>> = BTreeMap::new();
+        let mut per_flow: KeyMap<FlowKey, Vec<DataPacket>> = KeyMap::new();
         for pkt in undelivered {
-            per_flow.entry((pkt.src, pkt.dst)).or_default().push(pkt);
+            per_flow.or_insert_with((pkt.src, pkt.dst), Vec::new).push(pkt);
         }
         let affected: Vec<FlowKey> = self
             .routes
@@ -494,7 +497,7 @@ impl RoutingProtocol for Abr {
                         ctx.drop_data(rejected, DropReason::BufferOverflow);
                     }
                 }
-                if !self.discovery.contains_key(&key.1) {
+                if !self.discovery.contains(key.1) {
                     self.start_discovery(ctx, key.1, 0);
                 }
             } else if !self.repairs.contains_key(&key) {

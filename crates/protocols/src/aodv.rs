@@ -1,11 +1,9 @@
 //! AODV in the paper's variant (§III.B): destination answers only the first
 //! RREQ copy; no channel awareness; break → REER to source → full re-flood.
 
-use std::collections::BTreeMap;
-
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
-    Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, IdMap, KeyMap, NodeCtx, NodeId, PendingBuffer,
+    RoutingProtocol, RxInfo, Timer, TimerToken,
 };
 use rica_sim::SimTime;
 
@@ -25,16 +23,16 @@ struct Route {
 /// paper's point of comparison.
 #[derive(Debug, Default)]
 pub struct Aodv {
-    /// `(flow, bcast) → upstream`: dedup + reverse pointer.
-    reverse: BTreeMap<(FlowKey, u64), NodeId>,
+    /// Per-flow dedup + reverse pointers: bcast id → upstream.
+    reverse: KeyMap<FlowKey, KeyMap<u64, NodeId>>,
     /// At a destination: highest flood id already answered, per source.
-    replied: BTreeMap<NodeId, u64>,
+    replied: IdMap<u64>,
     /// Destination-keyed forwarding table.
-    routes: BTreeMap<NodeId, Route>,
+    routes: IdMap<Route>,
     /// Per-flow upstream neighbour (learned from passing data packets).
-    flow_upstream: BTreeMap<FlowKey, NodeId>,
+    flow_upstream: KeyMap<FlowKey, NodeId>,
     /// Source-side discovery state per destination.
-    discovery: BTreeMap<NodeId, (u64, u32, TimerToken)>,
+    discovery: IdMap<(u64, u32, TimerToken)>,
     pending: Option<PendingBuffer>,
     next_bcast: u64,
 }
@@ -47,7 +45,7 @@ impl Aodv {
 
     /// The current next hop towards `dst`, if a fresh route exists.
     pub fn next_hop_to(&self, dst: NodeId) -> Option<NodeId> {
-        self.routes.get(&dst).map(|r| r.next_hop)
+        self.routes.get(dst).map(|r| r.next_hop)
     }
 
     fn pending(&mut self, ctx: &dyn NodeCtx) -> &mut PendingBuffer {
@@ -59,7 +57,7 @@ impl Aodv {
     fn fresh_route(&self, dst: NodeId, now: SimTime, ctx: &dyn NodeCtx) -> Option<NodeId> {
         let timeout = ctx.config().aodv_route_timeout;
         self.routes
-            .get(&dst)
+            .get(dst)
             .filter(|r| now.saturating_since(r.last_used) <= timeout)
             .map(|r| r.next_hop)
     }
@@ -77,11 +75,11 @@ impl Aodv {
         let now = ctx.now();
         let dst = pkt.dst;
         if let Some(nh) = self.fresh_route(dst, now, ctx) {
-            self.routes.get_mut(&dst).expect("exists").last_used = now;
+            self.routes.get_mut(dst).expect("exists").last_used = now;
             ctx.send_data(nh, pkt);
             return;
         }
-        let discovering = self.discovery.contains_key(&dst);
+        let discovering = self.discovery.contains(dst);
         if let Some(rejected) = self.pending(ctx).push(now, pkt) {
             ctx.drop_data(rejected, DropReason::BufferOverflow);
         }
@@ -117,13 +115,13 @@ impl RoutingProtocol for Aodv {
                     return;
                 }
                 let key: FlowKey = (src, dst);
-                if self.reverse.contains_key(&(key, bcast_id)) {
+                if self.reverse.get(&key).is_some_and(|m| m.contains_key(&bcast_id)) {
                     return; // history table
                 }
-                self.reverse.insert((key, bcast_id), rx.from);
+                self.reverse.or_insert_with(key, KeyMap::new).insert(bcast_id, rx.from);
                 if dst == me {
                     // Paper's AODV: reply to the FIRST copy, immediately.
-                    if self.replied.get(&src).is_some_and(|&b| bcast_id <= b) {
+                    if self.replied.get(src).is_some_and(|&b| bcast_id <= b) {
                         return;
                     }
                     self.replied.insert(src, bcast_id);
@@ -151,26 +149,26 @@ impl RoutingProtocol for Aodv {
                 // The node the reply came from is our next hop towards dst.
                 self.routes.insert(dst, Route { next_hop: rx.from, last_used: now });
                 if src == me {
-                    if let Some((_, _, token)) = self.discovery.remove(&dst) {
+                    if let Some((_, _, token)) = self.discovery.remove(dst) {
                         ctx.cancel_timer(token);
                     }
                     self.flush_pending(ctx, dst);
                     return;
                 }
-                let Some(&up) = self.reverse.get(&((src, dst), seq)) else {
+                let Some(&up) = self.reverse.get(&(src, dst)).and_then(|m| m.get(&seq)) else {
                     return; // reverse pointer lost; reply dies
                 };
                 ctx.unicast(up, ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops });
             }
             ControlPacket::Rerr { src, dst, .. } => {
-                let stale = self.routes.get(&dst).is_none_or(|r| r.next_hop != rx.from);
+                let stale = self.routes.get(dst).is_none_or(|r| r.next_hop != rx.from);
                 if stale {
                     return;
                 }
-                self.routes.remove(&dst);
+                self.routes.remove(dst);
                 if src == me {
                     // Full re-discovery if traffic is waiting or recent.
-                    if !self.discovery.contains_key(&dst) {
+                    if !self.discovery.contains(dst) {
                         self.start_discovery(ctx, dst, 0);
                     }
                 } else if let Some(&up) = self.flow_upstream.get(&(src, dst)) {
@@ -199,7 +197,7 @@ impl RoutingProtocol for Aodv {
         self.flow_upstream.insert((pkt.src, pkt.dst), rx.from);
         match self.fresh_route(pkt.dst, now, ctx) {
             Some(nh) => {
-                self.routes.get_mut(&pkt.dst).expect("exists").last_used = now;
+                self.routes.get_mut(pkt.dst).expect("exists").last_used = now;
                 ctx.send_data(nh, pkt);
             }
             None => {
@@ -213,13 +211,13 @@ impl RoutingProtocol for Aodv {
 
     fn on_timer(&mut self, ctx: &mut dyn NodeCtx, timer: Timer) {
         let Timer::RreqRetry { dst } = timer else { return };
-        let Some(&(_, retries, _)) = self.discovery.get(&dst) else { return };
-        if self.routes.contains_key(&dst) {
-            self.discovery.remove(&dst);
+        let Some(&(_, retries, _)) = self.discovery.get(dst) else { return };
+        if self.routes.contains(dst) {
+            self.discovery.remove(dst);
             return;
         }
         if retries >= ctx.config().rreq_max_retries {
-            self.discovery.remove(&dst);
+            self.discovery.remove(dst);
             let dropped = self.pending(ctx).drop_for(dst);
             for pkt in dropped {
                 ctx.drop_data(pkt, DropReason::NoRoute);
@@ -230,7 +228,7 @@ impl RoutingProtocol for Aodv {
     }
 
     fn current_downstream(&self, _src: NodeId, dst: NodeId) -> Option<NodeId> {
-        self.routes.get(&dst).map(|r| r.next_hop)
+        self.routes.get(dst).map(|r| r.next_hop)
     }
 
     fn on_link_failure(
@@ -250,7 +248,7 @@ impl RoutingProtocol for Aodv {
                 if let Some(rejected) = self.pending(ctx).push(now, pkt) {
                     ctx.drop_data(rejected, DropReason::BufferOverflow);
                 }
-                if !self.discovery.contains_key(&dst) {
+                if !self.discovery.contains(dst) {
                     self.start_discovery(ctx, dst, 0);
                 }
             } else {

@@ -5,11 +5,9 @@
 //! does it take actions to find a new route", via a TTL-limited guarded
 //! query that splices a partial route in.
 
-use std::collections::BTreeMap;
-
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, PendingBuffer, RoutingProtocol, RxInfo,
-    Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, IdMap, KeyMap, NodeCtx, NodeId, PendingBuffer,
+    RoutingProtocol, RxInfo, Timer, TimerToken,
 };
 
 use crate::common::{FlowEntry, FlowKey, Repair};
@@ -17,23 +15,24 @@ use crate::common::{FlowEntry, FlowKey, Repair};
 /// The BGCA baseline.
 #[derive(Debug, Default)]
 pub struct Bgca {
-    /// RREQ dedup + reverse pointers: `(flow, bcast) → upstream`.
-    reverse: BTreeMap<(FlowKey, u64), NodeId>,
-    /// GQ (guarded/local query) dedup + reverse pointers.
-    lq_reverse: BTreeMap<(FlowKey, NodeId, u64), NodeId>,
+    /// Per-flow RREQ dedup + reverse pointers: bcast id → upstream.
+    reverse: KeyMap<FlowKey, KeyMap<u64, NodeId>>,
+    /// Per-flow GQ (guarded/local query) dedup + reverse pointers:
+    /// (origin, bcast) → towards origin.
+    lq_reverse: KeyMap<FlowKey, KeyMap<(NodeId, u64), NodeId>>,
     /// Per-flow route entries.
-    routes: BTreeMap<FlowKey, FlowEntry>,
+    routes: KeyMap<FlowKey, FlowEntry>,
     /// Destination-side RREQ collection window per source:
     /// (bcast, best CSI, best topo, via).
-    windows: BTreeMap<NodeId, (u64, f64, u8, NodeId)>,
+    windows: IdMap<(u64, f64, u8, NodeId)>,
     /// Destination-side: highest flood already answered per source.
-    replied: BTreeMap<NodeId, u64>,
+    replied: IdMap<u64>,
     /// Source-side discovery per destination.
-    discovery: BTreeMap<NodeId, (u64, u32, TimerToken)>,
+    discovery: IdMap<(u64, u32, TimerToken)>,
     /// In-progress repairs per flow (guard-triggered or break-triggered).
-    repairs: BTreeMap<FlowKey, Repair>,
+    repairs: KeyMap<FlowKey, Repair>,
     /// Last repair start per flow (guard cooldown).
-    last_repair: BTreeMap<FlowKey, rica_sim::SimTime>,
+    last_repair: KeyMap<FlowKey, rica_sim::SimTime>,
     pending: Option<PendingBuffer>,
     next_bcast: u64,
     next_lq: u64,
@@ -93,7 +92,7 @@ impl Bgca {
             ctx.send_data(nh, pkt);
             return;
         }
-        let discovering = self.discovery.contains_key(&dst);
+        let discovering = self.discovery.contains(dst);
         if let Some(rejected) = self.pending(ctx).push(now, pkt) {
             ctx.drop_data(rejected, DropReason::BufferOverflow);
         }
@@ -225,10 +224,10 @@ impl RoutingProtocol for Bgca {
                 let new_topo = topo_hops.saturating_add(1);
                 if dst == me {
                     // CSI-shortest selection with a reply window, like RICA.
-                    if self.replied.get(&src).is_some_and(|&b| bcast_id <= b) {
+                    if self.replied.get(src).is_some_and(|&b| bcast_id <= b) {
                         return;
                     }
-                    match self.windows.get_mut(&src) {
+                    match self.windows.get_mut(src) {
                         Some((wid, best_csi, best_topo, via)) if *wid == bcast_id => {
                             if new_csi < *best_csi {
                                 *best_csi = new_csi;
@@ -247,10 +246,10 @@ impl RoutingProtocol for Bgca {
                     }
                     return;
                 }
-                if self.reverse.contains_key(&(key, bcast_id)) {
+                if self.reverse.get(&key).is_some_and(|m| m.contains_key(&bcast_id)) {
                     return;
                 }
-                self.reverse.insert((key, bcast_id), rx.from);
+                self.reverse.or_insert_with(key, KeyMap::new).insert(bcast_id, rx.from);
                 ctx.broadcast(ControlPacket::Rreq {
                     src,
                     dst,
@@ -262,10 +261,10 @@ impl RoutingProtocol for Bgca {
             ControlPacket::Rrep { src, dst, seq, csi_hops, topo_hops } => {
                 let key: FlowKey = (src, dst);
                 if src == me {
-                    if let Some((_, _, token)) = self.discovery.remove(&dst) {
+                    if let Some((_, _, token)) = self.discovery.remove(dst) {
                         ctx.cancel_timer(token);
                     }
-                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                     e.downstream = Some(rx.from);
                     e.upstream = None;
                     e.last_used = now;
@@ -275,8 +274,8 @@ impl RoutingProtocol for Bgca {
                     self.flush_pending(ctx, dst);
                     return;
                 }
-                let Some(&up) = self.reverse.get(&(key, seq)) else { return };
-                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                let Some(&up) = self.reverse.get(&key).and_then(|m| m.get(&seq)) else { return };
+                let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                 e.upstream = Some(up);
                 e.downstream = Some(rx.from);
                 e.last_used = now;
@@ -290,10 +289,12 @@ impl RoutingProtocol for Bgca {
                     return;
                 }
                 let key: FlowKey = (src, dst);
-                if self.lq_reverse.contains_key(&(key, origin, bcast_id)) {
+                if self.lq_reverse.get(&key).is_some_and(|m| m.contains_key(&(origin, bcast_id))) {
                     return;
                 }
-                self.lq_reverse.insert((key, origin, bcast_id), rx.from);
+                self.lq_reverse
+                    .or_insert_with(key, KeyMap::new)
+                    .insert((origin, bcast_id), rx.from);
                 let new_csi = csi_hops + rx.class.csi_hops();
                 let new_topo = topo_hops.saturating_add(1);
                 if dst == me {
@@ -333,7 +334,7 @@ impl RoutingProtocol for Bgca {
                         return;
                     }
                     // Splice the partial route in (guard or break repair).
-                    let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                    let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                     e.downstream = Some(rx.from);
                     e.last_used = now;
                     e.hops_to_dst = topo_hops.max(1);
@@ -343,10 +344,12 @@ impl RoutingProtocol for Bgca {
                     }
                     return;
                 }
-                let Some(&toward_origin) = self.lq_reverse.get(&(key, origin, seq)) else {
+                let Some(&toward_origin) =
+                    self.lq_reverse.get(&key).and_then(|m| m.get(&(origin, seq)))
+                else {
                     return;
                 };
-                let e = self.routes.entry(key).or_insert_with(|| FlowEntry::new(now));
+                let e = self.routes.or_insert_with(key, || FlowEntry::new(now));
                 e.upstream = Some(toward_origin);
                 e.downstream = Some(rx.from);
                 e.last_used = now;
@@ -365,7 +368,7 @@ impl RoutingProtocol for Bgca {
                 }
                 if src == me {
                     self.routes.remove(&key);
-                    if !self.discovery.contains_key(&dst) {
+                    if !self.discovery.contains(dst) {
                         self.start_discovery(ctx, dst, 0);
                     }
                 } else {
@@ -433,14 +436,14 @@ impl RoutingProtocol for Bgca {
                 ctx.set_timer(period, Timer::LinkMonitor);
             }
             Timer::RreqRetry { dst } => {
-                let Some(&(_, retries, _)) = self.discovery.get(&dst) else { return };
+                let Some(&(_, retries, _)) = self.discovery.get(dst) else { return };
                 let me = ctx.id();
                 if self.routes.get(&(me, dst)).is_some_and(|e| e.downstream.is_some()) {
-                    self.discovery.remove(&dst);
+                    self.discovery.remove(dst);
                     return;
                 }
                 if retries >= ctx.config().rreq_max_retries {
-                    self.discovery.remove(&dst);
+                    self.discovery.remove(dst);
                     let dropped = self.pending(ctx).drop_for(dst);
                     for pkt in dropped {
                         ctx.drop_data(pkt, DropReason::NoRoute);
@@ -452,9 +455,9 @@ impl RoutingProtocol for Bgca {
             Timer::ReplyWindow { src, dst } => {
                 debug_assert_eq!(dst, ctx.id());
                 let now = ctx.now();
-                let Some((bcast_id, csi, topo, via)) = self.windows.remove(&src) else { return };
+                let Some((bcast_id, csi, topo, via)) = self.windows.remove(src) else { return };
                 self.replied.insert(src, bcast_id);
-                let e = self.routes.entry((src, dst)).or_insert_with(|| FlowEntry::new(now));
+                let e = self.routes.or_insert_with((src, dst), || FlowEntry::new(now));
                 e.upstream = Some(via);
                 e.last_used = now;
                 ctx.unicast(
@@ -481,9 +484,9 @@ impl RoutingProtocol for Bgca {
     ) {
         let me = ctx.id();
         let now = ctx.now();
-        let mut per_flow: BTreeMap<FlowKey, Vec<DataPacket>> = BTreeMap::new();
+        let mut per_flow: KeyMap<FlowKey, Vec<DataPacket>> = KeyMap::new();
         for pkt in undelivered {
-            per_flow.entry((pkt.src, pkt.dst)).or_default().push(pkt);
+            per_flow.or_insert_with((pkt.src, pkt.dst), Vec::new).push(pkt);
         }
         let affected: Vec<FlowKey> = self
             .routes
@@ -500,7 +503,7 @@ impl RoutingProtocol for Bgca {
                         ctx.drop_data(rejected, DropReason::BufferOverflow);
                     }
                 }
-                if !self.discovery.contains_key(&key.1) {
+                if !self.discovery.contains(key.1) {
                     self.start_discovery(ctx, key.1, 0);
                 }
             } else if let Some(repair) = self.repairs.get_mut(&key) {

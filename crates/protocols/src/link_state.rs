@@ -10,12 +10,10 @@
 //! and per-hop Dijkstra forwarding loops packets until the 10-packet buffers
 //! and the 3-second residency limit destroy them (§III.B/E).
 
-use std::collections::{BTreeMap, BinaryHeap};
-
 use rica_channel::ChannelClass;
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, LsuEntry, NodeCtx, NodeId, RoutingProtocol, RxInfo,
-    Timer, TopologySnapshot,
+    ControlPacket, DataPacket, DropReason, IdMap, LsuEntry, NodeCtx, NodeId, RoutingProtocol,
+    RxInfo, Timer, TopologySnapshot,
 };
 use rica_sim::SimTime;
 
@@ -32,25 +30,31 @@ pub struct LinkState {
     lsu_seen: Vec<Option<u64>>,
     /// Our own LSU sequence counter.
     my_seq: u64,
-    /// Neighbours heard recently: id → last beacon time.
-    neighbors: BTreeMap<NodeId, SimTime>,
+    /// Neighbours heard recently: id → last beacon time. Flat: one
+    /// entry is written per received beacon (n² per beacon period).
+    neighbors: IdMap<SimTime>,
     /// The adjacency we last advertised (change detection).
-    advertised: BTreeMap<NodeId, ChannelClass>,
+    advertised: IdMap<ChannelClass>,
     /// Last instant we originated an LSU (rate limiting).
     last_flood: Option<SimTime>,
     /// Whether an adjacency change is waiting for the rate limiter.
     flood_pending: bool,
     /// Cached next-hop table indexed by destination id; invalidated (and
-    /// recomputed on demand) when the topology changes. Routes are
-    /// recomputed for nearly every data forward under churn, so the
-    /// Dijkstra state below is flat, id-indexed and reused across runs
-    /// instead of per-run `BTreeMap`s.
+    /// recomputed on demand) when the topology changes. Under LSU churn
+    /// the view changes between most data forwards, so the Dijkstra run
+    /// is *resumable*: each query settles nodes only until the asked-for
+    /// destination is final, and later queries in the same topology epoch
+    /// continue from the paused frontier. Total work per epoch is
+    /// bounded by one full run, and the settled prefix is identical to
+    /// the full run's (same `(cost, id)` settle order).
     routes_valid: bool,
     next_hops: Vec<Option<NodeId>>,
-    /// Scratch: tentative cost per node id during Dijkstra.
+    /// Tentative cost per node id of the (possibly paused) Dijkstra run.
     dijkstra_dist: Vec<f64>,
-    /// Scratch: the min-heap frontier.
-    dijkstra_heap: BinaryHeap<FrontierEntry>,
+    /// Nodes whose `next_hops` entry is final in the current run.
+    dijkstra_settled: Vec<bool>,
+    /// The paused frontier of the current run.
+    dijkstra_heap: std::collections::BinaryHeap<FrontierEntry>,
 }
 
 /// Dijkstra frontier entry ordered as a min-heap by `(cost, node id)` —
@@ -79,7 +83,7 @@ impl LinkState {
 
     /// The computed next hop towards `dst` on this terminal's current view.
     pub fn next_hop_to(&mut self, me: NodeId, dst: NodeId) -> Option<NodeId> {
-        self.ensure_routes(me);
+        self.ensure_route_to(me, dst);
         self.next_hops.get(dst.index()).copied().flatten()
     }
 
@@ -128,57 +132,67 @@ impl LinkState {
         max
     }
 
-    /// Dijkstra over the advertised topology (CSI hop costs), producing the
-    /// first hop towards every reachable destination.
+    /// Runs Dijkstra over the advertised topology (CSI hop costs) until
+    /// `dst`'s first hop is final, pausing the frontier there.
     ///
     /// Settle order is `(cost, node id)` with relaxation in ascending
-    /// neighbour order — the same order the `BTreeMap`-based version
-    /// produced, so the selected routes are identical; only the bookkeeping
-    /// is flat and reused.
-    fn ensure_routes(&mut self, me: NodeId) {
-        if self.routes_valid {
-            return;
+    /// neighbour order — the same order the original full-run version
+    /// produced, so every settled node's route is identical to the full
+    /// run's; the early exit only leaves *unqueried* destinations
+    /// unsettled. A later query for one of those resumes the paused
+    /// frontier, so the whole epoch costs at most one full Dijkstra no
+    /// matter how many destinations are asked for.
+    fn ensure_route_to(&mut self, me: NodeId, dst: NodeId) {
+        if !self.routes_valid {
+            let len = self.max_known_id(me) + 1;
+            self.next_hops.clear();
+            self.next_hops.resize(len, None);
+            self.dijkstra_dist.clear();
+            self.dijkstra_dist.resize(len, f64::INFINITY);
+            self.dijkstra_settled.clear();
+            self.dijkstra_settled.resize(len, false);
+            self.dijkstra_heap.clear();
+            self.dijkstra_dist[me.index()] = 0.0;
+            self.dijkstra_heap.push(FrontierEntry(0.0, me));
+            self.routes_valid = true;
         }
-        let len = self.max_known_id(me) + 1;
-        self.next_hops.clear();
-        self.next_hops.resize(len, None);
-        self.dijkstra_dist.clear();
-        self.dijkstra_dist.resize(len, f64::INFINITY);
-        let heap = &mut self.dijkstra_heap;
-        heap.clear();
-        self.dijkstra_dist[me.index()] = 0.0;
-        heap.push(FrontierEntry(0.0, me));
-        while let Some(FrontierEntry(d, u)) = heap.pop() {
+        if self.dijkstra_settled.get(dst.index()).copied().unwrap_or(false) {
+            return; // already final (me itself is settled by the first pop)
+        }
+        while let Some(FrontierEntry(d, u)) = self.dijkstra_heap.pop() {
             if self.dijkstra_dist[u.index()] < d {
-                continue;
+                continue; // stale frontier entry
             }
-            let Some(adj) = self.topo.get(u.index()) else { continue };
-            for &(v, cost) in adj {
-                let nd = d + cost;
-                if nd < self.dijkstra_dist[v.index()] {
-                    self.dijkstra_dist[v.index()] = nd;
-                    self.next_hops[v.index()] =
-                        if u == me { Some(v) } else { self.next_hops[u.index()] };
-                    heap.push(FrontierEntry(nd, v));
+            self.dijkstra_settled[u.index()] = true;
+            if let Some(adj) = self.topo.get(u.index()) {
+                for &(v, cost) in adj {
+                    let nd = d + cost;
+                    if nd < self.dijkstra_dist[v.index()] {
+                        self.dijkstra_dist[v.index()] = nd;
+                        self.next_hops[v.index()] =
+                            if u == me { Some(v) } else { self.next_hops[u.index()] };
+                        self.dijkstra_heap.push(FrontierEntry(nd, v));
+                    }
                 }
             }
+            if u == dst {
+                self.next_hops[me.index()] = None;
+                return; // dst is final; pause here
+            }
         }
+        // Frontier exhausted: every reachable node is settled, dst is not
+        // reachable (or unknown). Later queries return in O(1).
         self.next_hops[me.index()] = None;
-        self.routes_valid = true;
     }
 
     /// Whether the measured adjacency differs enough from the advertised
     /// one to warrant a flood: any neighbour appearing/disappearing, or a
     /// class moving by at least the hysteresis.
-    fn is_significant_change(
-        &self,
-        current: &BTreeMap<NodeId, ChannelClass>,
-        hysteresis: u8,
-    ) -> bool {
+    fn is_significant_change(&self, current: &IdMap<ChannelClass>, hysteresis: u8) -> bool {
         if current.len() != self.advertised.len() {
             return true;
         }
-        for (n, &c) in current {
+        for (n, &c) in current.iter() {
             match self.advertised.get(n) {
                 None => return true,
                 Some(&adv) => {
@@ -205,9 +219,11 @@ impl LinkState {
         let horizon = period.mul_f64(loss_limit as f64 + 0.5);
         self.neighbors.retain(|_, last| now.saturating_since(*last) <= horizon);
 
-        // Measure current adjacency.
-        let mut current: BTreeMap<NodeId, ChannelClass> = BTreeMap::new();
-        let ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        // Measure current adjacency (ascending id order: `link_class_to`
+        // samples the channel, so the call order is part of the fixed-seed
+        // behaviour).
+        let mut current: IdMap<ChannelClass> = IdMap::new();
+        let ids: Vec<NodeId> = self.neighbors.iter().map(|(n, _)| n).collect();
         for n in ids {
             if let Some(class) = ctx.link_class_to(n) {
                 current.insert(n, class);
@@ -227,11 +243,11 @@ impl LinkState {
         // the down list.
         let entries: Vec<LsuEntry> = current
             .iter()
-            .filter(|(n, &c)| self.advertised.get(n) != Some(&c))
-            .map(|(&neighbor, &class)| LsuEntry { neighbor, class })
+            .filter(|&(n, &c)| self.advertised.get(n) != Some(&c))
+            .map(|(neighbor, &class)| LsuEntry { neighbor, class })
             .collect();
         let down: Vec<NodeId> =
-            self.advertised.keys().filter(|n| !current.contains_key(n)).copied().collect();
+            self.advertised.iter().filter(|&(n, _)| !current.contains(n)).map(|(n, _)| n).collect();
         self.advertised = current;
         self.flood_pending = false;
         self.last_flood = Some(now);
@@ -240,10 +256,15 @@ impl LinkState {
         // `advertised` iterates in ascending id order: the list collects
         // already sorted.
         let own: Vec<(NodeId, f64)> =
-            self.advertised.iter().map(|(&n, &c)| (n, c.csi_hops())).collect();
+            self.advertised.iter().map(|(n, &c)| (n, c.csi_hops())).collect();
         *self.topo_entry(me) = own;
         self.invalidate_routes();
-        ctx.broadcast(ControlPacket::Lsu { origin: me, seq: self.my_seq, entries, down });
+        ctx.broadcast(ControlPacket::Lsu {
+            origin: me,
+            seq: self.my_seq,
+            entries: entries.into(),
+            down: down.into(),
+        });
     }
 }
 
@@ -303,10 +324,10 @@ impl RoutingProtocol for LinkState {
                 // missed LSU leaves stale links behind — intentionally, per
                 // the paper's change-flooding scheme.
                 let adj = self.topo_entry(origin);
-                for e in entries {
+                for e in entries.iter() {
                     Self::adj_set(adj, e.neighbor, e.class.csi_hops());
                 }
-                for d in down {
+                for d in down.iter() {
                     Self::adj_remove(adj, *d);
                 }
                 self.invalidate_routes();
@@ -356,8 +377,10 @@ impl RoutingProtocol for LinkState {
     }
 
     fn current_downstream(&self, _src: NodeId, dst: NodeId) -> Option<NodeId> {
-        // Best-effort: only the cached table (recomputing needs &mut).
-        if !self.routes_valid {
+        // Best-effort: only the cached table (recomputing needs &mut), and
+        // only destinations the paused Dijkstra run has already made
+        // final — an unsettled entry may still hold a tentative first hop.
+        if !self.routes_valid || !self.dijkstra_settled.get(dst.index()).copied().unwrap_or(false) {
             return None;
         }
         self.next_hops.get(dst.index()).copied().flatten()
@@ -371,8 +394,8 @@ impl RoutingProtocol for LinkState {
     ) {
         let me = ctx.id();
         // Remove the adjacency from our view and advertise the change.
-        self.neighbors.remove(&neighbor);
-        self.advertised.remove(&neighbor);
+        self.neighbors.remove(neighbor);
+        self.advertised.remove(neighbor);
         if let Some(adj) = self.topo.get_mut(me.index()) {
             Self::adj_remove(adj, neighbor);
         }
@@ -455,8 +478,8 @@ mod tests {
         let lsu = ControlPacket::Lsu {
             origin: NodeId(1),
             seq: 5,
-            entries: vec![],
-            down: vec![NodeId(9)],
+            entries: [].into(),
+            down: [NodeId(9)].into(),
         };
         p.on_control(&mut ctx, &lsu, rx(1));
         assert_eq!(p.next_hop_to(NodeId(0), NodeId(9)), None, "view updated");
@@ -467,7 +490,7 @@ mod tests {
         // An older seq: suppressed too.
         p.on_control(
             &mut ctx,
-            &ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: vec![], down: vec![] },
+            &ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: [].into(), down: [].into() },
             rx(2),
         );
         assert_eq!(ctx.broadcasts.len(), 1);

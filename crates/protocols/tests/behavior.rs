@@ -44,8 +44,8 @@ fn ls_missed_delta_leaves_stale_link_until_next_change() {
         &ControlPacket::Lsu {
             origin: NodeId(1),
             seq: 3,
-            entries: vec![LsuEntry { neighbor: NodeId(0), class: ChannelClass::B }],
-            down: vec![],
+            entries: [LsuEntry { neighbor: NodeId(0), class: ChannelClass::B }].into(),
+            down: [].into(),
         },
         rx(1),
     );
@@ -57,7 +57,12 @@ fn ls_missed_delta_leaves_stale_link_until_next_change() {
     // Seq 4 finally mentions the link: healed.
     p.on_control(
         &mut ctx,
-        &ControlPacket::Lsu { origin: NodeId(1), seq: 4, entries: vec![], down: vec![NodeId(9)] },
+        &ControlPacket::Lsu {
+            origin: NodeId(1),
+            seq: 4,
+            entries: [].into(),
+            down: [NodeId(9)].into(),
+        },
         rx(1),
     );
     assert_eq!(p.next_hop_to(NodeId(0), NodeId(9)), None);
@@ -85,7 +90,7 @@ fn ls_equal_cost_routes_are_deterministic() {
         // Force recompute via an irrelevant LSU.
         p.on_control(
             &mut ctx,
-            &ControlPacket::Lsu { origin: NodeId(7), seq, entries: vec![], down: vec![] },
+            &ControlPacket::Lsu { origin: NodeId(7), seq, entries: [].into(), down: [].into() },
             rx(7),
         );
         assert_eq!(p.next_hop_to(NodeId(0), NodeId(9)), first);

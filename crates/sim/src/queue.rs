@@ -16,10 +16,11 @@ struct Scheduled<E> {
 }
 
 impl<E> Scheduled<E> {
-    /// The heap key: earliest time first, `seq` breaking ties FIFO — two
+    /// The ordering key: earliest time first, `seq` breaking ties FIFO — two
     /// events scheduled for the same instant fire in scheduling order,
     /// which protocol logic relies on. Keys are unique (`seq` is), so the
-    /// pop sequence is a total order independent of heap shape.
+    /// pop sequence is a total order independent of the queue's internal
+    /// shape: heap, calendar bucket, or overflow all agree.
     #[inline]
     fn key(&self) -> (SimTime, u64) {
         (self.time, self.seq)
@@ -30,9 +31,11 @@ impl<E> Scheduled<E> {
 ///
 /// Why not `std::collections::BinaryHeap`: the simulator pays one push and
 /// one pop per event, and a 4-ary layout halves the sift depth (and does
-/// its children comparisons within one cache line), which is worth real
-/// percentages at millions of events per trial. Pop order is identical to
-/// any correct heap because keys are unique and totally ordered.
+/// its children comparisons within one cache line). Since the calendar
+/// queue landed this heap serves two roles: the whole queue while it is
+/// small (a heap beats a calendar below a few hundred events), and the
+/// far-future overflow store afterwards. Pop order is identical to any
+/// correct heap because keys are unique and totally ordered.
 struct DaryHeap<E> {
     items: Vec<Scheduled<E>>,
 }
@@ -103,6 +106,88 @@ impl<E> DaryHeap<E> {
     }
 }
 
+/// Number of stored events at which the startup heap converts into a
+/// calendar. Below this a heap's sift depth is tiny and the calendar's
+/// bucket ring would be pure overhead; A/B timing on the paper-grid
+/// trials put the crossover near one hundred pending events.
+const CALENDAR_SETUP_LEN: usize = 96;
+
+/// Bucket-count bounds. The upper bound caps the cursor's worst-case
+/// empty-bucket scan per era; past it buckets simply hold more events each
+/// (every bucket is itself a small heap, so order stays exact).
+const MIN_BUCKETS: usize = 64;
+const MAX_BUCKETS: usize = 8192;
+
+/// Bucket-width bounds in nanoseconds (powers of two; indexing is a shift).
+const MIN_WIDTH_NS: u64 = 16;
+const MAX_WIDTH_NS: u64 = 1 << 24; // ~16.8 ms
+
+/// The bucket ring of the calendar queue.
+///
+/// Time is divided into windows of `1 << shift` ns; window `w` maps to
+/// bucket `w & mask`. The ring only ever holds events of the current *era*
+/// `[cursor_ns_window, era_end_ns)` — one full rotation — so ring order
+/// from the cursor is time order and the first non-empty bucket holds the
+/// global minimum among bucketed events. Events at or past `era_end_ns`
+/// wait in the overflow heap and migrate in when the era advances.
+struct Calendar<E> {
+    /// One small `(time, seq)` min-heap per bucket: in-bucket ordering is
+    /// by the same unique key as everywhere else.
+    buckets: Vec<DaryHeap<E>>,
+    /// `buckets.len() - 1` (length is a power of two).
+    mask: usize,
+    /// Bucket width is `1 << shift` nanoseconds.
+    shift: u32,
+    /// Start of the window the cursor currently points at (multiple of the
+    /// width). No bucketed event is earlier than this.
+    cursor_ns: u64,
+    /// Exclusive end of the era covered by the ring.
+    era_end_ns: u64,
+    /// Events currently stored in the ring (the overflow heap is counted
+    /// separately).
+    stored: usize,
+}
+
+impl<E> Calendar<E> {
+    #[inline]
+    fn bucket_of(&self, t_ns: u64) -> usize {
+        ((t_ns >> self.shift) as usize) & self.mask
+    }
+
+    /// Advances the cursor to the first non-empty bucket and returns its
+    /// index. Caller guarantees `stored > 0`, which (with the era
+    /// invariant) guarantees a hit before `era_end_ns`.
+    #[inline]
+    fn advance_to_nonempty(&mut self) -> usize {
+        let width = 1u64 << self.shift;
+        loop {
+            let idx = self.bucket_of(self.cursor_ns);
+            if !self.buckets[idx].is_empty() {
+                return idx;
+            }
+            self.cursor_ns += width;
+            debug_assert!(self.cursor_ns < self.era_end_ns, "stored > 0 but era exhausted");
+        }
+    }
+
+    /// Starts the era containing the overflow minimum and migrates every
+    /// overflow event that falls inside it into the ring. Caller
+    /// guarantees `stored == 0` and a non-empty overflow.
+    fn advance_era(&mut self, overflow: &mut DaryHeap<E>) {
+        let min_ns = overflow.peek().expect("caller checked").time.as_nanos();
+        let width = 1u64 << self.shift;
+        self.cursor_ns = min_ns & !(width - 1);
+        let span = (self.buckets.len() as u64) << self.shift;
+        self.era_end_ns = self.cursor_ns.saturating_add(span);
+        while overflow.peek().is_some_and(|s| s.time.as_nanos() < self.era_end_ns) {
+            let ev = overflow.pop().expect("peeked");
+            let idx = self.bucket_of(ev.time.as_nanos());
+            self.buckets[idx].push(ev);
+            self.stored += 1;
+        }
+    }
+}
+
 /// A cancellable priority queue of timestamped events.
 ///
 /// * Events pop in `(time, insertion order)` order — earliest first, FIFO
@@ -110,22 +195,43 @@ impl<E> DaryHeap<E> {
 /// * [`EventQueue::cancel`] is O(1): cancelled tokens are remembered and the
 ///   corresponding events are skipped (and dropped) when they surface.
 ///
+/// Internally this is a *calendar queue* (Brown 1988): once enough events
+/// accumulate, time is divided into buckets whose width is auto-tuned from
+/// the observed inter-event gaps, so the common push/pop cycle touches one
+/// bucket instead of sifting a global heap — the structure CSMA backoff
+/// storms (many short-horizon `MacAttempt` retries) reward. Far-future
+/// events wait in a heap and migrate into the ring lazily. All paths order
+/// by the same unique `(time, seq)` key, so the pop sequence is identical
+/// to the previous pure-heap implementation, bit for bit.
+///
 /// ```
 /// use rica_sim::{EventQueue, SimTime};
 /// let mut q = EventQueue::new();
 /// let tok = q.schedule(SimTime::from_nanos(10), "late");
 /// q.schedule(SimTime::from_nanos(5), "early");
 /// q.cancel(tok);
+/// assert_eq!(q.live_len(), 1);
 /// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "early")));
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: DaryHeap<E>,
+    /// The whole queue while small; the far-future overflow store once the
+    /// calendar is built.
+    overflow: DaryHeap<E>,
+    calendar: Option<Calendar<E>>,
     /// Cancellation flags, bit-indexed by `seq`. Sequence numbers are
     /// dense, so this is a plain bitset — the per-pop cancellation check
     /// on the hot path is one array load instead of a hash probe. Grows
     /// only on `cancel` (one bit per event ever scheduled).
     cancelled: Vec<u64>,
+    /// Surfaced-event flags, bit-indexed by `seq`: set the moment an event
+    /// leaves the queue (fired or skipped as cancelled). Lets `cancel`
+    /// detect already-surfaced tokens exactly, so the live-event
+    /// accounting ([`EventQueue::live_len`]) can never drift.
+    fired: Vec<u64>,
+    /// Events still stored that are marked cancelled (they surface and are
+    /// dropped later; until then `len` counts them and `live_len` does
+    /// not).
     cancelled_live: usize,
     next_seq: u64,
     popped: u64,
@@ -137,12 +243,31 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+#[inline]
+fn bit_get(bits: &[u64], seq: u64) -> bool {
+    match bits.get((seq / 64) as usize) {
+        Some(word) => (word >> (seq % 64)) & 1 == 1,
+        None => false,
+    }
+}
+
+#[inline]
+fn bit_set(bits: &mut Vec<u64>, seq: u64) {
+    let word = (seq / 64) as usize;
+    if word >= bits.len() {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1 << (seq % 64);
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: DaryHeap::new(),
+            overflow: DaryHeap::new(),
+            calendar: None,
             cancelled: Vec::new(),
+            fired: Vec::new(),
             cancelled_live: 0,
             next_seq: 0,
             popped: 0,
@@ -151,10 +276,7 @@ impl<E> EventQueue<E> {
 
     #[inline]
     fn is_cancelled(&self, seq: u64) -> bool {
-        match self.cancelled.get((seq / 64) as usize) {
-            Some(word) => (word >> (seq % 64)) & 1 == 1,
-            None => false,
-        }
+        bit_get(&self.cancelled, seq)
     }
 
     /// Clears the flag for a surfaced cancelled event (its seq can never
@@ -171,35 +293,161 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let item = Scheduled { time, seq, event };
+        let t_ns = time.as_nanos();
+        let rebuild = match &mut self.calendar {
+            Some(cal) => {
+                if t_ns < cal.cursor_ns {
+                    // Before the cursor (possible only when scheduling
+                    // earlier than an already-popped event, which the
+                    // `Simulator` forbids): rebuild around the new minimum.
+                    self.overflow.push(item);
+                    true
+                } else if t_ns < cal.era_end_ns {
+                    let idx = cal.bucket_of(t_ns);
+                    cal.buckets[idx].push(item);
+                    cal.stored += 1;
+                    // Occupancy degenerated: grow the ring and re-tune the
+                    // width from the gaps observed *now*.
+                    cal.stored > 4 * cal.buckets.len() && cal.buckets.len() < MAX_BUCKETS
+                } else {
+                    self.overflow.push(item);
+                    false
+                }
+            }
+            None => {
+                self.overflow.push(item);
+                self.overflow.len() >= CALENDAR_SETUP_LEN
+            }
+        };
+        if rebuild {
+            self.build_calendar();
+        }
         EventToken(seq)
+    }
+
+    /// (Re)builds the bucket ring from everything currently stored,
+    /// re-tuning the bucket width from the observed inter-event gaps.
+    /// O(n); runs once at startup, on ring growth (amortised by the
+    /// doubling) and in the rebuild corner case of `schedule`.
+    fn build_calendar(&mut self) {
+        let mut all = std::mem::take(&mut self.overflow.items);
+        if let Some(cal) = self.calendar.take() {
+            for mut bucket in cal.buckets {
+                all.append(&mut bucket.items);
+            }
+        }
+        debug_assert!(!all.is_empty(), "build_calendar on an empty queue");
+
+        // Width tuning: the mean gap of the dense core of the stored
+        // events. A sparse far-future tail (residency timers, crash
+        // events) would inflate a plain mean, so the top decile of the
+        // sampled times is ignored.
+        let mut sample: Vec<u64> = if all.len() <= 2048 {
+            all.iter().map(|s| s.time.as_nanos()).collect()
+        } else {
+            let step = all.len() / 1024;
+            all.iter().step_by(step).map(|s| s.time.as_nanos()).collect()
+        };
+        sample.sort_unstable();
+        let lo = sample[0];
+        let hi = sample[sample.len().saturating_sub(1) * 9 / 10];
+        let core = (all.len() * 9 / 10).max(1) as u64;
+        let gap = (hi.saturating_sub(lo) / core).clamp(MIN_WIDTH_NS, MAX_WIDTH_NS);
+        let shift = gap.next_power_of_two().trailing_zeros();
+        let nbuckets = (2 * all.len()).next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+
+        let width = 1u64 << shift;
+        let min_ns = all.iter().map(|s| s.time.as_nanos()).min().expect("non-empty");
+        let cursor_ns = min_ns & !(width - 1);
+        let era_end_ns = cursor_ns.saturating_add((nbuckets as u64) << shift);
+        let mut cal = Calendar {
+            buckets: (0..nbuckets).map(|_| DaryHeap::new()).collect(),
+            mask: nbuckets - 1,
+            shift,
+            cursor_ns,
+            era_end_ns,
+            stored: 0,
+        };
+        for item in all {
+            let t_ns = item.time.as_nanos();
+            if t_ns < era_end_ns {
+                let idx = cal.bucket_of(t_ns);
+                cal.buckets[idx].push(item);
+                cal.stored += 1;
+            } else {
+                self.overflow.push(item);
+            }
+        }
+        self.calendar = Some(cal);
+    }
+
+    /// The key of the earliest stored event (cancelled or not), without
+    /// removing it. Positions the calendar cursor as a side effect, so a
+    /// following [`EventQueue::raw_pop`] is O(1).
+    #[inline]
+    fn raw_peek(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            let Some(cal) = &mut self.calendar else {
+                return self.overflow.peek().map(|s| (s.time, s.seq));
+            };
+            if cal.stored > 0 {
+                let idx = cal.advance_to_nonempty();
+                let s = cal.buckets[idx].peek().expect("non-empty bucket");
+                return Some((s.time, s.seq));
+            }
+            if self.overflow.is_empty() {
+                return None;
+            }
+            cal.advance_era(&mut self.overflow);
+        }
+    }
+
+    /// Removes and returns the earliest stored event (cancelled or not),
+    /// marking its seq as surfaced.
+    #[inline]
+    fn raw_pop(&mut self) -> Option<Scheduled<E>> {
+        let item = loop {
+            let Some(cal) = &mut self.calendar else {
+                break self.overflow.pop()?;
+            };
+            if cal.stored > 0 {
+                let idx = cal.advance_to_nonempty();
+                cal.stored -= 1;
+                break cal.buckets[idx].pop().expect("non-empty bucket");
+            }
+            if self.overflow.is_empty() {
+                return None;
+            }
+            cal.advance_era(&mut self.overflow);
+        };
+        self.popped += 1;
+        bit_set(&mut self.fired, item.seq);
+        Some(item)
     }
 
     /// Cancels a previously scheduled event.
     ///
-    /// Returns `true` if the token was newly registered for cancellation.
-    /// Cancelling an event that already fired is a harmless no-op (the event
-    /// can never fire again), but it is not detected: the return value is
-    /// meaningful only for tokens that have not yet been popped.
+    /// Returns `true` iff the token was newly registered for cancellation
+    /// while its event was still pending; cancelling an event that already
+    /// surfaced (fired or was skipped), or cancelling twice, is a
+    /// detected no-op returning `false`.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
+        if token.0 >= self.next_seq || bit_get(&self.fired, token.0) {
             return false;
         }
-        let word = (token.0 / 64) as usize;
-        if word >= self.cancelled.len() {
-            self.cancelled.resize(word + 1, 0);
+        if bit_get(&self.cancelled, token.0) {
+            return false;
         }
-        let mask = 1 << (token.0 % 64);
-        let newly = self.cancelled[word] & mask == 0;
-        self.cancelled[word] |= mask;
-        self.cancelled_live += usize::from(newly);
-        newly
+        bit_set(&mut self.cancelled, token.0);
+        self.cancelled_live += 1;
+        true
     }
 
     /// Removes and returns the earliest live event, skipping cancelled ones.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Scheduled { time, seq, event }) = self.heap.pop() {
-            self.popped += 1;
+        while let Some(Scheduled { time, seq, event }) = self.raw_pop() {
             if self.is_cancelled(seq) {
                 self.consume_cancelled(seq);
                 continue;
@@ -212,15 +460,22 @@ impl<E> EventQueue<E> {
     /// Pops the earliest live event **iff** its timestamp is ≤ `until` —
     /// the driver-loop primitive, doing one cancellation check per event
     /// where a `peek_time` + `pop` pair does two.
+    ///
+    /// A cancelled event parked beyond `until` is consumed on the spot
+    /// rather than left at the head, so repeated bounded pops cannot hold
+    /// the live-event accounting hostage to a dead head.
     pub fn pop_at_or_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
         loop {
-            if self.heap.peek()?.time > until {
-                // Head may be a cancelled event, but leaving it parked is
-                // harmless: it is skipped whenever it surfaces.
+            let (time, seq) = self.raw_peek()?;
+            if time > until {
+                if self.is_cancelled(seq) {
+                    self.raw_pop().expect("peeked");
+                    self.consume_cancelled(seq);
+                    continue;
+                }
                 return None;
             }
-            let Scheduled { time, seq, event } = self.heap.pop().expect("peeked");
-            self.popped += 1;
+            let Scheduled { time, seq, event } = self.raw_pop().expect("peeked");
             if self.is_cancelled(seq) {
                 self.consume_cancelled(seq);
                 continue;
@@ -231,28 +486,34 @@ impl<E> EventQueue<E> {
 
     /// The timestamp of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(head) = self.heap.peek() {
-            if self.is_cancelled(head.seq) {
-                let seq = head.seq;
-                self.heap.pop();
-                self.popped += 1;
+        loop {
+            let (time, seq) = self.raw_peek()?;
+            if self.is_cancelled(seq) {
+                self.raw_pop().expect("peeked");
                 self.consume_cancelled(seq);
                 continue;
             }
-            return Some(head.time);
+            return Some(time);
         }
-        None
     }
 
-    /// Number of events still in the heap (including not-yet-skipped
-    /// cancelled events).
+    /// Number of events still stored, *including* cancelled events that
+    /// have not surfaced yet. See [`EventQueue::live_len`] for the count
+    /// diagnostics usually want.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.overflow.len() + self.calendar.as_ref().map_or(0, |c| c.stored)
+    }
+
+    /// Number of stored events that are still live (not marked
+    /// cancelled) — the amount of pending work the queue actually
+    /// represents.
+    pub fn live_len(&self) -> usize {
+        self.len() - self.cancelled_live
     }
 
     /// Whether no events (live or cancelled) remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever popped (fired or skipped); a cheap
@@ -275,7 +536,8 @@ pub struct Simulator<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("live", &self.live_len())
+            .field("stored", &self.len())
             .field("cancelled", &self.cancelled_live)
             .field("popped", &self.popped)
             .finish()
@@ -348,9 +610,11 @@ impl<E> Simulator<E> {
         self.queue.peek_time()
     }
 
-    /// Number of pending (possibly cancelled) events.
+    /// Number of pending live events (cancelled events awaiting removal
+    /// are not counted — diagnostics should not overstate remaining
+    /// work).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.live_len()
     }
 
     /// Total events popped so far.
@@ -391,6 +655,21 @@ mod tests {
     }
 
     #[test]
+    fn equal_times_fifo_in_calendar_mode() {
+        // Enough same-time events to cross the calendar threshold with a
+        // zero observed gap: everything lands in one bucket and must still
+        // come out in scheduling order.
+        let mut q = EventQueue::new();
+        for i in 0..1000 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn cancel_skips_event() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1), "a");
@@ -408,6 +687,15 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_is_detected_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a), "already fired: nothing to cancel");
+        assert_eq!(q.live_len(), 0, "no accounting drift");
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1), "a");
@@ -415,6 +703,37 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(t(5)));
         assert_eq!(q.pop(), Some((t(5), "b")));
+    }
+
+    #[test]
+    fn live_len_excludes_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!((q.len(), q.live_len()), (2, 2));
+        q.cancel(a);
+        assert_eq!(q.len(), 2, "cancelled event still stored");
+        assert_eq!(q.live_len(), 1, "…but no longer live");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!((q.len(), q.live_len()), (0, 0), "skipped head consumed");
+    }
+
+    #[test]
+    fn bounded_pop_consumes_cancelled_head_beyond_limit() {
+        // The head is cancelled and parked *beyond* `until`: the bounded
+        // pop returns None but must still consume it, or the cancelled
+        // count leaks for the rest of the run.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(100), "late");
+        q.cancel(a);
+        assert_eq!(q.pop_at_or_before(t(10)), None);
+        assert_eq!(q.len(), 0, "dead head consumed on peek-reject");
+        assert_eq!(q.live_len(), 0);
+        // And a live head beyond the limit stays put.
+        q.schedule(t(100), "live");
+        assert_eq!(q.pop_at_or_before(t(10)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_at_or_before(t(100)), Some((t(100), "live")));
     }
 
     #[test]
@@ -447,6 +766,41 @@ mod tests {
         // Re-scheduling relative to the new now.
         sim.schedule_in(SimDuration::from_nanos(5), 2);
         assert_eq!(sim.step(), Some((t(15), 2)));
+    }
+
+    #[test]
+    fn scheduling_before_popped_time_still_orders() {
+        // Raw EventQueue (no Simulator clock): scheduling earlier than an
+        // already-popped event must keep working even after the calendar
+        // cursor has moved past that window (the rebuild corner case).
+        let mut q = EventQueue::new();
+        for i in 0..400u64 {
+            q.schedule(t(1_000 + i), i);
+        }
+        for i in 0..200u64 {
+            assert_eq!(q.pop(), Some((t(1_000 + i), i)));
+        }
+        q.schedule(t(3), 999);
+        assert_eq!(q.pop(), Some((t(3), 999)), "pre-cursor event pops first");
+        assert_eq!(q.pop(), Some((t(1_200), 200)), "then the ring resumes");
+    }
+
+    #[test]
+    fn far_future_events_migrate_from_overflow() {
+        let mut q = EventQueue::new();
+        // A dense cluster (tunes a narrow width) plus far-future events
+        // well beyond the first era.
+        for i in 0..500u64 {
+            q.schedule(t(i * 100), i);
+        }
+        q.schedule(t(10_000_000_000), 9_000); // +10 s
+        q.schedule(t(20_000_000_000), 9_001); // +20 s
+        for i in 0..500u64 {
+            assert_eq!(q.pop(), Some((t(i * 100), i)));
+        }
+        assert_eq!(q.pop(), Some((t(10_000_000_000), 9_000)));
+        assert_eq!(q.pop(), Some((t(20_000_000_000), 9_001)));
+        assert_eq!(q.pop(), None);
     }
 }
 
@@ -499,11 +853,15 @@ mod proptests {
             }
         }
 
-        /// Model-based: interleaved schedule/cancel/pop agrees with a
-        /// reference implementation backed by a BTreeMap.
+        /// Model-based: interleaved schedule / cancel / pop /
+        /// pop_at_or_before / peek_time agrees with a reference
+        /// implementation backed by a BTreeMap, and the live-event
+        /// accounting tracks the model's size exactly. Long op sequences
+        /// cross the calendar build threshold, so both the startup-heap
+        /// and bucket-ring phases are exercised.
         #[test]
         fn matches_reference_model(
-            ops in proptest::collection::vec((0u8..3, 0u64..1_000), 1..300),
+            ops in proptest::collection::vec((0u8..5, 0u64..1_000), 1..600),
         ) {
             use std::collections::BTreeMap;
             let mut q = EventQueue::new();
@@ -523,13 +881,15 @@ mod proptests {
                     }
                     1 => {
                         // cancel a pseudo-random previously issued token
+                        // (may already have fired or been cancelled — the
+                        // queue must detect both)
                         if !tokens.is_empty() {
                             let (tok, t, s) = tokens[arg as usize % tokens.len()];
-                            q.cancel(tok);
-                            model.remove(&(t, s));
+                            let was_live = model.remove(&(t, s)).is_some();
+                            prop_assert_eq!(q.cancel(tok), was_live);
                         }
                     }
-                    _ => {
+                    2 => {
                         // pop once and compare with the model's minimum
                         let got = q.pop();
                         let want = model.pop_first();
@@ -542,7 +902,30 @@ mod proptests {
                             (g, w) => prop_assert!(false, "mismatch: {g:?} vs {w:?}"),
                         }
                     }
+                    3 => {
+                        // bounded pop: only if the model minimum is ≤ arg
+                        let got = q.pop_at_or_before(SimTime::from_nanos(arg));
+                        let want = match model.first_key_value() {
+                            Some((&(mt, _), _)) if mt <= arg => model.pop_first(),
+                            _ => None,
+                        };
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some((time, val)), Some(((mt, _), mv))) => {
+                                prop_assert_eq!(time.as_nanos(), mt);
+                                prop_assert_eq!(val, mv);
+                            }
+                            (g, w) => prop_assert!(false, "bounded mismatch: {g:?} vs {w:?}"),
+                        }
+                    }
+                    _ => {
+                        // peek: the model's minimum timestamp
+                        let got = q.peek_time().map(|t| t.as_nanos());
+                        let want = model.first_key_value().map(|(&(mt, _), _)| mt);
+                        prop_assert_eq!(got, want);
+                    }
                 }
+                prop_assert_eq!(q.live_len(), model.len(), "live accounting drifted");
             }
             // Drain both; they must agree to the end.
             while let Some((time, val)) = q.pop() {
@@ -551,6 +934,85 @@ mod proptests {
                 prop_assert_eq!(val, mv);
             }
             prop_assert!(model.is_empty(), "queue empty before model");
+            prop_assert_eq!(q.live_len(), 0);
         }
+    }
+
+    /// Fixed-seed trace replay: the calendar queue's pop sequence on a
+    /// recorded MacAttempt-heavy event trace is identical to a plain
+    /// binary heap's. The trace mimics the driver loop under CSMA
+    /// contention — bursts of short-horizon retries around a moving
+    /// `now`, sprinkled far-future timers, bounded pops and cancellations
+    /// — and is large enough to cross the calendar build threshold, ring
+    /// growth and several era migrations.
+    #[test]
+    fn calendar_matches_heap_on_recorded_trace() {
+        use crate::rng::Rng;
+        use std::collections::BTreeMap;
+
+        let mut rng = Rng::new(0x5eed_cafe);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Reference: a BTreeMap keyed by the same unique (time, seq) key
+        // pops in exactly the order any correct heap would.
+        let mut heap: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut tokens: Vec<(EventToken, u64, u64)> = Vec::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for round in 0..3_000u64 {
+            // A burst of backoff-style retries a few µs–ms out.
+            for _ in 0..(1 + rng.u64_below(4)) {
+                let at = now + 1_000 + rng.u64_below(2_000_000);
+                let tok = q.schedule(SimTime::from_nanos(at), seq);
+                heap.insert((at, seq), seq);
+                tokens.push((tok, at, seq));
+                seq += 1;
+            }
+            // Occasionally a far-future timer (seconds out).
+            if round % 37 == 0 {
+                let at = now + 1_000_000_000 + rng.u64_below(5_000_000_000);
+                let tok = q.schedule(SimTime::from_nanos(at), seq);
+                heap.insert((at, seq), seq);
+                tokens.push((tok, at, seq));
+                seq += 1;
+            }
+            // Occasionally cancel a random outstanding token.
+            if round % 5 == 0 && !tokens.is_empty() {
+                let i = (rng.u64_below(tokens.len() as u64)) as usize;
+                let (tok, at, s) = tokens[i];
+                q.cancel(tok);
+                heap.remove(&(at, s));
+            }
+            // Drive like the harness: bounded pops up to a sliding bound.
+            let until = now + 500_000 + rng.u64_below(1_500_000);
+            loop {
+                let want = match heap.first_key_value() {
+                    Some((&(t, _), _)) if t <= until => heap.pop_first(),
+                    _ => None,
+                };
+                let got = q.pop_at_or_before(SimTime::from_nanos(until));
+                match (got, want) {
+                    (None, None) => break,
+                    (Some((t, v)), Some(((mt, _), mv))) => {
+                        now = now.max(t.as_nanos());
+                        popped.push((t.as_nanos(), v));
+                        expected.push((mt, mv));
+                    }
+                    (g, w) => panic!("trace diverged at round {round}: {g:?} vs {w:?}"),
+                }
+            }
+            now = now.max(until);
+        }
+        // Drain the tail.
+        while let Some((t, v)) = q.pop() {
+            popped.push((t.as_nanos(), v));
+        }
+        while let Some(((mt, _), mv)) = heap.pop_first() {
+            expected.push((mt, mv));
+        }
+        assert!(popped.len() > 4_000, "trace too small to be meaningful");
+        assert_eq!(popped, expected, "calendar and heap pop sequences differ");
+        assert_eq!(q.live_len(), 0);
     }
 }

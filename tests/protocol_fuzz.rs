@@ -67,7 +67,7 @@ fn control_packet() -> impl Strategy<Value = ControlPacket> {
                     .into_iter()
                     .map(|(neighbor, class)| LsuEntry { neighbor, class })
                     .collect(),
-                down: vec![],
+                down: [].into(),
             }
         ),
         (node_id(), node_id(), 0u64..4, 0u8..8, 0u8..8, 0u32..50).prop_map(

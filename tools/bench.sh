@@ -3,10 +3,22 @@
 #
 #   tools/bench.sh record <label>   build release, run the micro benches and
 #                                   the hotloop recorder, append a snapshot
-#   tools/bench.sh compare          print first-vs-last snapshot speedups
-#   tools/bench.sh smoke            quick run (CI): everything builds and runs
+#   tools/bench.sh compare [--max-regress <pct>]
+#                                   print first-vs-last snapshot speedups;
+#                                   with --max-regress, exit 2 if the last
+#                                   snapshot regressed more than <pct>% on
+#                                   any entry vs the previous one
+#   tools/bench.sh smoke [pct]      quick CI gate: run the quick workloads,
+#                                   append them to a scratch copy of the
+#                                   committed quick baseline
+#                                   (BENCH_smoke.json) and fail if anything
+#                                   regressed more than pct% (default 75 —
+#                                   generous because CI hardware differs
+#                                   from the recording machine; the gate
+#                                   exists to catch catastrophic hot-loop
+#                                   regressions, not percent-level drift)
 #
-# The artifact lives at the repo root; snapshots are labeled and append-only,
+# The artifacts live at the repo root; snapshots are labeled and append-only,
 # so the perf trajectory across PRs stays reviewable in git history.
 #
 # Workloads covered (see crates/bench/src/bin/hotloop.rs): the paper-grid
@@ -24,13 +36,21 @@ case "${1:-}" in
     cargo run --release -q -p rica-bench --bin hotloop -- --label "$label"
     ;;
   compare)
-    cargo run --release -q -p rica-bench --bin hotloop -- --compare
+    shift
+    cargo run --release -q -p rica-bench --bin hotloop -- --compare "$@"
     ;;
   smoke)
-    cargo run --release -q -p rica-bench --bin hotloop -- --quick
+    pct="${2:-75}"
+    scratch="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+    trap 'rm -f "$scratch"' EXIT
+    cp BENCH_smoke.json "$scratch"
+    cargo run --release -q -p rica-bench --bin hotloop -- \
+      --quick --label ci-smoke --json "$scratch"
+    cargo run --release -q -p rica-bench --bin hotloop -- \
+      --compare --json "$scratch" --max-regress "$pct"
     ;;
   *)
-    echo "usage: tools/bench.sh {record <label>|compare|smoke}" >&2
+    echo "usage: tools/bench.sh {record <label>|compare [--max-regress <pct>]|smoke [pct]}" >&2
     exit 2
     ;;
 esac
