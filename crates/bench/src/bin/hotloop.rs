@@ -12,6 +12,9 @@
 //! cargo run --release -p rica-bench --bin hotloop -- --compare --max-regress 20
 //!                                    # …and exit 2 if the last snapshot regressed >20%
 //!                                    # on any entry vs the one before it
+//! cargo run --release -p rica-bench --bin hotloop -- --compare --markdown
+//!                                    # …as a GitHub-flavored markdown table
+//!                                    # (PR descriptions, CI job summaries)
 //! cargo run --release -p rica-bench --bin hotloop -- --quick         # CI smoke (seconds, no file)
 //! ```
 //!
@@ -36,9 +39,9 @@ use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use rica_channel::{ChannelConfig, ChannelModel};
+use rica_channel::{ChannelConfig, ChannelModel, DecayCache, OuProcess};
 use rica_harness::{ProtocolKind, Scenario};
-use rica_mobility::{Field, Vec2, Waypoint};
+use rica_mobility::{Field, SpatialGrid, Vec2, Waypoint};
 use rica_sim::{EventQueue, Rng, SimTime};
 use rica_traffic::{ArrivalSpec, Dwell, SizeSpec, WorkloadSpec};
 
@@ -51,6 +54,10 @@ struct Opts {
     /// With `--compare`: exit non-zero if any entry of the last snapshot
     /// is more than this many percent slower than the previous snapshot.
     max_regress: Option<f64>,
+    /// With `--compare`: emit the speedup table as GitHub-flavored
+    /// markdown (for PR descriptions and CI job summaries) instead of the
+    /// aligned-text table.
+    markdown: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -61,6 +68,7 @@ fn parse_opts() -> Opts {
         quick: false,
         reps: 3,
         max_regress: None,
+        markdown: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,6 +85,7 @@ fn parse_opts() -> Opts {
                 let pct = args.next().expect("--max-regress needs a percentage");
                 opts.max_regress = Some(pct.parse().expect("bad --max-regress value"));
             }
+            "--markdown" => opts.markdown = true,
             other => panic!("unknown argument {other:?} (see crates/bench/src/bin/hotloop.rs)"),
         }
     }
@@ -227,6 +236,69 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
             acc
         }),
     ));
+    entries.push((
+        "micro/ou_sample_repeat_dt".to_string(),
+        time_min(reps, || {
+            // The simulator's dt regime: a small vocabulary of exact
+            // repeats (tx durations, CSI periods, IFS quanta) across many
+            // processes sharing one (sigma, tau) — the decay cache's
+            // target. Seconds per fixed op count, comparable across
+            // snapshots.
+            let gaps = [0.016384, 1.0, 0.002048, 0.016384, 0.081920, 1.0, 0.016384, 0.000512];
+            let mut seeder = Rng::new(11);
+            let mut procs: Vec<OuProcess> =
+                (0..64).map(|_| OuProcess::new(6.0, 15.0, &mut seeder)).collect();
+            let mut cache = DecayCache::new(6.0, 15.0);
+            let mut rng = Rng::new(12);
+            let mut acc = 0.0f64;
+            let mut t = vec![0.0f64; procs.len()];
+            for i in 0..micro_iters {
+                let p = (i % 64) as usize;
+                t[p] += gaps[(i % 8) as usize];
+                acc += procs[p].sample_cached(SimTime::from_secs_f64(t[p]), &mut rng, &mut cache);
+            }
+            acc
+        }),
+    ));
+    entries.push((
+        "micro/broadcast_fanout".to_string(),
+        time_min(reps, || {
+            // The per-transmission fan-out pattern at the 200-node scale:
+            // an epoch-cached candidate query (grid superset + exact
+            // snapshot-disc trim) reused across transmissions, each
+            // re-checking exact distances against a drifting transmitter.
+            let mut rng = Rng::new(21);
+            let positions: Vec<Vec2> =
+                (0..200).map(|_| Field::PAPER.random_point(&mut rng)).collect();
+            let mut grid = SpatialGrid::new(Field::PAPER, 83.0);
+            grid.rebuild(&positions);
+            let radius = 250.0 + 24.0;
+            let keep_sq = (radius + 1.0) * (radius + 1.0);
+            let mut cached: Vec<u32> = Vec::new();
+            let mut acc = 0u64;
+            for epoch in 0..(micro_iters / 64) {
+                let tx = (epoch % 200) as usize;
+                let center = positions[tx];
+                // One query + snapshot-disc trim per (node, epoch)…
+                grid.query_unordered_into(center, radius, &mut cached);
+                cached.retain(|&j| {
+                    j as usize != tx && positions[j as usize].distance_sq(center) <= keep_sq
+                });
+                // …reused by every transmission the node makes before the
+                // next grid rebuild, each re-filtering exactly against the
+                // transmitter's drifted position.
+                for k in 0..16 {
+                    let p_tx = Vec2::new(center.x + 0.4 * k as f64, center.y);
+                    for &j in &cached {
+                        if positions[j as usize].distance_sq(p_tx) <= 62_500.0 {
+                            acc += 1;
+                        }
+                    }
+                }
+            }
+            acc
+        }),
+    ));
     entries
 }
 
@@ -288,17 +360,63 @@ fn parse_snapshots(doc: &str) -> Vec<(String, Vec<(String, f64)>)> {
     snaps
 }
 
-fn compare(path: &Path, max_regress: Option<f64>) {
+fn compare(path: &Path, max_regress: Option<f64>, markdown: bool) {
     let doc =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     let snaps = parse_snapshots(&doc);
     assert!(snaps.len() >= 2, "need at least two snapshots to compare, found {}", snaps.len());
     let (base_label, base) = &snaps[0];
     let (cur_label, cur) = &snaps[snaps.len() - 1];
-    println!("{:<34} {:>12} {:>12} {:>9}", "workload", base_label, cur_label, "speedup");
-    for (name, base_secs) in base {
-        let Some((_, cur_secs)) = cur.iter().find(|(n, _)| n == name) else { continue };
-        println!("{name:<34} {base_secs:>11.4}s {cur_secs:>11.4}s {:>8.2}x", base_secs / cur_secs);
+    // The markdown table also carries the previous snapshot (the gate
+    // baseline) when it differs from the first: a PR description wants
+    // "vs the last PR" next to "vs the dawn of time".
+    let prev_col = (snaps.len() > 2).then(|| &snaps[snaps.len() - 2]);
+    if markdown {
+        match prev_col {
+            Some((prev_label, _)) => {
+                println!(
+                    "| workload | {base_label} | {prev_label} | {cur_label} | vs {prev_label} | \
+                     vs {base_label} |"
+                );
+                println!("|---|---:|---:|---:|---:|---:|");
+            }
+            None => {
+                println!("| workload | {base_label} | {cur_label} | speedup |");
+                println!("|---|---:|---:|---:|");
+            }
+        }
+        for (name, base_secs) in base {
+            let Some((_, cur_secs)) = cur.iter().find(|(n, _)| n == name) else { continue };
+            match prev_col {
+                Some((_, prev)) => {
+                    let prev_cell = prev
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map_or(("—".to_string(), "—".to_string()), |(_, p)| {
+                            (format!("{p:.4}s"), format!("{:.2}×", p / cur_secs))
+                        });
+                    println!(
+                        "| `{name}` | {base_secs:.4}s | {} | {cur_secs:.4}s | {} | {:.2}× |",
+                        prev_cell.0,
+                        prev_cell.1,
+                        base_secs / cur_secs
+                    );
+                }
+                None => println!(
+                    "| `{name}` | {base_secs:.4}s | {cur_secs:.4}s | {:.2}× |",
+                    base_secs / cur_secs
+                ),
+            }
+        }
+    } else {
+        println!("{:<34} {:>12} {:>12} {:>9}", "workload", base_label, cur_label, "speedup");
+        for (name, base_secs) in base {
+            let Some((_, cur_secs)) = cur.iter().find(|(n, _)| n == name) else { continue };
+            println!(
+                "{name:<34} {base_secs:>11.4}s {cur_secs:>11.4}s {:>8.2}x",
+                base_secs / cur_secs
+            );
+        }
     }
     // The exit-code gate judges the last snapshot against the one before
     // it (the trajectory table above is informational): a hot-loop
@@ -329,13 +447,19 @@ fn compare(path: &Path, max_regress: Option<f64>) {
     if failed {
         std::process::exit(2);
     }
-    println!("gate: no entry regressed more than {limit_pct:.0}% vs {prev_label:?}");
+    // Keep machine-readable output clean: the gate verdict goes to stderr
+    // when the table is markdown for a CI job summary.
+    if markdown {
+        eprintln!("gate: no entry regressed more than {limit_pct:.0}% vs {prev_label:?}");
+    } else {
+        println!("gate: no entry regressed more than {limit_pct:.0}% vs {prev_label:?}");
+    }
 }
 
 fn main() {
     let opts = parse_opts();
     if opts.compare {
-        compare(&opts.json, opts.max_regress);
+        compare(&opts.json, opts.max_regress, opts.markdown);
         return;
     }
     let entries = run_all(opts.quick, opts.reps);

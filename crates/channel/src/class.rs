@@ -31,6 +31,7 @@ impl ChannelClass {
         [ChannelClass::A, ChannelClass::B, ChannelClass::C, ChannelClass::D];
 
     /// Effective link throughput in kbit/s.
+    #[inline]
     pub fn rate_kbps(self) -> f64 {
         match self {
             ChannelClass::A => 250.0,
@@ -41,6 +42,7 @@ impl ChannelClass {
     }
 
     /// Effective link throughput in bit/s.
+    #[inline]
     pub fn rate_bps(self) -> f64 {
         self.rate_kbps() * 1000.0
     }
@@ -55,12 +57,14 @@ impl ChannelClass {
     }
 
     /// Time to transmit `bits` over a link of this class, in seconds.
+    #[inline]
     pub fn tx_secs(self, bits: u64) -> f64 {
         bits as f64 / self.rate_bps()
     }
 
     /// Numeric quality level: A = 0 (best) … D = 3 (worst). Useful for
     /// hysteresis comparisons ("changed by ≥ k classes").
+    #[inline]
     pub fn level(self) -> u8 {
         match self {
             ChannelClass::A => 0,
@@ -76,6 +80,7 @@ impl ChannelClass {
     /// # Panics
     ///
     /// Panics (debug) if the thresholds are not non-increasing.
+    #[inline]
     pub fn from_snr_db(snr_db: f64, thresholds: [f64; 3]) -> ChannelClass {
         debug_assert!(
             thresholds[0] >= thresholds[1] && thresholds[1] >= thresholds[2],

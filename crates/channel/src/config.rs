@@ -31,6 +31,14 @@ pub struct ChannelConfig {
     /// Class thresholds `[θ_A, θ_B, θ_C]` in dB: SNR ≥ θ_A → A, ≥ θ_B → B,
     /// ≥ θ_C → C, else D.
     pub class_thresholds_db: [f64; 3],
+    /// Serve the OU decay coefficients `(ρ, conditional σ)` from a shared
+    /// dt-keyed memo table ([`crate::DecayCache`]) instead of recomputing
+    /// `exp`/`sqrt` per sample. **Purely a performance knob**: realisations
+    /// are bit-identical either way (the cache stores exactly what
+    /// recomputation would produce, keyed by the exact bits of `dt`), which
+    /// `tests/channel_fastpath.rs` pins at trial level. Default `true`;
+    /// disable only to measure the cache's contribution.
+    pub use_decay_cache: bool,
 }
 
 impl Default for ChannelConfig {
@@ -45,6 +53,7 @@ impl Default for ChannelConfig {
             fade_sigma_db: 4.0,
             fade_tau_s: 1.5,
             class_thresholds_db: [0.0, -8.0, -15.0],
+            use_decay_cache: true,
         }
     }
 }

@@ -64,4 +64,4 @@ mod ou;
 pub use class::ChannelClass;
 pub use config::ChannelConfig;
 pub use model::ChannelModel;
-pub use ou::OuProcess;
+pub use ou::{DecayCache, OuProcess};

@@ -3,7 +3,7 @@
 use rica_mobility::Vec2;
 use rica_sim::{Rng, SimTime};
 
-use crate::{ChannelClass, ChannelConfig, OuProcess};
+use crate::{ChannelClass, ChannelConfig, DecayCache, OuProcess};
 
 /// Per-pair state: the two OU components and their private random stream.
 #[derive(Debug)]
@@ -11,7 +11,19 @@ struct PairState {
     shadow: OuProcess,
     fade: OuProcess,
     rng: Rng,
+    /// Instant of the memoized composite SNR below ([`SimTime::MAX`] =
+    /// nothing memoized yet — no event ever fires there).
+    snr_stamp: SimTime,
+    /// Composite SNR (dB) produced at `snr_stamp`.
+    snr_db: f64,
+    /// The distance the memo was computed at, for the debug-only check
+    /// that same-instant queries agree on the pair geometry.
+    #[cfg(debug_assertions)]
+    snr_dist_m: f64,
 }
+
+/// Slot sentinel: "this pair has no state yet".
+const EMPTY_SLOT: u32 = u32::MAX;
 
 /// The time-varying channel between every pair of terminals.
 ///
@@ -24,21 +36,34 @@ struct PairState {
 /// realisation of pair `(3, 7)` is identical no matter how many other pairs
 /// exist or in what order they are queried.
 ///
-/// Storage is a flat triangular-indexed table rather than a hash map: the
-/// unordered pair `(lo, hi)` lives at slot `hi·(hi−1)/2 + lo`, so the hot
-/// per-reception CSI lookup is one bounds-checked index instead of a hash
-/// and probe. [`ChannelModel::with_nodes`] pre-sizes the table for a known
-/// terminal count; ids beyond it grow the table on demand.
+/// Storage is a flat triangular `u32` indirection table over a dense state
+/// vector: the unordered pair `(lo, hi)` owns slot `hi·(hi−1)/2 + lo`,
+/// which holds the pair's index into a dense `Vec<PairState>` (or
+/// [`EMPTY_SLOT`]). The hot per-reception CSI lookup is two bounds-checked
+/// indexes into contiguous memory — no hash, no `Option<Box>` pointer
+/// chase — while the O(n²) part of the footprint stays 4 bytes per
+/// *potential* pair; real state is paid only by pairs that interact.
+/// [`ChannelModel::with_nodes`] pre-sizes the indirection table for a known
+/// terminal count; ids beyond it grow the table on demand (in one resize,
+/// see [`ChannelModel::table_growths`]).
 #[derive(Debug)]
 pub struct ChannelModel {
     config: ChannelConfig,
     master: Rng,
-    /// Triangular table of lazily-created pair processes. Boxed so a cold
-    /// slot costs one pointer: the table is O(n²) in the node count, but
-    /// only pairs that ever interact pay for real state — keeping large
-    /// node-count sweeps (the roadmap's scaling axis) affordable.
-    pairs: Vec<Option<Box<PairState>>>,
-    instantiated: usize,
+    /// Triangular indirection: dense index of pair `(lo, hi)`, or
+    /// [`EMPTY_SLOT`].
+    slots: Vec<u32>,
+    /// Instantiated pair states, dense in creation order.
+    pairs: Vec<PairState>,
+    /// Shared `(shadow, fade)` OU decay-coefficient caches — every pair's
+    /// shadow process has the same `(σ, τ)` (likewise fade), so one cache
+    /// per component kind serves the whole network. `None` when
+    /// [`ChannelConfig::use_decay_cache`] is off (bit-identical, slower).
+    caches: Option<Box<(DecayCache, DecayCache)>>,
+    /// Terminal count declared via [`ChannelModel::with_nodes`], if any.
+    presized_nodes: Option<u32>,
+    /// Times the indirection table grew past its initial sizing.
+    growths: u32,
 }
 
 /// The unordered pair `{a, b}` as `(lo, hi)`.
@@ -55,6 +80,11 @@ fn tri_index(lo: u32, hi: u32) -> usize {
     (hi as usize) * (hi as usize - 1) / 2 + lo as usize
 }
 
+/// Triangle size covering every pair with both ids below `nodes`.
+fn tri_len(nodes: usize) -> usize {
+    nodes * nodes.saturating_sub(1) / 2
+}
+
 impl ChannelModel {
     /// Creates a model with the given configuration and master seed stream.
     ///
@@ -69,15 +99,32 @@ impl ChannelModel {
         if let Err(e) = config.validate() {
             panic!("invalid ChannelConfig: {e}");
         }
-        ChannelModel { config, master, pairs: Vec::new(), instantiated: 0 }
+        let caches = config.use_decay_cache.then(|| {
+            Box::new((
+                DecayCache::new(config.shadow_sigma_db, config.shadow_tau_s),
+                DecayCache::new(config.fade_sigma_db, config.fade_tau_s),
+            ))
+        });
+        ChannelModel {
+            config,
+            master,
+            slots: Vec::new(),
+            pairs: Vec::new(),
+            caches,
+            presized_nodes: None,
+            growths: 0,
+        }
     }
 
-    /// [`ChannelModel::new`] with the pair table pre-sized for `nodes`
-    /// terminals (ids `0..nodes`), avoiding all growth on the hot path.
+    /// [`ChannelModel::new`] with the indirection table pre-sized for
+    /// `nodes` terminals (ids `0..nodes`), avoiding all growth on the hot
+    /// path. Querying an id `>= nodes` afterwards still works, but counts
+    /// as a [`ChannelModel::table_growths`] event (and debug-panics: the
+    /// caller declared a terminal count it then exceeded).
     pub fn with_nodes(config: ChannelConfig, master: Rng, nodes: u32) -> Self {
         let mut model = Self::new(config, master);
-        let n = nodes as usize;
-        model.pairs.resize_with(n * n.saturating_sub(1) / 2, || None);
+        model.slots.resize(tri_len(nodes as usize), EMPTY_SLOT);
+        model.presized_nodes = Some(nodes);
         model
     }
 
@@ -86,30 +133,57 @@ impl ChannelModel {
         &self.config
     }
 
-    fn pair_state(&mut self, a: u32, b: u32) -> &mut PairState {
+    /// Dense index of the pair `{a, b}`'s state, instantiating it on first
+    /// query.
+    fn pair_index(&mut self, a: u32, b: u32) -> usize {
         let (lo, hi) = ordered_pair(a, b);
         let idx = tri_index(lo, hi);
-        if idx >= self.pairs.len() {
-            self.pairs.resize_with(idx + 1, || None);
+        if idx >= self.slots.len() {
+            // Grow to the full triangle for `hi + 1` terminals in ONE
+            // resize. Growing to `idx + 1` per query — the previous
+            // behaviour — re-resized on almost every new pair of an
+            // un-pre-sized model: O(n²) slots moved one slot at a time.
+            debug_assert!(
+                self.presized_nodes.is_none(),
+                "node id {hi} exceeds the {} terminals the pair table was pre-sized for",
+                self.presized_nodes.unwrap_or(0),
+            );
+            self.growths += 1;
+            self.slots.resize(tri_len(hi as usize + 1), EMPTY_SLOT);
         }
-        let slot = &mut self.pairs[idx];
-        if slot.is_none() {
-            // Stable stream id from the pair: works for any node count < 2^32.
-            let stream = ((lo as u64) << 32) | hi as u64;
-            let mut rng = self.master.fork(stream);
-            let shadow =
-                OuProcess::new(self.config.shadow_sigma_db, self.config.shadow_tau_s, &mut rng);
-            let fade = OuProcess::new(self.config.fade_sigma_db, self.config.fade_tau_s, &mut rng);
-            *slot = Some(Box::new(PairState { shadow, fade, rng }));
-            self.instantiated += 1;
+        let slot = self.slots[idx];
+        if slot != EMPTY_SLOT {
+            return slot as usize;
         }
-        slot.as_mut().expect("just filled")
+        // Stable stream id from the pair: works for any node count < 2^32.
+        let stream = ((lo as u64) << 32) | hi as u64;
+        let mut rng = self.master.fork(stream);
+        let shadow =
+            OuProcess::new(self.config.shadow_sigma_db, self.config.shadow_tau_s, &mut rng);
+        let fade = OuProcess::new(self.config.fade_sigma_db, self.config.fade_tau_s, &mut rng);
+        let dense = self.pairs.len();
+        assert!(dense < EMPTY_SLOT as usize, "pair table indirection overflow");
+        self.pairs.push(PairState {
+            shadow,
+            fade,
+            rng,
+            snr_stamp: SimTime::MAX,
+            snr_db: 0.0,
+            #[cfg(debug_assertions)]
+            snr_dist_m: 0.0,
+        });
+        self.slots[idx] = dense as u32;
+        dense
     }
 
     /// Composite SNR (dB) of the link between nodes `a` and `b` at instant
     /// `t`, given their positions — regardless of range.
     ///
-    /// Queries for a given pair must be non-decreasing in time.
+    /// Queries for a given pair must be non-decreasing in time, and
+    /// repeated queries at the *same* instant must carry the same
+    /// positions (they are answered from a per-pair memo; positions are a
+    /// pure function of the instant in the simulator, and the agreement is
+    /// asserted in debug builds).
     ///
     /// # Panics
     ///
@@ -119,15 +193,64 @@ impl ChannelModel {
     }
 
     /// [`ChannelModel::snr_db`] with the pair distance already computed —
-    /// the hot path ([`ChannelModel::class_between`]) measures the
+    /// the hot path ([`ChannelModel::class_at_dist_sq`]) measures the
     /// distance once for both the range check and the SNR mean.
     fn snr_db_at_distance(&mut self, a: u32, b: u32, distance_m: f64, t: SimTime) -> f64 {
         assert_ne!(a, b, "no self-channel");
+        let dense = self.pair_index(a, b);
+        self.snr_memoized(dense, t, || distance_m)
+    }
+
+    /// The composite SNR of the pair at `dense` at instant `t`: from the
+    /// same-instant memo when `t` repeats, computed (and memoized) via
+    /// [`ChannelModel::compute_snr`] otherwise. `distance_m` is a closure
+    /// so a memo hit never pays for a distance the caller derives lazily
+    /// (e.g. `sqrt` of a squared distance); in debug builds a hit
+    /// evaluates it anyway to assert the geometry agreement.
+    #[inline]
+    fn snr_memoized(&mut self, dense: usize, t: SimTime, distance_m: impl FnOnce() -> f64) -> f64 {
+        if self.pairs[dense].snr_stamp == t {
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                self.pairs[dense].snr_dist_m.to_bits(),
+                distance_m().to_bits(),
+                "same-instant queries of one pair must agree on its geometry"
+            );
+            return self.pairs[dense].snr_db;
+        }
+        self.compute_snr(dense, distance_m(), t)
+    }
+
+    /// Computes (and memoizes) the composite SNR of the pair at `dense` —
+    /// the slow path behind the same-instant memo.
+    ///
+    /// The memo is sound because a pair's positions are a pure function of
+    /// the instant (the harness memoizes node positions per event
+    /// timestamp), so a repeated `(pair, t)` query always carries the same
+    /// distance — asserted in debug builds — and the OU components consume
+    /// no randomness at `dt = 0`. Within one event a broadcast receiver is
+    /// classified by the fan-out loop and then again by its own protocol's
+    /// CSI measurement; the memo makes the second query a load instead of
+    /// a path-loss `log10` + two process touches.
+    fn compute_snr(&mut self, dense: usize, distance_m: f64, t: SimTime) -> f64 {
         let mean = self.config.mean_snr_db(distance_m);
-        let st = self.pair_state(a, b);
-        // Split borrows: sample each process with the pair's own rng.
-        let PairState { shadow, fade, rng } = st;
-        mean + shadow.sample(t, rng) + fade.sample(t, rng)
+        // Split borrows: the pair state and the shared caches are disjoint
+        // fields; sample each process with the pair's own rng.
+        let st = &mut self.pairs[dense];
+        let snr = match self.caches.as_deref_mut() {
+            Some((shadow_cache, fade_cache)) => {
+                mean + st.shadow.sample_cached(t, &mut st.rng, shadow_cache)
+                    + st.fade.sample_cached(t, &mut st.rng, fade_cache)
+            }
+            None => mean + st.shadow.sample(t, &mut st.rng) + st.fade.sample(t, &mut st.rng),
+        };
+        st.snr_stamp = t;
+        st.snr_db = snr;
+        #[cfg(debug_assertions)]
+        {
+            st.snr_dist_m = distance_m;
+        }
+        snr
     }
 
     /// The channel class between `a` and `b` at instant `t`, or `None` if
@@ -148,28 +271,82 @@ impl ChannelModel {
         t: SimTime,
     ) -> Option<ChannelClass> {
         // One displacement serves both the (squared) range check and the
-        // SNR mean; `sqrt` of the squared norm keeps the distance
-        // bit-identical to `Vec2::distance` (both avoid `hypot`, whose
-        // overflow guards cost a libm call these bounded coordinates
-        // never need).
+        // SNR mean.
         let d = pos_a - pos_b;
-        let d_sq = d.x * d.x + d.y * d.y;
-        if d_sq > self.config.tx_range_m * self.config.tx_range_m {
+        self.class_at_dist_sq(a, b, d.x * d.x + d.y * d.y, t)
+    }
+
+    /// [`ChannelModel::class_between`] with the squared pair distance
+    /// already measured, so a caller that has computed it for its own
+    /// range prefilter (e.g. the broadcast fan-out loop in the harness)
+    /// never pays the displacement — or the boundary-band `sqrt` — twice.
+    ///
+    /// `dist_sq` must be the *exact* componentwise squared distance of the
+    /// two positions, i.e. [`Vec2::distance_sq`] of either ordering (IEEE
+    /// negation is exact, so `(a−b)` and `(b−a)` square to identical bits);
+    /// anything else changes the realisation.
+    ///
+    /// Range invariant (keep in sync with `World::on_mac_tx_end` in
+    /// `rica-harness`, which prefilters by the same predicate): a link
+    /// exists iff `dist_sq <= tx_range_m²` — the boundary is **inclusive**,
+    /// and the comparison is on squared metres, never on a rounded `sqrt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn class_at_dist_sq(
+        &mut self,
+        a: u32,
+        b: u32,
+        dist_sq: f64,
+        t: SimTime,
+    ) -> Option<ChannelClass> {
+        if dist_sq > self.config.tx_range_m * self.config.tx_range_m {
             return None;
         }
+        assert_ne!(a, b, "no self-channel");
         let thresholds = self.config.class_thresholds_db;
-        let snr = self.snr_db_at_distance(a, b, d_sq.sqrt(), t);
+        let dense = self.pair_index(a, b);
+        // The lazy `sqrt` of the squared norm keeps the distance
+        // bit-identical to `Vec2::distance` (both avoid `hypot`, whose
+        // overflow guards cost a libm call these bounded coordinates never
+        // need) — and a same-instant memo hit skips it entirely.
+        let snr = self.snr_memoized(dense, t, || dist_sq.sqrt());
         Some(ChannelClass::from_snr_db(snr, thresholds))
     }
 
     /// Whether `a` and `b` are within radio range.
+    ///
+    /// This is the same **inclusive squared-distance** predicate
+    /// [`ChannelModel::class_at_dist_sq`] gates on — `in_range` is `true`
+    /// exactly when a class query for the same positions returns `Some` —
+    /// and the predicate `World::on_mac_tx_end` (rica-harness) reproduces
+    /// with its banded prefilter. `tests/channel_fastpath.rs` pins the
+    /// agreement at the range boundary so the call sites cannot drift.
     pub fn in_range(&self, pos_a: Vec2, pos_b: Vec2) -> bool {
         pos_a.distance_sq(pos_b) <= self.config.tx_range_m * self.config.tx_range_m
     }
 
     /// Number of pair processes instantiated so far (diagnostics).
     pub fn active_pairs(&self) -> usize {
-        self.instantiated
+        self.pairs.len()
+    }
+
+    /// Times the pair indirection table had to grow past its initial
+    /// sizing (diagnostics). Always 0 when [`ChannelModel::with_nodes`]
+    /// declared the true terminal count up front.
+    pub fn table_growths(&self) -> u32 {
+        self.growths
+    }
+
+    /// `(hits, misses)` of the shared OU decay caches, summed over the
+    /// shadow and fade component kinds; `None` when the cache is disabled.
+    pub fn decay_cache_stats(&self) -> Option<(u64, u64)> {
+        self.caches.as_deref().map(|(s, f)| {
+            let (sh, sm) = s.stats();
+            let (fh, fm) = f.stats();
+            (sh + fh, sm + fm)
+        })
     }
 }
 
@@ -321,6 +498,102 @@ mod tests {
     fn self_channel_panics() {
         let mut m = model(1);
         m.snr_db(4, 4, Vec2::ZERO, Vec2::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
+    fn lazy_growth_is_one_resize_per_new_high_id() {
+        let mut m = model(31);
+        let far = Vec2::new(90.0, 0.0);
+        // First query of a high id grows the triangle for that id once…
+        m.snr_db(0, 100, Vec2::ZERO, far, SimTime::ZERO);
+        assert_eq!(m.table_growths(), 1);
+        // …covering every smaller pair: no further growth below it.
+        for b in 1..100u32 {
+            m.snr_db(0, b, Vec2::ZERO, far, SimTime::ZERO);
+        }
+        assert_eq!(m.table_growths(), 1);
+        // A still-higher id grows exactly once more.
+        m.snr_db(3, 200, Vec2::ZERO, far, SimTime::ZERO);
+        assert_eq!(m.table_growths(), 2);
+        assert_eq!(m.active_pairs(), 101);
+        // Growth never perturbs realisations: same streams as pre-sized.
+        let mut pre = ChannelModel::with_nodes(ChannelConfig::default(), Rng::new(31), 201);
+        assert_eq!(
+            pre.snr_db(7, 150, Vec2::ZERO, far, SimTime::ZERO),
+            m.snr_db(7, 150, Vec2::ZERO, far, SimTime::ZERO),
+        );
+        assert_eq!(pre.table_growths(), 0);
+    }
+
+    #[test]
+    fn range_boundary_is_inclusive_and_in_range_agrees() {
+        // The invariant shared by `in_range`, `class_at_dist_sq` and the
+        // harness's banded prefilter: a link exists iff d² ≤ range²
+        // (inclusive), judged on squared metres. Pin it at and around the
+        // exact boundary so the call sites cannot drift apart.
+        let mut m = model(4);
+        let range = m.config().tx_range_m;
+        let just_outside = f64::from_bits(range.to_bits() + 1); // next float up
+        for (pair, (d, expect_link)) in
+            [(range, true), (just_outside, false), (range - 1e-9, true), (range + 1e-9, false)]
+                .into_iter()
+                .enumerate()
+        {
+            // One pair per geometry: same-instant queries of one pair must
+            // agree on its distance (the memo contract).
+            let b = pair as u32 + 1;
+            let (pa, pb) = (Vec2::ZERO, Vec2::new(d, 0.0));
+            assert_eq!(m.in_range(pa, pb), expect_link, "in_range at d = {d}");
+            assert_eq!(
+                m.class_between(0, b, pa, pb, SimTime::ZERO).is_some(),
+                expect_link,
+                "class_between at d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_at_dist_sq_matches_class_between() {
+        // Threading the caller's squared distance must not change the
+        // realisation — including when the displacement sign flips.
+        let mut by_pos = model(55);
+        let mut by_dist = model(55);
+        let pa = Vec2::new(13.0, 977.0);
+        for i in 0..200u32 {
+            let pb = Vec2::new(13.0 + i as f64 * 1.5, 975.0);
+            let t = secs(i as f64 * 0.1);
+            let want = by_pos.class_between(2, 9, pa, pb, t);
+            let got = by_dist.class_at_dist_sq(9, 2, pb.distance_sq(pa), t);
+            assert_eq!(want, got, "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn disabling_the_decay_cache_reproduces_the_realisation_exactly() {
+        let mut cached = ChannelModel::with_nodes(ChannelConfig::default(), Rng::new(77), 6);
+        let mut uncached = ChannelModel::with_nodes(
+            ChannelConfig { use_decay_cache: false, ..ChannelConfig::default() },
+            Rng::new(77),
+            6,
+        );
+        assert!(cached.decay_cache_stats().is_some());
+        assert!(uncached.decay_cache_stats().is_none());
+        let pb = Vec2::new(140.0, 20.0);
+        // Quantised (and sometimes zero) monotone gaps so the caches and
+        // the same-instant memo all engage.
+        let gaps = [0.5, 0.5, 0.0, 1.0, 0.5, 0.016384, 0.0, 1.0];
+        let mut t = 0.0;
+        for i in 0..300u32 {
+            t += gaps[i as usize % gaps.len()];
+            let at = secs(t);
+            for (a, b) in [(0u32, 1u32), (2, 4), (1, 5)] {
+                let want = uncached.snr_db(a, b, Vec2::ZERO, pb, at);
+                let got = cached.snr_db(a, b, Vec2::ZERO, pb, at);
+                assert_eq!(want.to_bits(), got.to_bits(), "pair ({a},{b}) diverged at {t}");
+            }
+        }
+        let (hits, misses) = cached.decay_cache_stats().unwrap();
+        assert!(hits > misses, "quantised schedule should mostly hit: {hits}/{misses}");
     }
 }
 

@@ -62,8 +62,39 @@ impl OuProcess {
         assert!(t >= self.last, "non-monotonic OU query: {t} < {}", self.last);
         let dt = (t - self.last).as_secs_f64();
         if dt > 0.0 {
-            let rho = (-dt / self.tau).exp();
-            let cond_sigma = self.sigma * (1.0 - rho * rho).sqrt();
+            let (rho, cond_sigma) = decay_coefficients(dt, self.sigma, self.tau);
+            self.value = self.value * rho + rng.normal_with(0.0, cond_sigma);
+            self.last = t;
+        }
+        self.value
+    }
+
+    /// [`OuProcess::sample`] with the `(ρ, conditional σ)` pair served from
+    /// a shared [`DecayCache`] instead of recomputed per call.
+    ///
+    /// Bit-identical to the uncached path for any query schedule: the cache
+    /// is keyed by the exact bits of `dt` and stores exactly what
+    /// [`decay_coefficients`] would return, and `f64::exp`/`sqrt` are
+    /// deterministic functions of their input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous query; debug-panics if the cache
+    /// was built for a different `(sigma, tau)` than this process.
+    pub fn sample_cached(&mut self, t: SimTime, rng: &mut Rng, cache: &mut DecayCache) -> f64 {
+        assert!(t >= self.last, "non-monotonic OU query: {t} < {}", self.last);
+        let dt = (t - self.last).as_secs_f64();
+        if dt > 0.0 {
+            debug_assert!(
+                cache.sigma.to_bits() == self.sigma.to_bits()
+                    && cache.tau.to_bits() == self.tau.to_bits(),
+                "DecayCache built for (sigma={}, tau={}) used with (sigma={}, tau={})",
+                cache.sigma,
+                cache.tau,
+                self.sigma,
+                self.tau
+            );
+            let (rho, cond_sigma) = cache.decay(dt);
             self.value = self.value * rho + rng.normal_with(0.0, cond_sigma);
             self.last = t;
         }
@@ -83,6 +114,103 @@ impl OuProcess {
     /// Mean-reversion time constant (seconds).
     pub fn tau(&self) -> f64 {
         self.tau
+    }
+}
+
+/// The exact conditional-law coefficients for a step of `dt` seconds:
+/// `ρ = exp(−dt/τ)` and the conditional standard deviation
+/// `σ·sqrt(1 − ρ²)`. This is the single definition both the uncached and
+/// the cached sampling paths evaluate, so they cannot drift apart.
+#[inline]
+fn decay_coefficients(dt: f64, sigma: f64, tau: f64) -> (f64, f64) {
+    let rho = (-dt / tau).exp();
+    let cond_sigma = sigma * (1.0 - rho * rho).sqrt();
+    (rho, cond_sigma)
+}
+
+/// Sentinel for "no key": `dt > 0` is a positive finite float, whose bit
+/// pattern can never be `u64::MAX` (that is a NaN encoding).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Direct-mapped table size. Event-driven simulations draw `dt` from a
+/// small vocabulary (CSI check periods, beacon intervals, IFS/backoff
+/// quanta, per-hop tx times), so a few hundred slots capture nearly all
+/// repeats; collisions just recompute.
+const TABLE_SLOTS: usize = 512;
+
+/// A memo table for the OU decay coefficients of one `(sigma, tau)`
+/// component kind, keyed by the exact bits of `dt`.
+///
+/// `OuProcess::sample` spends its time in `exp` and `sqrt`, yet both
+/// results depend only on `(dt, sigma, tau)` — and every process of a given
+/// component kind (e.g. all shadowing processes of a [`crate::ChannelModel`])
+/// shares the same `(sigma, tau)`, so one cache serves them all. Lookups
+/// try a last-hit fast slot first, then a small direct-mapped table; a miss
+/// computes and overwrites. Because `f64::exp`/`sqrt` are deterministic for
+/// identical input bits, a hit returns *exactly* what recomputation would —
+/// cache policy (size, eviction, even disabling it) can only change speed,
+/// never a realisation.
+#[derive(Debug, Clone)]
+pub struct DecayCache {
+    sigma: f64,
+    tau: f64,
+    /// Last-hit fast slot: consecutive samples frequently share one `dt`
+    /// (e.g. both OU components of a pair advance by the same step).
+    last_key: u64,
+    last_val: (f64, f64),
+    /// Direct-mapped `(key, (rho, cond_sigma))` slots.
+    table: Vec<(u64, (f64, f64))>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecayCache {
+    /// Creates an empty cache for processes with this `(sigma, tau)`.
+    pub fn new(sigma: f64, tau: f64) -> Self {
+        DecayCache {
+            sigma,
+            tau,
+            last_key: EMPTY_KEY,
+            last_val: (0.0, 0.0),
+            table: vec![(EMPTY_KEY, (0.0, 0.0)); TABLE_SLOTS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `(ρ, conditional σ)` for a step of `dt > 0` seconds — from the cache
+    /// when the exact bit pattern of `dt` has been seen, computed (and
+    /// memoized) otherwise.
+    #[inline]
+    pub fn decay(&mut self, dt: f64) -> (f64, f64) {
+        let key = dt.to_bits();
+        if key == self.last_key {
+            self.hits += 1;
+            return self.last_val;
+        }
+        // Fibonacci-hash the bits down to a table slot (top 9 bits of the
+        // product = one of the 512 slots): nearby dt values differ only in
+        // low mantissa bits, which the multiply spreads across the index.
+        const _: () = assert!(TABLE_SLOTS == 1 << 9);
+        let idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 55) as usize;
+        let slot = &mut self.table[idx];
+        let val = if slot.0 == key {
+            self.hits += 1;
+            slot.1
+        } else {
+            self.misses += 1;
+            let val = decay_coefficients(dt, self.sigma, self.tau);
+            *slot = (key, val);
+            val
+        };
+        self.last_key = key;
+        self.last_val = val;
+        val
+    }
+
+    /// `(hits, misses)` so far — diagnostics for tuning and benches.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -172,6 +300,51 @@ mod tests {
     fn zero_tau_panics() {
         OuProcess::new(1.0, 0.0, &mut Rng::new(1));
     }
+
+    #[test]
+    fn cached_sampling_is_bit_identical_on_a_repetitive_schedule() {
+        // The exact pattern the simulator produces: a handful of distinct
+        // dt values (tx durations, check periods) repeated many times.
+        let gaps = [0.016384, 1.0, 0.016384, 0.081920, 1.0, 0.0, 0.016384, 250.0];
+        let mut reference = OuProcess::new(6.0, 15.0, &mut Rng::new(21));
+        let mut cached = OuProcess::new(6.0, 15.0, &mut Rng::new(21));
+        let mut cache = DecayCache::new(6.0, 15.0);
+        let (mut rng_a, mut rng_b) = (Rng::new(22), Rng::new(22));
+        let mut t = 0.0;
+        for _ in 0..50 {
+            for gap in gaps {
+                t += gap;
+                let want = reference.sample(secs(t), &mut rng_a);
+                let got = cached.sample_cached(secs(t), &mut rng_b, &mut cache);
+                assert_eq!(want.to_bits(), got.to_bits(), "diverged at t={t}");
+            }
+        }
+        let (hits, misses) = cache.stats();
+        assert!(
+            hits > misses,
+            "repetitive schedule should mostly hit: {hits} hits, {misses} misses"
+        );
+    }
+
+    #[test]
+    fn cache_is_shared_across_processes_of_one_kind() {
+        // One cache serves every process with the same (sigma, tau) — the
+        // ChannelModel usage pattern — without cross-contamination.
+        let mut cache = DecayCache::new(4.0, 1.5);
+        let mut procs: Vec<OuProcess> =
+            (0..8).map(|i| OuProcess::new(4.0, 1.5, &mut Rng::new(100 + i))).collect();
+        let mut refs = procs.clone();
+        for step in 1..40u64 {
+            let t = secs(step as f64 * 0.25);
+            for (i, (p, r)) in procs.iter_mut().zip(refs.iter_mut()).enumerate() {
+                let mut rng_a = Rng::new(step * 64 + i as u64);
+                let mut rng_b = rng_a.clone();
+                let got = p.sample_cached(t, &mut rng_a, &mut cache);
+                let want = r.sample(t, &mut rng_b);
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +372,49 @@ mod proptests {
                 prop_assert!(x.is_finite());
                 // 8-sigma bound: astronomically unlikely to fail by chance.
                 prop_assert!(x.abs() <= 8.0 * sigma + 1e-9);
+            }
+        }
+
+        /// The cached path is bit-identical to the uncached reference for
+        /// arbitrary sorted query schedules: repeated dt values, dt = 0
+        /// (repeated instants), and far-future decorrelating jumps.
+        #[test]
+        fn cached_matches_reference_bit_for_bit(
+            seed in any::<u64>(),
+            sigma in 0.0f64..20.0,
+            tau in 0.01f64..100.0,
+            // Gap vocabulary indices + magnitudes: schedules mix exact
+            // repeats (the cache-hit regime), zero gaps, tiny steps and
+            // >> tau jumps (rho underflows towards 0).
+            gaps in proptest::collection::vec(
+                prop_oneof![
+                    Just(0.0f64),
+                    Just(0.016384),
+                    Just(1.0),
+                    0.000001f64..10.0,
+                    1_000.0f64..100_000.0,
+                ],
+                1..200,
+            ),
+        ) {
+            let mut seeder = Rng::new(seed);
+            let mut reference = OuProcess::new(sigma, tau, &mut seeder);
+            let mut cached = reference.clone();
+            let mut cache = DecayCache::new(sigma, tau);
+            let mut rng_a = Rng::new(seed ^ 0xF00D);
+            let mut rng_b = rng_a.clone();
+            let mut t = 0.0;
+            for gap in gaps {
+                t += gap;
+                let at = SimTime::from_secs_f64(t);
+                let want = reference.sample(at, &mut rng_a);
+                let got = cached.sample_cached(at, &mut rng_b, &mut cache);
+                prop_assert_eq!(want.to_bits(), got.to_bits(),
+                    "diverged at t={} (gap {})", t, gap);
+                // The generators must stay in lockstep too: a hit that
+                // consumed a different number of draws would desynchronise
+                // everything after it.
+                prop_assert_eq!(&rng_a, &rng_b);
             }
         }
     }

@@ -20,12 +20,17 @@ const ACK_TIMEOUT: SimDuration = SimDuration::from_millis(5);
 /// Backoff between data retransmission attempts.
 const DATA_RETRY_BACKOFF: SimDuration = SimDuration::from_millis(5);
 /// How far (metres) any terminal may drift before the neighbor grid's
-/// position snapshot is rebuilt. Grid queries inflate their radius by this
-/// bound, so candidate sets stay conservative (scan-identical) while the
-/// O(n) snapshot cost amortises over many events. Smaller = tighter
-/// candidate sets but more frequent rebuilds; 20 m keeps the rebuild
-/// cadence around one per simulated second at the paper's top speeds.
-const GRID_SLACK_M: f64 = 20.0;
+/// position snapshot is rebuilt. Broadcast candidate lists are cached per
+/// grid epoch anchored at the transmitter's snapshot position with the
+/// radius inflated by 2× this bound (transmitter drift + receiver drift),
+/// so candidate sets stay conservative (scan-identical) while both the
+/// O(n) snapshot cost and the per-transmitter grid query amortise over
+/// many events. Smaller = tighter candidate sets but more frequent
+/// rebuilds (and shorter-lived fan-out caches); 12 m — a rebuild roughly
+/// every 0.6 simulated seconds at the paper's top speeds — measured best
+/// across the paper-grid and 200-node trials, a little ahead of the 8 m
+/// and 20 m settings either side.
+const GRID_SLACK_M: f64 = 12.0;
 
 #[derive(Debug)]
 enum Event {
@@ -112,8 +117,14 @@ pub struct World<'s> {
     grid: SpatialGrid,
     /// Grid queries stay conservative until this instant; `None` = stale.
     grid_valid_until: Option<SimTime>,
-    /// Scratch: candidate node ids from grid queries.
-    scratch_candidates: Vec<u32>,
+    /// The per-node positions the grid was last rebuilt from (the centers
+    /// epoch-cached fan-out queries are anchored to).
+    grid_snapshot: Vec<Vec2>,
+    /// Grid epoch each node's cached broadcast candidate list was computed
+    /// under; a stale epoch means "re-query".
+    fanout_epoch: Vec<u64>,
+    /// Per-node cached broadcast candidate lists (see `broadcast_candidates`).
+    fanout: Vec<Vec<u32>>,
     /// Scratch: per-broadcast receiver outcomes.
     scratch_receivers: Vec<(usize, RxInfo)>,
     /// Scratch: expired packets surfaced by queue pops.
@@ -256,6 +267,18 @@ impl<'s> World<'s> {
             max_speed_ms.max(Waypoint::MIN_SPEED_MS)
         };
         let grid_cell = (scenario.mac.range_m / 3.0).max(GRID_SLACK_M);
+        // `on_mac_tx_end` promises every receiver that passes its MAC-range
+        // prefilter a channel class ("receiver in range has a class"), which
+        // holds only while the MAC cell is no larger than the channel's
+        // radio range. Both default to 250 m; fail loudly at build time
+        // rather than mid-trial if a scenario pulls them apart.
+        assert!(
+            scenario.mac.range_m <= scenario.channel.tx_range_m,
+            "MAC range ({} m) exceeds channel radio range ({} m): receivers between the two \
+             would pass the MAC range check yet have no channel class",
+            scenario.mac.range_m,
+            scenario.channel.tx_range_m,
+        );
         World {
             scenario,
             sim: Simulator::new(),
@@ -281,7 +304,10 @@ impl<'s> World<'s> {
             pos_stamp: vec![SimTime::MAX; scenario.nodes],
             grid: SpatialGrid::new(scenario.field, grid_cell),
             grid_valid_until: None,
-            scratch_candidates: Vec::new(),
+            grid_snapshot: vec![Vec2::ZERO; scenario.nodes],
+            // Epoch 0 predates the first rebuild, so every list starts stale.
+            fanout_epoch: vec![0; scenario.nodes],
+            fanout: vec![Vec::new(); scenario.nodes],
             scratch_receivers: Vec::new(),
             scratch_expired: Vec::new(),
         }
@@ -314,11 +340,51 @@ impl<'s> World<'s> {
             let _ = self.position(i);
         }
         self.grid.rebuild(&self.pos_cache);
+        // Keep the rebuild-instant positions: cached fan-out queries anchor
+        // to them (pos_cache itself moves on with every later event).
+        self.grid_snapshot.copy_from_slice(&self.pos_cache);
         self.grid_valid_until = Some(if self.max_speed_ms > 0.0 {
             now.saturating_add(SimDuration::from_secs_f64(GRID_SLACK_M / self.max_speed_ms))
         } else {
             SimTime::MAX
         });
+    }
+
+    /// The broadcast candidate superset for transmitter `node`, cached per
+    /// grid epoch and taken out of `self` for iteration (return it with
+    /// `self.fanout[node] = list` afterwards).
+    ///
+    /// Between grid rebuilds a node transmits many times (MAC pipeline,
+    /// beacons, CSI checks), and each transmission used to re-query the
+    /// grid. Instead, query once per `(node, epoch)`: anchored at the
+    /// transmitter's *snapshot* position with radius inflated by
+    /// `2·GRID_SLACK_M`. Within the epoch no terminal is more than
+    /// `GRID_SLACK_M` from its snapshot position, so for any receiver `j`
+    /// within exact range of the transmitter at delivery time,
+    /// `|snap_j − snap_tx| ≤ slack + range + slack` — the cached list is a
+    /// conservative superset for *every* transmission in the epoch. The
+    /// exact per-delivery range / collision / class checks (and the final
+    /// receiver sort) are unchanged, so dispatch is scan-identical.
+    fn broadcast_candidates(&mut self, node: usize) -> Vec<u32> {
+        self.ensure_grid();
+        let epoch = self.grid.epoch();
+        let mut list = std::mem::take(&mut self.fanout[node]);
+        if self.fanout_epoch[node] != epoch {
+            let radius = self.scenario.mac.range_m + 2.0 * GRID_SLACK_M;
+            let center = self.grid_snapshot[node];
+            self.grid.query_unordered_into(center, radius, &mut list);
+            // The grid answers at cell granularity — a superset of the
+            // query disc. Trim it to the disc by exact snapshot distance
+            // (plus a metre of slop dwarfing any float error in the drift
+            // bound) once per epoch, and drop the transmitter itself, so
+            // the per-transmission loop never revisits candidates that
+            // cannot possibly be in range during this epoch.
+            let keep_sq = (radius + 1.0) * (radius + 1.0);
+            let snap = &self.grid_snapshot;
+            list.retain(|&j| j as usize != node && snap[j as usize].distance_sq(center) <= keep_sq);
+            self.fanout_epoch[node] = epoch;
+        }
+        list
     }
 
     fn link_class(&mut self, a: usize, b: usize) -> Option<ChannelClass> {
@@ -393,6 +459,13 @@ impl<'s> World<'s> {
     /// Diagnostics: total events the simulator has surfaced so far.
     pub fn popped(&self) -> u64 {
         self.sim.popped()
+    }
+
+    /// Diagnostics: `(hits, misses)` of the channel's shared OU decay
+    /// caches (`None` when [`rica_channel::ChannelConfig::use_decay_cache`]
+    /// is off).
+    pub fn channel_decay_cache_stats(&self) -> Option<(u64, u64)> {
+        self.channel.decay_cache_stats()
     }
 
     /// Observability: walks the per-node `current_downstream` pointers of
@@ -549,59 +622,72 @@ impl<'s> World<'s> {
         let p_tx = self.position(node);
         // Determine the outcome at every potential receiver first, then
         // dispatch (dispatching mutates the world). Candidates come from
-        // the spatial grid — a conservative superset in *cell* order, so
-        // the per-candidate work below must stay order-independent (it
-        // touches only per-pair state and counters; survivors are sorted
-        // before dispatch) — and the exact range / collision / class
-        // checks reproduce the full O(n) scan verbatim.
-        // The exact in-range predicate is `distance (hypot) > range`, but
-        // the hypot result is otherwise unused — so decide by squared
-        // distance wherever it is conclusive, and fall back to the exact
-        // hypot only inside a ±1e-9 relative band around the boundary
-        // (astronomically rare; float error is ~1e-15 relative). Same
-        // decisions, no hypot per candidate.
-        let range_sq_hi = (range * (1.0 + 1e-9)) * (range * (1.0 + 1e-9));
-        let range_sq_lo = (range * (1.0 - 1e-9)) * (range * (1.0 - 1e-9));
-        self.ensure_grid();
-        let mut candidates = std::mem::take(&mut self.scratch_candidates);
-        // Unordered candidates: the per-candidate checks below touch
-        // independent per-pair state, so only the surviving receivers need
-        // sorting (there are far fewer of them than candidates).
-        self.grid.query_unordered_into(p_tx, range + GRID_SLACK_M, &mut candidates);
+        // the epoch-cached spatial-grid superset — in *cell* order of the
+        // snapshot query, so the per-candidate work below must stay
+        // order-independent (it touches only per-pair state and counters;
+        // survivors are sorted before dispatch) — and the exact range /
+        // collision / class checks reproduce the full O(n) scan verbatim.
+        // The in-range predicate is the same inclusive squared-metre
+        // compare as `ChannelModel::in_range` / `class_at_dist_sq` and
+        // `CommonMedium`, so anything that passes here has a class when
+        // `mac.range_m <= channel.tx_range_m` (asserted by `World::new`;
+        // boundary agreement pinned by `tests/channel_fastpath.rs`). One
+        // predicate at every site — a rounded-`sqrt` variant anywhere
+        // could disagree in the last ulp and panic the `expect` below.
+        let range_sq = range * range;
+        let candidates = self.broadcast_candidates(node);
         self.medium.begin_delivery(tx);
         let mut receivers = std::mem::take(&mut self.scratch_receivers);
         let mut target_delivered = false;
-        for &cand in &candidates {
-            let j = cand as usize;
-            if j == node || self.dead[j] {
-                continue;
-            }
-            let pj = self.position(j);
-            let d_sq = pj.distance_sq(p_tx);
-            let out_of_range =
-                d_sq > range_sq_hi || (d_sq > range_sq_lo && pj.distance(p_tx) > range);
-            if out_of_range {
-                continue;
-            }
-            if !self.medium.delivered_prepared(j as u32, pj) {
-                self.metrics.on_collision();
-                continue;
-            }
-            let class = self
-                .channel
-                .class_between(node as u32, j as u32, p_tx, pj, now)
-                .expect("receiver in range has a class");
-            let info = RxInfo { from: NodeId(node as u32), class };
-            match out.target {
-                None => receivers.push((j, info)),
-                Some(t) if t.index() == j => {
-                    target_delivered = true;
-                    receivers.push((j, info));
+        {
+            // Borrow the fields the filter touches once, outside the loop:
+            // the per-candidate work is pure loads/stores on disjoint parts
+            // of the world (position memo, medium, channel, counters), and
+            // routing everything through `&mut self` methods would re-read
+            // them per candidate. The cached list never contains the
+            // transmitter itself (see `broadcast_candidates`).
+            let World { nodes, dead, pos_cache, pos_stamp, medium, channel, metrics, .. } = self;
+            for &cand in &candidates {
+                let j = cand as usize;
+                if dead[j] {
+                    continue;
                 }
-                Some(_) => {} // MAC-filtered: not addressed to j
+                // Inlined `World::position`: one evaluation per node per
+                // event timestamp.
+                let pj = if pos_stamp[j] == now {
+                    pos_cache[j]
+                } else {
+                    let p = nodes[j].mobility.position_at(now);
+                    pos_cache[j] = p;
+                    pos_stamp[j] = now;
+                    p
+                };
+                let d_sq = pj.distance_sq(p_tx);
+                if d_sq > range_sq {
+                    continue;
+                }
+                if !medium.delivered_prepared(cand, pj) {
+                    metrics.on_collision();
+                    continue;
+                }
+                // The CSI measurement reuses the squared distance measured
+                // for the range check above (bit-identical: IEEE negation
+                // is exact, so the displacement order cannot matter).
+                let class = channel
+                    .class_at_dist_sq(node as u32, cand, d_sq, now)
+                    .expect("receiver in range has a class");
+                let info = RxInfo { from: NodeId(node as u32), class };
+                match out.target {
+                    None => receivers.push((j, info)),
+                    Some(t) if t.index() == j => {
+                        target_delivered = true;
+                        receivers.push((j, info));
+                    }
+                    Some(_) => {} // MAC-filtered: not addressed to j
+                }
             }
         }
-        self.scratch_candidates = candidates;
+        self.fanout[node] = candidates;
         // Protocol side effects depend on delivery order: dispatch in
         // ascending node order, exactly like the full scan did.
         receivers.sort_unstable_by_key(|&(j, _)| j);

@@ -39,6 +39,10 @@ pub struct SpatialGrid {
     items: Vec<u32>,
     /// Scratch cursor per cell for the counting sort.
     cursors: Vec<u32>,
+    /// Bumped on every [`SpatialGrid::rebuild`]: anything derived from the
+    /// snapshot (e.g. a cached candidate list) is valid exactly while the
+    /// epoch it was computed under is current.
+    epoch: u64,
 }
 
 impl SpatialGrid {
@@ -64,6 +68,7 @@ impl SpatialGrid {
             starts: vec![0; cols * rows + 1],
             items: Vec::new(),
             cursors: vec![0; cols * rows],
+            epoch: 0,
         }
     }
 
@@ -82,6 +87,7 @@ impl SpatialGrid {
     /// points are never lost — only binned approximately, which the
     /// caller's exact re-check absorbs.
     pub fn rebuild(&mut self, positions: &[Vec2]) {
+        self.epoch += 1;
         let cells = self.cols * self.rows;
         let mut counts = std::mem::take(&mut self.cursors);
         counts.fill(0);
@@ -151,6 +157,14 @@ impl SpatialGrid {
     pub fn dims(&self) -> (usize, usize) {
         (self.cols, self.rows)
     }
+
+    /// Snapshot generation: 0 before the first [`SpatialGrid::rebuild`],
+    /// then incremented by each rebuild. Callers caching per-snapshot
+    /// derived data (candidate lists, overlap sets) key it by this value
+    /// and drop it when the epoch moves on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +228,17 @@ mod tests {
         assert_eq!(out, vec![0]);
         g.query_into(Vec2::ZERO, 1.0, &mut out);
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn epoch_counts_rebuilds() {
+        let mut g = SpatialGrid::new(Field::PAPER, 125.0);
+        assert_eq!(g.epoch(), 0);
+        g.rebuild(&[Vec2::ZERO]);
+        assert_eq!(g.epoch(), 1);
+        g.rebuild(&[Vec2::ZERO]);
+        g.rebuild(&[Vec2::new(5.0, 5.0)]);
+        assert_eq!(g.epoch(), 3);
     }
 
     #[test]

@@ -146,6 +146,16 @@ struct Calendar<E> {
     /// Events currently stored in the ring (the overflow heap is counted
     /// separately).
     stored: usize,
+    /// Occupancy bitmap: bit `b` of `occupied[b / 64]` is set iff bucket
+    /// `b` is non-empty. The cursor's hunt for the next event jumps empty
+    /// spans with `trailing_zeros` instead of probing bucket by bucket —
+    /// the dominant pop pattern (sparse short-horizon retries around a
+    /// sliding `now`) otherwise walks dozens of empty buckets per pop.
+    occupied: Vec<u64>,
+    /// Second level: bit `w` of `summary[w / 64]` is set iff
+    /// `occupied[w] != 0`, so a hunt across a mostly-empty ring touches
+    /// O(ring / 4096) words.
+    summary: Vec<u64>,
 }
 
 impl<E> Calendar<E> {
@@ -154,20 +164,75 @@ impl<E> Calendar<E> {
         ((t_ns >> self.shift) as usize) & self.mask
     }
 
+    #[inline]
+    fn mark_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        self.summary[idx / 4096] |= 1u64 << ((idx / 64) % 64);
+    }
+
+    #[inline]
+    fn mark_empty(&mut self, idx: usize) {
+        let word = idx / 64;
+        self.occupied[word] &= !(1u64 << (idx % 64));
+        if self.occupied[word] == 0 {
+            self.summary[word / 64] &= !(1u64 << (word % 64));
+        }
+    }
+
+    /// First occupied bucket at ring index ≥ `from` (no wrap), or `None`.
+    #[inline]
+    fn next_occupied_at_or_after(&self, from: usize) -> Option<usize> {
+        if from > self.mask {
+            return None;
+        }
+        let word = from / 64;
+        let bits = self.occupied[word] & (u64::MAX << (from % 64));
+        if bits != 0 {
+            return Some(word * 64 + bits.trailing_zeros() as usize);
+        }
+        // Hunt the remaining words through the summary level.
+        let sword = word / 64;
+        let sbits = self.summary[sword] & (u64::MAX << ((word % 64) + 1).min(63));
+        let sbits = if (word % 64) == 63 { 0 } else { sbits };
+        if sbits != 0 {
+            let w = sword * 64 + sbits.trailing_zeros() as usize;
+            return Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
+        }
+        for s in (sword + 1)..self.summary.len() {
+            if self.summary[s] != 0 {
+                let w = s * 64 + self.summary[s].trailing_zeros() as usize;
+                return Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
     /// Advances the cursor to the first non-empty bucket and returns its
     /// index. Caller guarantees `stored > 0`, which (with the era
     /// invariant) guarantees a hit before `era_end_ns`.
+    ///
+    /// Ring order *is* time order within an era: the era spans exactly one
+    /// rotation, so the hunt runs from the cursor's ring position to the
+    /// end of the ring, then wraps once to the front (buckets before the
+    /// cursor hold the era's later, wrapped windows).
     #[inline]
     fn advance_to_nonempty(&mut self) -> usize {
-        let width = 1u64 << self.shift;
-        loop {
-            let idx = self.bucket_of(self.cursor_ns);
-            if !self.buckets[idx].is_empty() {
-                return idx;
-            }
-            self.cursor_ns += width;
-            debug_assert!(self.cursor_ns < self.era_end_ns, "stored > 0 but era exhausted");
+        let start = self.bucket_of(self.cursor_ns);
+        if !self.buckets[start].is_empty() {
+            return start;
         }
+        let (idx, steps) = match self.next_occupied_at_or_after(start + 1) {
+            Some(idx) => (idx, idx - start),
+            None => {
+                let idx =
+                    self.next_occupied_at_or_after(0).expect("stored > 0 but no occupied bucket");
+                (idx, self.buckets.len() - start + idx)
+            }
+        };
+        self.cursor_ns += (steps as u64) << self.shift;
+        debug_assert!(self.cursor_ns < self.era_end_ns, "stored > 0 but era exhausted");
+        debug_assert_eq!(self.bucket_of(self.cursor_ns), idx);
+        idx
     }
 
     /// Starts the era containing the overflow minimum and migrates every
@@ -183,6 +248,7 @@ impl<E> Calendar<E> {
             let ev = overflow.pop().expect("peeked");
             let idx = self.bucket_of(ev.time.as_nanos());
             self.buckets[idx].push(ev);
+            self.mark_occupied(idx);
             self.stored += 1;
         }
     }
@@ -306,6 +372,7 @@ impl<E> EventQueue<E> {
                 } else if t_ns < cal.era_end_ns {
                     let idx = cal.bucket_of(t_ns);
                     cal.buckets[idx].push(item);
+                    cal.mark_occupied(idx);
                     cal.stored += 1;
                     // Occupancy degenerated: grow the ring and re-tune the
                     // width from the gaps observed *now*.
@@ -368,12 +435,15 @@ impl<E> EventQueue<E> {
             cursor_ns,
             era_end_ns,
             stored: 0,
+            occupied: vec![0; nbuckets.div_ceil(64)],
+            summary: vec![0; nbuckets.div_ceil(4096)],
         };
         for item in all {
             let t_ns = item.time.as_nanos();
             if t_ns < era_end_ns {
                 let idx = cal.bucket_of(t_ns);
                 cal.buckets[idx].push(item);
+                cal.mark_occupied(idx);
                 cal.stored += 1;
             } else {
                 self.overflow.push(item);
@@ -414,7 +484,11 @@ impl<E> EventQueue<E> {
             if cal.stored > 0 {
                 let idx = cal.advance_to_nonempty();
                 cal.stored -= 1;
-                break cal.buckets[idx].pop().expect("non-empty bucket");
+                let item = cal.buckets[idx].pop().expect("non-empty bucket");
+                if cal.buckets[idx].is_empty() {
+                    cal.mark_empty(idx);
+                }
+                break item;
             }
             if self.overflow.is_empty() {
                 return None;

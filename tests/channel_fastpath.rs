@@ -1,0 +1,88 @@
+//! The channel-sampling fast path must be invisible in the results.
+//!
+//! PR 5 made the per-reception CSI path cheaper three ways — a shared
+//! dt-keyed OU decay cache, a per-pair same-instant SNR memo, and
+//! epoch-cached broadcast candidate lists — all required to be
+//! **bit-identical**: for a fixed seed, a trial must produce exactly the
+//! same `TrialSummary` with every fast path enabled, disabled, or tuned
+//! differently. These tests pin that at trial level; the pinned hashes in
+//! `tests/golden_metrics.rs` (recorded before any of this existed) pin it
+//! against history.
+
+use rica_channel::ChannelConfig;
+use rica_harness::{Flow, ProtocolKind, Scenario};
+use rica_mobility::Vec2;
+use rica_net::NodeId;
+
+/// A mobile multi-hop scenario small enough to run for every protocol but
+/// busy enough to exercise the decay cache, the same-instant memo and the
+/// fan-out cache (broadcasts, retries, CSI checks, data retries).
+fn busy_scenario(seed: u64) -> Scenario {
+    Scenario::builder()
+        .nodes(16)
+        .flows(4)
+        .rate_pps(10.0)
+        .duration_secs(15.0)
+        .mean_speed_kmh(54.0)
+        .seed(seed)
+        .build()
+}
+
+/// Disabling the OU decay cache must reproduce every trial realisation
+/// exactly: the cache stores what recomputation would produce, keyed by
+/// the exact bits of `dt`, so it can only change speed — never a value.
+#[test]
+fn decay_cache_disabled_reproduces_trials_exactly() {
+    let cached = busy_scenario(42);
+    let mut uncached = busy_scenario(42);
+    uncached.channel = ChannelConfig { use_decay_cache: false, ..uncached.channel.clone() };
+    assert!(cached.channel.use_decay_cache, "cache must default on");
+    for kind in ProtocolKind::ALL {
+        let want = uncached.run(kind);
+        let got = cached.run(kind);
+        assert_eq!(want, got, "{kind}: decay cache changed the realisation");
+    }
+}
+
+/// The range-boundary invariant shared by `ChannelModel::in_range`,
+/// `ChannelModel::class_at_dist_sq` and the banded prefilter in
+/// `World::on_mac_tx_end`: a link exists iff distance ≤ range,
+/// **inclusive**, judged on squared metres. Two terminals pinned exactly
+/// one radio range apart must communicate; one float past it, never.
+#[test]
+fn range_boundary_is_a_link_end_to_end() {
+    let range = 250.0f64;
+    let at_boundary = |gap: f64| {
+        let s = Scenario::builder()
+            .nodes(2)
+            .duration_secs(10.0)
+            .mean_speed_kmh(0.0)
+            .seed(7)
+            // Anchored at x = 0 so the pair displacement is exactly `gap`
+            // (a non-zero anchor would round the sum back onto the grid of
+            // the larger coordinate).
+            .pinned_positions(vec![Vec2::new(0.0, 500.0), Vec2::new(gap, 500.0)])
+            .explicit_flows(vec![Flow::new(NodeId(0), NodeId(1), 10.0, 512)])
+            .build();
+        s.run(ProtocolKind::Rica)
+    };
+    let on = at_boundary(range);
+    assert!(on.generated > 0 && on.delivered > 0, "exactly at range must be a usable link");
+    // The next representable distance beyond the range: no link at all.
+    let off = at_boundary(f64::from_bits(range.to_bits() + 1));
+    assert!(off.generated > 0, "traffic still generated");
+    assert_eq!(off.delivered, 0, "one float past the range must deliver nothing");
+}
+
+/// The epoch-cached fan-out and the spatial grid are conservative
+/// prefilters only: a mobile trial must not depend on grid internals.
+/// Cross-check a fixed seed against itself run twice (a cheap canary for
+/// any accidental shared-state leak between the cached candidate lists,
+/// the position memo and the pair table).
+#[test]
+fn repeated_runs_share_no_state() {
+    let s = busy_scenario(9);
+    for kind in [ProtocolKind::Rica, ProtocolKind::LinkState] {
+        assert_eq!(s.run(kind), s.run(kind), "{kind}: repeated run diverged");
+    }
+}

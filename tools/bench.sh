@@ -3,11 +3,14 @@
 #
 #   tools/bench.sh record <label>   build release, run the micro benches and
 #                                   the hotloop recorder, append a snapshot
-#   tools/bench.sh compare [--max-regress <pct>]
+#   tools/bench.sh compare [--max-regress <pct>] [--markdown]
 #                                   print first-vs-last snapshot speedups;
 #                                   with --max-regress, exit 2 if the last
 #                                   snapshot regressed more than <pct>% on
-#                                   any entry vs the previous one
+#                                   any entry vs the previous one; with
+#                                   --markdown, emit the table as GitHub
+#                                   markdown (PR descriptions / CI job
+#                                   summaries)
 #   tools/bench.sh smoke [pct]      quick CI gate: run the quick workloads,
 #                                   append them to a scratch copy of the
 #                                   committed quick baseline
@@ -48,6 +51,15 @@ case "${1:-}" in
       --quick --label ci-smoke --json "$scratch"
     cargo run --release -q -p rica-bench --bin hotloop -- \
       --compare --json "$scratch" --max-regress "$pct"
+    # Surface the per-entry speedup table in the CI job summary, when the
+    # runner provides one (the gate above already failed on a regression).
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+      {
+        echo "### Bench smoke: quick hot-loop vs committed baseline"
+        cargo run --release -q -p rica-bench --bin hotloop -- \
+          --compare --json "$scratch" --markdown
+      } >> "$GITHUB_STEP_SUMMARY"
+    fi
     ;;
   *)
     echo "usage: tools/bench.sh {record <label>|compare [--max-regress <pct>]|smoke [pct]}" >&2
