@@ -27,6 +27,9 @@
 //! * `trial/workload_burst/RICA` — the same 200-node grid at the paper's
 //!   20 pkt/s overload driven through `rica-traffic` (on/off bursts,
 //!   bimodal sizes): the workload-generation path's perf trajectory.
+//! * `micro/trace_noop_overhead` — the paper-grid RICA trial with a
+//!   disabled (`NoopSink`) trace sink installed; compare against
+//!   `trial/paper50/RICA` to read the observability tax (kept ≤2%).
 //! * `micro/…` — event-queue, channel-sampling and mobility loops with
 //!   fixed iteration counts (seconds per fixed workload, comparable
 //!   across snapshots).
@@ -40,9 +43,10 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use rica_channel::{ChannelConfig, ChannelModel, DecayCache, OuProcess};
-use rica_harness::{ProtocolKind, Scenario};
+use rica_harness::{ProtocolKind, Scenario, World};
 use rica_mobility::{Field, SpatialGrid, Vec2, Waypoint};
 use rica_sim::{EventQueue, Rng, SimTime};
+use rica_trace::NoopSink;
 use rica_traffic::{ArrivalSpec, Dwell, SizeSpec, WorkloadSpec};
 
 struct Opts {
@@ -155,6 +159,25 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
     let secs = time_min(reps, || burst.run_seeded(ProtocolKind::Rica, 1));
     entries.push(("trial/workload_burst/RICA".to_string(), secs));
     eprintln!("  timed trial/workload_burst/RICA");
+
+    // The observability tax when nothing listens: the paper-grid RICA
+    // trial with a `NoopSink` installed, so every emission site takes its
+    // `Some(tracer)` branch and discards the event. Compare against
+    // `trial/paper50/RICA` above — the ratio is the disabled-sink
+    // overhead the trace layer promises to keep within noise (≤2%).
+    let s = Scenario::builder()
+        .mean_speed_kmh(36.0)
+        .rate_pps(10.0)
+        .duration_secs(trial_secs)
+        .seed(1)
+        .build();
+    let secs = time_min(reps, || {
+        let mut world = World::new(&s, ProtocolKind::Rica, 1);
+        world.enable_trace(Box::new(NoopSink));
+        world.run()
+    });
+    entries.push(("micro/trace_noop_overhead".to_string(), secs));
+    eprintln!("  timed micro/trace_noop_overhead");
 
     // Substrate micro-loops (fixed op counts → comparable seconds).
     let micro_iters = if quick { 10_000u64 } else { 200_000 };

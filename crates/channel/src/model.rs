@@ -339,6 +339,28 @@ impl ChannelModel {
         self.growths
     }
 
+    /// Census of the **last-observed** class of every instantiated pair,
+    /// indexed by [`ChannelClass::level`] (A = 0 … D = 3).
+    ///
+    /// Read-only observability: it re-classifies each pair's memoized
+    /// composite SNR against the configured thresholds and never advances
+    /// an OU process or consumes randomness, so it is safe to call from
+    /// trace/time-series code without perturbing determinism. Pairs whose
+    /// SNR was never computed (instantiated but not yet queried) are not
+    /// counted, and the recorded class is whatever the *last* query saw —
+    /// no range re-check happens here.
+    pub fn class_census(&self) -> [usize; 4] {
+        let thresholds = self.config.class_thresholds_db;
+        let mut census = [0usize; 4];
+        for pair in &self.pairs {
+            if pair.snr_stamp != SimTime::MAX {
+                let class = ChannelClass::from_snr_db(pair.snr_db, thresholds);
+                census[class.level() as usize] += 1;
+            }
+        }
+        census
+    }
+
     /// `(hits, misses)` of the shared OU decay caches, summed over the
     /// shadow and fade component kinds; `None` when the cache is disabled.
     pub fn decay_cache_stats(&self) -> Option<(u64, u64)> {

@@ -3,8 +3,8 @@
 use crate::state::{Candidate, DestState, FlowKey, SourceState, Tables};
 use crate::{PossibleRoute, RouteEntry};
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, KeyMap, NodeCtx, NodeId, PendingBuffer, RoutingProtocol,
-    RxInfo, Timer,
+    ControlPacket, DataPacket, DropReason, KeyMap, NodeCtx, NodeId, PendingBuffer, RoutePhase,
+    RoutingProtocol, RxInfo, Timer,
 };
 
 /// The RICA protocol (§II of the paper). One instance runs on every
@@ -52,6 +52,9 @@ impl Rica {
         let bcast_id = self.next_rreq_bcast;
         self.next_rreq_bcast += 1;
         let me = ctx.id();
+        let phase =
+            if retries == 0 { RoutePhase::DiscoveryStart } else { RoutePhase::DiscoveryRetry };
+        ctx.note_route_phase(phase, me, dst);
         ctx.broadcast(ControlPacket::Rreq { src: me, dst, bcast_id, csi_hops: 0.0, topo_hops: 0 });
         let timeout = ctx.config().rreq_retry_timeout;
         let token = ctx.set_timer(timeout, Timer::RreqRetry { dst });
@@ -98,6 +101,7 @@ impl Rica {
             (me, dst),
             RouteEntry { upstream: None, downstream: Some(cand.via), last_used: now },
         );
+        ctx.note_route_phase(RoutePhase::RouteSelected, me, dst);
         self.flush_pending(ctx, dst);
     }
 
@@ -459,6 +463,7 @@ impl Rica {
         let me = ctx.id();
         let now = ctx.now();
         let period = ctx.config().csi_check_period;
+        ctx.note_route_phase(RoutePhase::RouteLost, me, dst);
         self.t.routes.remove(&(me, dst));
         let st = self.t.sources.get_or_insert_with(dst, SourceState::default);
         st.next_hop = None;

@@ -28,6 +28,10 @@ pub struct SweepPlan<P> {
     /// all cells share common random numbers across the protocol axis
     /// (paired comparison, as the paper's 25-trial averages do).
     pub base_seed: u64,
+    /// Cells (plan-order indices) whose trials the runner should trace.
+    /// Empty (the default) means no tracing; the sweep JSON artifact is
+    /// unaffected either way — tracing writes separate per-trial files.
+    pub traced_cells: Vec<usize>,
 }
 
 /// One executable unit: a single seeded trial of a single grid cell.
@@ -100,6 +104,7 @@ impl<P: Copy> SweepPlan<P> {
             workloads: vec![WorkloadSpec::default()],
             trials,
             base_seed,
+            traced_cells: Vec::new(),
         };
         assert!(plan.cell_count() > 0, "sweep plan has an empty axis");
         assert!(plan.trials > 0, "sweep plan needs at least one trial per cell");
@@ -119,6 +124,19 @@ impl<P: Copy> SweepPlan<P> {
         }
         self.workloads = workloads;
         self
+    }
+
+    /// Marks cells (by plan-order index) for tracing by trace-aware
+    /// runners; indexes are validated lazily by [`SweepPlan::cell_traced`]
+    /// (an out-of-range index simply never matches).
+    pub fn with_traced_cells(mut self, cells: Vec<usize>) -> SweepPlan<P> {
+        self.traced_cells = cells;
+        self
+    }
+
+    /// Whether the plan marks `cell` for tracing.
+    pub fn cell_traced(&self, cell: usize) -> bool {
+        self.traced_cells.contains(&cell)
     }
 
     /// Number of grid cells (protocols × speeds × node counts × workloads).

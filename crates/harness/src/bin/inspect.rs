@@ -1,30 +1,103 @@
 //! Diagnostic: run one trial and dump the full metric breakdown.
 //!
 //! ```text
-//! cargo run --release -p rica-harness --bin inspect -- [protocol] [speed_kmh] [rate_pps] [secs]
+//! cargo run --release -p rica-harness --bin inspect -- \
+//!     [protocol] [speed_kmh] [rate_pps] [secs] \
+//!     [--trace[=PATH]] [--timeseries[=PATH]] [--profile]
 //! ```
+//!
+//! Positional arguments select the trial (defaults: RICA, 36 km/h,
+//! 10 pkt/s, 60 s). The observability flags are independent opt-ins:
+//!
+//! * `--trace[=PATH]` streams a JSONL event trace (default
+//!   `trace.jsonl`);
+//! * `--timeseries[=PATH]` writes the fixed-interval sampler artifact
+//!   (default `timeseries.json`, 1 s interval);
+//! * `--profile` prints per-event-kind dispatch profiling and the
+//!   unified [`rica_metrics::WorldDiagnostics`] snapshot.
+//!
+//! Tracing and sampling never change the numbers printed below — the
+//! summary is bit-identical with every combination of the flags
+//! (`--profile` only adds output, never changes the shared lines).
 
-use rica_harness::{ProtocolKind, Scenario};
+use rica_harness::{ProtocolKind, Scenario, World};
+use rica_sim::SimDuration;
+use rica_trace::JsonlSink;
+
+/// Interval between time-series samples.
+const SAMPLE_EVERY: SimDuration = SimDuration::from_secs(1);
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let kind = match args.first().map(|s| s.to_lowercase()) {
+    let mut positional: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut timeseries_path: Option<String> = None;
+    let mut profile = false;
+    for arg in std::env::args().skip(1) {
+        if let Some(rest) = arg.strip_prefix("--trace") {
+            trace_path = Some(parse_path(rest, "trace.jsonl"));
+        } else if let Some(rest) = arg.strip_prefix("--timeseries") {
+            timeseries_path = Some(parse_path(rest, "timeseries.json"));
+        } else if arg == "--profile" {
+            profile = true;
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag {arg}");
+            std::process::exit(2);
+        } else {
+            positional.push(arg);
+        }
+    }
+    let kind = match positional.first().map(|s| s.to_lowercase()) {
         Some(ref s) if s == "bgca" => ProtocolKind::Bgca,
         Some(ref s) if s == "abr" => ProtocolKind::Abr,
         Some(ref s) if s == "aodv" => ProtocolKind::Aodv,
         Some(ref s) if s == "linkstate" || s == "ls" => ProtocolKind::LinkState,
         _ => ProtocolKind::Rica,
     };
-    let speed: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(36.0);
-    let rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10.0);
-    let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(60.0);
+    let speed: f64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(36.0);
+    let rate: f64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let secs: f64 = positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(60.0);
     let s = Scenario::builder()
         .mean_speed_kmh(speed)
         .rate_pps(rate)
         .duration_secs(secs)
         .seed(1)
         .build();
-    let r = s.run(kind);
+    let mut world = World::new(&s, kind, s.seed);
+    if let Some(path) = &trace_path {
+        match JsonlSink::create(path) {
+            Ok(sink) => world.enable_trace(Box::new(sink)),
+            Err(err) => {
+                eprintln!("cannot create {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if timeseries_path.is_some() {
+        world.enable_timeseries(SAMPLE_EVERY);
+    }
+    if profile {
+        world.enable_profiling();
+    }
+    world.start();
+    let end = world.now() + s.duration;
+    world.step_until(end);
+    if let Some(path) = &trace_path {
+        if let Some(mut sink) = world.take_trace_sink() {
+            sink.flush();
+            let written = sink.downcast_mut::<JsonlSink>().map(|s| s.written()).unwrap_or_default();
+            eprintln!("trace: {written} events -> {path}");
+        }
+    }
+    if let Some(path) = &timeseries_path {
+        if let Some(rec) = world.take_timeseries() {
+            match std::fs::write(path, rec.to_json()) {
+                Ok(()) => eprintln!("timeseries: {} samples -> {path}", rec.rows().len()),
+                Err(err) => eprintln!("cannot write {path}: {err}"),
+            }
+        }
+    }
+    let diagnostics = profile.then(|| world.diagnostics());
+    let r = world.finish();
     println!("protocol            {}", kind.name());
     println!("generated           {}", r.generated);
     println!("delivered           {} ({:.1}%)", r.delivered, r.delivery_pct());
@@ -49,5 +122,44 @@ fn main() {
     println!("-- control bits by kind (kbps)");
     for (kind, bits) in &r.control_bits {
         println!("   {kind:<10?} {:>8.2}", *bits as f64 / secs / 1e3);
+    }
+    if let Some(diag) = diagnostics {
+        println!("-- world diagnostics");
+        println!("   pending events     {}", diag.pending_events);
+        println!("   popped events      {}", diag.popped_events);
+        println!("   calendar re-tunes  {}", diag.calendar_retunes);
+        println!("   channel pairs      {}", diag.channel_active_pairs);
+        println!("   table growths      {}", diag.channel_table_growths);
+        if let Some((hits, misses)) = diag.decay_cache {
+            println!("   decay cache        {hits} hits / {misses} misses");
+        }
+        println!("   medium txs         {}", diag.medium_txs);
+        if let Some(prof) = &diag.event_profile {
+            println!("-- event profile (kind: count, mean ns, max ns)");
+            for row in &prof.kinds {
+                if row.count == 0 {
+                    continue;
+                }
+                println!(
+                    "   {:<12} {:>10}  {:>8.0}  {:>9}",
+                    row.kind,
+                    row.count,
+                    row.mean_ns(),
+                    row.max_ns
+                );
+            }
+        }
+    }
+}
+
+/// `""` → the default; `"=x"` → `x`; anything else is a usage error.
+fn parse_path(rest: &str, default: &str) -> String {
+    match rest.strip_prefix('=') {
+        Some(path) if !path.is_empty() => path.to_string(),
+        None if rest.is_empty() => default.to_string(),
+        _ => {
+            eprintln!("bad flag syntax near {rest:?}; use --flag or --flag=PATH");
+            std::process::exit(2);
+        }
     }
 }

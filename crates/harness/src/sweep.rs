@@ -9,8 +9,11 @@
 //! axes (nodes, mean speed, workload) before running one seeded
 //! [`World`] trial.
 
+use std::path::Path;
+
 use rica_exec::{ExecOptions, SweepPlan, SweepResult, TrialJob};
 use rica_metrics::TrialSummary;
+use rica_trace::JsonlSink;
 use rica_traffic::WorkloadSpec;
 
 use crate::{ProtocolKind, Scenario, World};
@@ -29,6 +32,17 @@ pub fn run_job(
     workload: &WorkloadSpec,
     job: &TrialJob<ProtocolKind>,
 ) -> TrialSummary {
+    let scenario = job_scenario(base, workload, job);
+    World::new(&scenario, job.protocol, job.seed).run()
+}
+
+/// The job's concrete scenario: the template with the swept axes applied
+/// (and the template invariants re-checked — see [`run_job`]).
+fn job_scenario(
+    base: &Scenario,
+    workload: &WorkloadSpec,
+    job: &TrialJob<ProtocolKind>,
+) -> Scenario {
     assert!(job.nodes >= 2, "sweep node count must be at least 2, got {}", job.nodes);
     if let Some(pinned) = &base.pinned_positions {
         assert!(
@@ -43,7 +57,7 @@ pub fn run_job(
     scenario.nodes = job.nodes;
     scenario.mean_speed_kmh = job.speed_kmh;
     scenario.workload = workload.clone();
-    World::new(&scenario, job.protocol, job.seed).run()
+    scenario
 }
 
 /// Executes `plan` over the worker pool: every job runs `base` with the
@@ -59,6 +73,42 @@ pub fn run_plan(
     opts: &ExecOptions,
 ) -> SweepResult<ProtocolKind> {
     plan.run(opts, |job| run_job(base, &plan.workloads[job.workload], job))
+}
+
+/// Like [`run_plan`], but jobs of cells marked by
+/// [`SweepPlan::with_traced_cells`] additionally stream a JSONL event
+/// trace into `trace_dir/trace_c<cell>_t<trial>.jsonl`.
+///
+/// Every job writes its own file, so worker scheduling cannot interleave
+/// traces, and tracing never touches the summaries: the sweep result —
+/// and the sweep JSON rendered from it — is bit-identical to
+/// [`run_plan`]'s (pinned by the tests here and the trace-identity
+/// suite).
+///
+/// # Panics
+///
+/// Panics if `trace_dir` cannot be created.
+pub fn run_plan_traced(
+    plan: &SweepPlan<ProtocolKind>,
+    base: &Scenario,
+    opts: &ExecOptions,
+    trace_dir: &Path,
+) -> SweepResult<ProtocolKind> {
+    std::fs::create_dir_all(trace_dir).expect("create trace directory");
+    plan.run(opts, |job| {
+        let workload = &plan.workloads[job.workload];
+        if !plan.cell_traced(job.cell) {
+            return run_job(base, workload, job);
+        }
+        let scenario = job_scenario(base, workload, job);
+        let mut world = World::new(&scenario, job.protocol, job.seed);
+        let path = trace_dir.join(format!("trace_c{}_t{}.jsonl", job.cell, job.trial));
+        match JsonlSink::create(&path) {
+            Ok(sink) => world.enable_trace(Box::new(sink)),
+            Err(err) => eprintln!("warning: cannot trace to {}: {err}", path.display()),
+        }
+        world.run()
+    })
 }
 
 /// Renders a labeled set of executed sweeps as one JSON artifact
@@ -177,6 +227,29 @@ mod tests {
         // The artifact names the axis and the cells.
         let doc = rica_exec::sweep_json(&result, |k| k.name().to_string(), &[]);
         assert!(doc.contains(&format!("\"workload\":\"{}\"", bursty.label())), "{doc}");
+    }
+
+    #[test]
+    fn traced_plan_matches_untraced_and_writes_files() {
+        let base = tiny_base();
+        let plan =
+            SweepPlan::new(vec![ProtocolKind::Rica, ProtocolKind::Aodv], vec![18.0], vec![6], 2, 7)
+                .with_traced_cells(vec![1]);
+        let dir = std::env::temp_dir().join(format!("rica_sweep_trace_{}", std::process::id()));
+        let traced = run_plan_traced(&plan, &base, &ExecOptions::serial(), &dir);
+        let plain = run_plan(&plan, &base, &ExecOptions::serial());
+        assert_eq!(traced.cells.len(), plain.cells.len());
+        for (a, b) in traced.cells.iter().zip(&plain.cells) {
+            assert_eq!(a.trials, b.trials, "tracing must not perturb summaries");
+        }
+        // Only cell 1's trials traced; one file per (cell, trial).
+        assert!(!dir.join("trace_c0_t0.jsonl").exists());
+        for trial in 0..2 {
+            let path = dir.join(format!("trace_c1_t{trial}.jsonl"));
+            let body = std::fs::read_to_string(&path).expect("trace file written");
+            assert!(body.lines().count() > 0, "trace for trial {trial} is empty");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

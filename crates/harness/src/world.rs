@@ -1,16 +1,17 @@
 //! The discrete-event world: nodes, MAC, data plane, dispatch loop.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rica_channel::{ChannelClass, ChannelModel};
 use rica_mac::{backoff_delay, CommonMedium, TxId};
-use rica_metrics::{Metrics, TrialSummary};
+use rica_metrics::{Metrics, TrialSummary, WorldDiagnostics};
 use rica_mobility::{kmh_to_ms, SpatialGrid, Vec2, Waypoint};
 use rica_net::{
     ControlPacket, DataPacket, DropReason, FlowId, LinkQueue, NodeCtx, NodeId, ProtocolConfig,
-    RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
+    RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
 };
 use rica_sim::{EventToken, Rng, SimDuration, SimTime, Simulator};
+use rica_trace::{EventProfiler, TimeseriesRecorder, TraceEvent, TraceSink};
 use rica_traffic::TrafficModel;
 
 use crate::scenario::{Flow, ProtocolKind, Scenario};
@@ -46,6 +47,29 @@ enum Event {
     ProtoTimer { node: usize, timer: Timer, token: u64 },
     /// Failure injection: the node crashes.
     Crash { node: usize },
+    /// Fixed-interval time-series sample (only scheduled when the trial
+    /// enabled the sampler; reads state, draws no randomness).
+    Sample,
+}
+
+/// Stable labels for [`Event`] kinds, in discriminant order (profiling
+/// rows and reports).
+const EVENT_KIND_NAMES: [&str; 7] =
+    ["traffic", "mac_attempt", "mac_tx_end", "data_tx_end", "proto_timer", "crash", "sample"];
+
+impl Event {
+    /// Index into [`EVENT_KIND_NAMES`].
+    fn kind(&self) -> usize {
+        match self {
+            Event::Traffic { .. } => 0,
+            Event::MacAttempt { .. } => 1,
+            Event::MacTxEnd { .. } => 2,
+            Event::DataTxEnd { .. } => 3,
+            Event::ProtoTimer { .. } => 4,
+            Event::Crash { .. } => 5,
+            Event::Sample => 6,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -129,6 +153,47 @@ pub struct World<'s> {
     scratch_receivers: Vec<(usize, RxInfo)>,
     /// Scratch: expired packets surfaced by queue pops.
     scratch_expired: Vec<DataPacket>,
+    /// Structured event tracing; `None` (the default) keeps every
+    /// emission site down to one branch.
+    tracer: Option<TraceState>,
+    /// Fixed-interval time-series sampling; `None` by default.
+    timeseries: Option<TimeseriesState>,
+    /// Per-event-kind wall-clock profiling; `None` by default.
+    profiler: Option<EventProfiler>,
+}
+
+/// Live tracing state: the sink plus the last observed class per node
+/// pair (for `class_transition` events). Exists only while tracing is
+/// enabled, and only ever *reads* simulation state.
+struct TraceState {
+    sink: Box<dyn TraceSink>,
+    last_class: HashMap<(u32, u32), ChannelClass>,
+}
+
+impl TraceState {
+    /// Notes a class observation the simulation made anyway (never
+    /// queries the channel itself), emitting a transition event when the
+    /// pair's class changed since it was last seen.
+    fn note_class(&mut self, t: SimTime, a: u32, b: u32, class: ChannelClass) {
+        let key = (a.min(b), a.max(b));
+        if let Some(prev) = self.last_class.insert(key, class) {
+            if prev != class {
+                self.sink.record(&TraceEvent::ClassTransition {
+                    t,
+                    a: NodeId(key.0),
+                    b: NodeId(key.1),
+                    from: prev,
+                    to: class,
+                });
+            }
+        }
+    }
+}
+
+/// Time-series sampling state: the recorder plus its firing interval.
+struct TimeseriesState {
+    interval: SimDuration,
+    rec: TimeseriesRecorder,
 }
 
 /// Pending protocol-timer registrations: a generation-tagged slab.
@@ -310,7 +375,98 @@ impl<'s> World<'s> {
             fanout: vec![Vec::new(); scenario.nodes],
             scratch_receivers: Vec::new(),
             scratch_expired: Vec::new(),
+            tracer: None,
+            timeseries: None,
+            profiler: None,
         }
+    }
+
+    // ------------------------------------------------------ observability
+
+    /// Enables structured event tracing into `sink`.
+    ///
+    /// Tracing is an *observer*: it reads simulation state, draws from no
+    /// RNG and schedules nothing, so results are bit-identical with and
+    /// without it (pinned by `tests/trace_identity.rs`). Call before
+    /// [`World::run`]/[`World::start`].
+    pub fn enable_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Some(TraceState { sink, last_class: HashMap::new() });
+    }
+
+    /// Flushes and detaches the trace sink (e.g. to recover a
+    /// `rica_trace::RingSink` via `downcast_mut` after a run).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.tracer.take()?.sink;
+        sink.flush();
+        Some(sink)
+    }
+
+    /// Enables the fixed-interval time-series sampler.
+    ///
+    /// Samples are driven by a dedicated periodic sim event outside every
+    /// RNG stream; extra events shift queue sequence numbers uniformly,
+    /// so the FIFO tie-break order of all other events is untouched and
+    /// results stay bit-identical. Call before [`World::run`] /
+    /// [`World::start`] (the first sample is scheduled by `start`).
+    pub fn enable_timeseries(&mut self, interval: SimDuration) {
+        assert!(interval > SimDuration::ZERO, "sampling interval must be positive");
+        let rec = TimeseriesRecorder::new(interval.as_nanos(), self.flows.len());
+        self.timeseries = Some(TimeseriesState { interval, rec });
+    }
+
+    /// Detaches the time-series recorder with everything sampled so far.
+    pub fn take_timeseries(&mut self) -> Option<TimeseriesRecorder> {
+        self.timeseries.take().map(|ts| ts.rec)
+    }
+
+    /// Enables per-event-kind wall-clock profiling of the dispatch loop.
+    ///
+    /// Unlike tracing and sampling, profiling makes the *summary* differ:
+    /// [`World::finish`] attaches [`WorldDiagnostics`] (inherently
+    /// nondeterministic wall-ns readings included) to
+    /// `TrialSummary::diagnostics`, which is why it is a separate opt-in.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(EventProfiler::new(&EVENT_KIND_NAMES));
+    }
+
+    /// One unified snapshot of the simulator's internal health: event
+    /// queue volume and calendar re-tunes, channel table/cache occupancy,
+    /// MAC medium activity, and the event profile when profiling is on.
+    pub fn diagnostics(&self) -> WorldDiagnostics {
+        WorldDiagnostics {
+            pending_events: self.sim.pending(),
+            popped_events: self.sim.popped(),
+            calendar_retunes: self.sim.retunes(),
+            channel_active_pairs: self.channel.active_pairs(),
+            channel_table_growths: self.channel.table_growths(),
+            decay_cache: self.channel.decay_cache_stats(),
+            medium_txs: self.medium.txs_begun(),
+            event_profile: self.profiler.as_ref().map(|p| p.finish()),
+        }
+    }
+
+    /// Records one trace event, building it lazily: with tracing disabled
+    /// this is a single branch.
+    #[inline]
+    fn trace(&mut self, make: impl FnOnce(SimTime) -> TraceEvent) {
+        if let Some(tr) = &mut self.tracer {
+            let t = self.sim.now();
+            tr.sink.record(&make(t));
+        }
+    }
+
+    /// Drops a data packet at `node`, recording the reason in metrics and
+    /// (when tracing) the packet's lifecycle end. Every drop path funnels
+    /// through here — no silent discards.
+    fn drop_data_at(&mut self, node: usize, pkt: DataPacket, reason: DropReason) {
+        self.metrics.on_dropped(reason);
+        self.trace(|t| TraceEvent::DataDropped {
+            t,
+            node: NodeId(node as u32),
+            flow: pkt.flow,
+            seq: pkt.seq,
+            reason,
+        });
     }
 
     /// The position of node `i` at the current instant, memoized per event
@@ -423,6 +579,17 @@ impl<'s> World<'s> {
             let gap = self.traffic[f].next_gap();
             self.sim.schedule_in(gap, Event::Traffic { flow: f });
         }
+        // Prime the time-series sampler: a baseline row at t = 0, then one
+        // periodic event. Scheduling it draws no randomness, and the extra
+        // seq numbers it consumes shift all later events uniformly —
+        // relative FIFO order of same-instant events is preserved.
+        if let Some(ts) = &self.timeseries {
+            let interval = ts.interval;
+            self.record_sample();
+            if SimTime::ZERO + interval <= self.end {
+                self.sim.schedule_at(SimTime::ZERO + interval, Event::Sample);
+            }
+        }
     }
 
     /// Processes events up to (and including) instant `until`, capped at
@@ -431,41 +598,46 @@ impl<'s> World<'s> {
         let until = until.min(self.end);
         let mut events = 0u64;
         // `max_events` is the safety valve against pathological storms;
-        // results remain valid up to the instant the valve trips.
-        while events < self.max_events {
-            let Some((_, ev)) = self.sim.step_at_or_before(until) else { break };
-            events += 1;
-            self.handle(ev);
+        // results remain valid up to the instant the valve trips. The
+        // profiled loop is split out so the unprofiled hot path pays no
+        // clock reads.
+        if self.profiler.is_some() {
+            while events < self.max_events {
+                let Some((_, ev)) = self.sim.step_at_or_before(until) else { break };
+                events += 1;
+                let kind = ev.kind();
+                let profiler = self.profiler.as_ref().expect("profiling enabled");
+                let t0 = profiler.start();
+                self.handle(ev);
+                self.profiler.as_mut().expect("profiling enabled").stop(kind, t0);
+            }
+        } else {
+            while events < self.max_events {
+                let Some((_, ev)) = self.sim.step_at_or_before(until) else { break };
+                events += 1;
+                self.handle(ev);
+            }
         }
         events
     }
 
-    /// Freezes the metrics into the trial summary.
-    pub fn finish(self) -> TrialSummary {
-        self.metrics.finish(self.scenario.duration)
+    /// Freezes the metrics into the trial summary. When profiling was
+    /// enabled the summary carries [`WorldDiagnostics`] (otherwise the
+    /// `diagnostics` field stays `None` and the summary's `Debug`
+    /// rendering is byte-identical to a plain run).
+    pub fn finish(mut self) -> TrialSummary {
+        let diagnostics = self.profiler.is_some().then(|| self.diagnostics());
+        if let Some(tr) = &mut self.tracer {
+            tr.sink.flush();
+        }
+        let mut summary = self.metrics.finish(self.scenario.duration);
+        summary.diagnostics = diagnostics;
+        summary
     }
 
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
-    }
-
-    /// Diagnostics: live events pending in the simulator queue (cancelled
-    /// timers awaiting removal are not counted).
-    pub fn pending_events(&self) -> usize {
-        self.sim.pending()
-    }
-
-    /// Diagnostics: total events the simulator has surfaced so far.
-    pub fn popped(&self) -> u64 {
-        self.sim.popped()
-    }
-
-    /// Diagnostics: `(hits, misses)` of the channel's shared OU decay
-    /// caches (`None` when [`rica_channel::ChannelConfig::use_decay_cache`]
-    /// is off).
-    pub fn channel_decay_cache_stats(&self) -> Option<(u64, u64)> {
-        self.channel.decay_cache_stats()
     }
 
     /// Observability: walks the per-node `current_downstream` pointers of
@@ -515,17 +687,73 @@ impl<'s> World<'s> {
             Event::DataTxEnd { from, to } => self.on_data_tx_end(from, to),
             Event::ProtoTimer { node, timer, token } => {
                 self.timers.remove(token);
+                self.trace(|t| TraceEvent::TimerFired {
+                    t,
+                    node: NodeId(node as u32),
+                    timer: timer.kind_name(),
+                });
                 self.dispatch(node, move |proto, ctx| proto.on_timer(ctx, timer));
             }
-            Event::Crash { node } => {
-                self.dead[node] = true;
-                // The radio goes silent: queued control traffic dies with
-                // the node, data links are torn down (upstream neighbours
-                // discover the break through their own retransmissions).
-                self.nodes[node].ctrl_queue.clear();
-                self.nodes[node].links.clear();
+            Event::Crash { node } => self.on_crash(node),
+            Event::Sample => self.on_sample(),
+        }
+    }
+
+    /// Failure injection: the radio goes silent. Queued control traffic
+    /// dies with the node; data links are torn down with every held
+    /// packet (queued or mid-transmission) accounted as a
+    /// [`DropReason::NodeCrashed`] loss — this used to be a silent
+    /// discard. Upstream neighbours discover the break through their own
+    /// retransmissions.
+    fn on_crash(&mut self, node: usize) {
+        self.dead[node] = true;
+        self.nodes[node].ctrl_queue.clear();
+        let links = std::mem::take(&mut self.nodes[node].links);
+        let mut dropped_data = 0usize;
+        for (_, mut link) in links {
+            if let Some(inflight) = link.in_flight.take() {
+                self.drop_data_at(node, inflight.pkt, DropReason::NodeCrashed);
+                dropped_data += 1;
+            }
+            for pkt in link.queue.drain_all() {
+                self.drop_data_at(node, pkt, DropReason::NodeCrashed);
+                dropped_data += 1;
             }
         }
+        self.trace(|t| TraceEvent::NodeCrashed { t, node: NodeId(node as u32), dropped_data });
+    }
+
+    /// One time-series sample: pure reads of queue depths, event-queue
+    /// volume and the channel's memoized class census (nothing here may
+    /// touch an RNG or advance channel state), then the next firing.
+    fn on_sample(&mut self) {
+        self.record_sample();
+        let Some(ts) = &self.timeseries else { return };
+        let next = self.sim.now() + ts.interval;
+        if next <= self.end {
+            self.sim.schedule_at(next, Event::Sample);
+        }
+    }
+
+    /// Reads one [`rica_trace::SampleRow`]'s worth of state into the
+    /// recorder.
+    fn record_sample(&mut self) {
+        let pending = self.sim.pending();
+        let popped = self.sim.popped();
+        let mut ctrl_queued = 0usize;
+        let mut data_queued = 0usize;
+        let mut links_in_flight = 0usize;
+        for n in &self.nodes {
+            ctrl_queued += n.ctrl_queue.len();
+            for link in n.links.values() {
+                data_queued += link.queue.len();
+                links_in_flight += usize::from(link.in_flight.is_some());
+            }
+        }
+        let census = self.channel.class_census();
+        let t_ns = self.sim.now().as_nanos();
+        let Some(ts) = &mut self.timeseries else { return };
+        ts.rec.push_row(t_ns, pending, popped, ctrl_queued, data_queued, links_in_flight, census);
     }
 
     // ------------------------------------------------------------- traffic
@@ -545,6 +773,17 @@ impl<'s> World<'s> {
         self.flow_seq[flow] += 1;
         let pkt = DataPacket::new(FlowId(flow as u32), seq, src, dst, bytes, now);
         self.metrics.on_generated_flow(flow as u32, pkt.size_bits());
+        if let Some(ts) = &mut self.timeseries {
+            ts.rec.note_generated(pkt.flow);
+        }
+        self.trace(|t| TraceEvent::DataGenerated {
+            t,
+            flow: FlowId(flow as u32),
+            seq,
+            src,
+            dst,
+            bytes,
+        });
         self.dispatch(src.index(), move |proto, ctx| proto.on_data(ctx, pkt, None));
         let gap = self.traffic[flow].next_gap();
         self.sim.schedule_in(gap, Event::Traffic { flow });
@@ -557,6 +796,8 @@ impl<'s> World<'s> {
         let st = &mut self.nodes[node];
         if st.ctrl_queue.len() >= cap {
             self.metrics.on_ctrl_queue_drop();
+            let kind = pkt.kind();
+            self.trace(|t| TraceEvent::CtrlQueueDrop { t, node: NodeId(node as u32), kind });
             return;
         }
         st.ctrl_queue.push_back(OutgoingCtrl { pkt, target, retries: 0 });
@@ -591,26 +832,31 @@ impl<'s> World<'s> {
             let mac = &self.scenario.mac;
             let st = &mut self.nodes[node];
             st.mac_attempts += 1;
-            if st.mac_attempts > mac.max_attempts {
+            let attempts = st.mac_attempts;
+            if attempts > mac.max_attempts {
                 // Channel hopeless for this packet: abandon it.
-                st.ctrl_queue.pop_front();
+                let abandoned = st.ctrl_queue.pop_front().expect("checked non-empty");
                 st.mac_attempts = 0;
                 self.metrics.on_ctrl_queue_drop();
-                self.sim.schedule_in(mac.ifs, Event::MacAttempt { node });
+                let kind = abandoned.pkt.kind();
+                self.trace(|t| TraceEvent::MacAbandon { t, node: NodeId(node as u32), kind });
+                self.sim.schedule_in(self.scenario.mac.ifs, Event::MacAttempt { node });
             } else {
-                let delay = backoff_delay(mac, st.mac_attempts - 1, &mut st.rng);
+                let delay = backoff_delay(mac, attempts - 1, &mut st.rng);
+                self.trace(|t| TraceEvent::MacBusy { t, node: NodeId(node as u32), attempts });
                 self.sim.schedule_in(delay, Event::MacAttempt { node });
             }
             return;
         }
         // Clear channel: transmit the head packet.
-        let (bits, kind) = {
+        let (bits, kind, target) = {
             let head = self.nodes[node].ctrl_queue.front().expect("checked non-empty");
-            (head.pkt.size_bits(), head.pkt.kind())
+            (head.pkt.size_bits(), head.pkt.kind(), head.target)
         };
         let dur = self.scenario.mac.tx_duration(bits);
         let tx = self.medium.begin_tx(node as u32, pos, now, now + dur);
         self.metrics.on_control_tx(kind, bits);
+        self.trace(|t| TraceEvent::CtrlTx { t, node: NodeId(node as u32), kind, bits, target });
         self.sim.schedule_in(dur, Event::MacTxEnd { node, tx });
     }
 
@@ -646,7 +892,9 @@ impl<'s> World<'s> {
             // routing everything through `&mut self` methods would re-read
             // them per candidate. The cached list never contains the
             // transmitter itself (see `broadcast_candidates`).
-            let World { nodes, dead, pos_cache, pos_stamp, medium, channel, metrics, .. } = self;
+            let World {
+                nodes, dead, pos_cache, pos_stamp, medium, channel, metrics, tracer, ..
+            } = self;
             for &cand in &candidates {
                 let j = cand as usize;
                 if dead[j] {
@@ -668,6 +916,13 @@ impl<'s> World<'s> {
                 }
                 if !medium.delivered_prepared(cand, pj) {
                     metrics.on_collision();
+                    if let Some(tr) = tracer {
+                        tr.sink.record(&TraceEvent::MacCollision {
+                            t: now,
+                            tx: NodeId(node as u32),
+                            rx: NodeId(cand),
+                        });
+                    }
                     continue;
                 }
                 // The CSI measurement reuses the squared distance measured
@@ -676,6 +931,9 @@ impl<'s> World<'s> {
                 let class = channel
                     .class_at_dist_sq(node as u32, cand, d_sq, now)
                     .expect("receiver in range has a class");
+                if let Some(tr) = tracer {
+                    tr.note_class(now, node as u32, cand, class);
+                }
                 let info = RxInfo { from: NodeId(node as u32), class };
                 match out.target {
                     None => receivers.push((j, info)),
@@ -692,14 +950,26 @@ impl<'s> World<'s> {
         // ascending node order, exactly like the full scan did.
         receivers.sort_unstable_by_key(|&(j, _)| j);
         // Unicast MAC-level retransmission on failure.
-        if let Some(_t) = out.target {
-            if !target_delivered && out.retries < self.scenario.mac.ctrl_retry_limit {
-                let retry = OutgoingCtrl {
-                    pkt: out.pkt.clone(),
-                    target: out.target,
-                    retries: out.retries + 1,
-                };
-                self.nodes[node].ctrl_queue.push_front(retry);
+        if let Some(target) = out.target {
+            if !target_delivered {
+                if out.retries < self.scenario.mac.ctrl_retry_limit {
+                    let retry = OutgoingCtrl {
+                        pkt: out.pkt.clone(),
+                        target: out.target,
+                        retries: out.retries + 1,
+                    };
+                    self.nodes[node].ctrl_queue.push_front(retry);
+                } else {
+                    // Retries exhausted: the packet is silently lost at the
+                    // MAC (the protocol finds out through its own timers).
+                    let kind = out.pkt.kind();
+                    self.trace(|t| TraceEvent::CtrlUnicastGaveUp {
+                        t,
+                        node: NodeId(node as u32),
+                        target,
+                        kind,
+                    });
+                }
             }
         }
         self.medium.prune_before(now);
@@ -729,9 +999,19 @@ impl<'s> World<'s> {
             queue: LinkQueue::new(cfg.link_queue_cap, cfg.max_queue_residency),
             in_flight: None,
         });
-        if let Some(rejected) = link.queue.push(now, pkt) {
-            drop(rejected);
-            self.metrics.on_dropped(DropReason::BufferOverflow);
+        let (flow, seq) = (pkt.flow, pkt.seq);
+        let rejected = link.queue.push(now, pkt);
+        let queued = link.queue.len();
+        match rejected {
+            Some(rejected) => self.drop_data_at(from, rejected, DropReason::BufferOverflow),
+            None => self.trace(|t| TraceEvent::DataEnqueued {
+                t,
+                from: NodeId(from as u32),
+                to: NodeId(to as u32),
+                flow,
+                seq,
+                queued,
+            }),
         }
         self.try_start_data(from, to);
     }
@@ -747,15 +1027,25 @@ impl<'s> World<'s> {
                 return;
             }
         };
-        for _ in expired.drain(..) {
-            self.metrics.on_dropped(DropReason::BufferTimeout);
+        for stale in expired.drain(..) {
+            self.drop_data_at(from, stale, DropReason::BufferTimeout);
         }
         self.scratch_expired = expired;
         let Some(pkt) = pkt else { return };
         let class = self.link_class(from, to);
         let dur = Self::attempt_duration(&pkt, class);
+        let (flow, seq) = (pkt.flow, pkt.seq);
         self.nodes[from].links.get_mut(&to).expect("link exists").in_flight =
             Some(InFlight { pkt, tries: 0, class });
+        self.trace(|t| TraceEvent::DataTxStart {
+            t,
+            from: NodeId(from as u32),
+            to: NodeId(to as u32),
+            flow,
+            seq,
+            class,
+            tries: 0,
+        });
         self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
     }
 
@@ -785,6 +1075,15 @@ impl<'s> World<'s> {
                 let mut pkt = inflight.pkt;
                 pkt.record_hop(class);
                 self.metrics.on_ack_tx(DATA_ACK_BYTES as u64 * 8);
+                let (flow, seq) = (pkt.flow, pkt.seq);
+                self.trace(|t| TraceEvent::DataHop {
+                    t,
+                    from: NodeId(from as u32),
+                    to: NodeId(to as u32),
+                    flow,
+                    seq,
+                    class,
+                });
                 self.try_start_data(from, to);
                 let info = RxInfo { from: NodeId(from as u32), class };
                 self.dispatch(to, move |proto, ctx| proto.on_data(ctx, pkt, Some(info)));
@@ -797,14 +1096,30 @@ impl<'s> World<'s> {
                     let mut undelivered = vec![inflight.pkt];
                     undelivered.extend(link.queue.drain_all());
                     self.nodes[from].links.remove(&to);
+                    let count = undelivered.len();
+                    self.trace(|t| TraceEvent::LinkBreak {
+                        t,
+                        from: NodeId(from as u32),
+                        to: NodeId(to as u32),
+                        undelivered: count,
+                    });
                     self.dispatch(from, move |proto, ctx| {
                         proto.on_link_failure(ctx, NodeId(to as u32), undelivered)
                     });
                 } else {
                     let class = self.link_class(from, to);
                     let dur = Self::attempt_duration(&inflight.pkt, class) + DATA_RETRY_BACKOFF;
+                    let (flow, seq) = (inflight.pkt.flow, inflight.pkt.seq);
                     self.nodes[from].links.get_mut(&to).expect("link exists").in_flight =
                         Some(InFlight { pkt: inflight.pkt, tries, class });
+                    self.trace(|t| TraceEvent::DataRetry {
+                        t,
+                        from: NodeId(from as u32),
+                        to: NodeId(to as u32),
+                        flow,
+                        seq,
+                        tries,
+                    });
                     self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
                 }
             }
@@ -885,11 +1200,33 @@ impl NodeCtx for Ctx<'_, '_> {
     fn deliver_local(&mut self, pkt: DataPacket) {
         let now = self.world.sim.now();
         self.world.metrics.on_delivered(&pkt, now);
+        if let Some(ts) = &mut self.world.timeseries {
+            ts.rec.note_delivered(pkt.flow);
+        }
+        let node = self.node;
+        self.world.trace(|t| TraceEvent::DataDelivered {
+            t,
+            node: NodeId(node as u32),
+            flow: pkt.flow,
+            seq: pkt.seq,
+            delay_ms: now.saturating_since(pkt.created_at).as_secs_f64() * 1e3,
+            hops: pkt.hops,
+        });
     }
 
     fn drop_data(&mut self, pkt: DataPacket, reason: DropReason) {
-        drop(pkt);
-        self.world.metrics.on_dropped(reason);
+        self.world.drop_data_at(self.node, pkt, reason);
+    }
+
+    fn note_route_phase(&mut self, phase: RoutePhase, src: NodeId, dst: NodeId) {
+        let node = self.node;
+        self.world.trace(|t| TraceEvent::RoutePhase {
+            t,
+            node: NodeId(node as u32),
+            phase,
+            src,
+            dst,
+        });
     }
 
     fn set_timer(&mut self, delay: SimDuration, timer: Timer) -> TimerToken {

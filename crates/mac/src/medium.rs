@@ -171,6 +171,12 @@ impl CommonMedium {
     pub fn tracked(&self) -> usize {
         self.active.len()
     }
+
+    /// Cumulative count of transmissions ever begun on the medium
+    /// (diagnostics; ids are dense, so the next id *is* the count).
+    pub fn txs_begun(&self) -> u64 {
+        self.next_id
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,7 @@ mod tests {
             link_breaks: 2,
             ctrl_queue_drops: 0,
             workload: None,
+            diagnostics: None,
         }
     }
 
@@ -298,6 +299,7 @@ mod proptests {
             link_breaks: generated % 5,
             ctrl_queue_drops: 0,
             workload: None,
+            diagnostics: None,
         }
     }
 

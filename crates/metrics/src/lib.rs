@@ -25,12 +25,14 @@
 
 mod aggregate;
 mod csv;
+mod diagnostics;
 mod recorder;
 mod table;
 mod welford;
 
 pub use aggregate::Aggregate;
 pub use csv::csv_document;
+pub use diagnostics::{EventKindStats, EventProfile, WorldDiagnostics};
 pub use recorder::{FlowSummary, Metrics, TrialSummary, WorkloadSummary};
 pub use table::{format_table, Align};
 pub use welford::Welford;

@@ -243,6 +243,7 @@ impl Metrics {
                     })
                     .collect(),
             }),
+            diagnostics: None,
         }
     }
 }
@@ -353,13 +354,18 @@ pub struct TrialSummary {
     /// Offered-load / per-flow workload breakdown; `None` unless the
     /// trial enabled workload accounting (non-default workloads only).
     pub workload: Option<WorkloadSummary>,
+    /// Simulator-internals diagnostics (event profile, queue/cache
+    /// health); `None` unless the run enabled profiling. See
+    /// [`WorldDiagnostics`](crate::WorldDiagnostics).
+    pub diagnostics: Option<crate::WorldDiagnostics>,
 }
 
 /// Hand-rolled to reproduce the derived rendering *exactly* when
-/// `workload` is `None`: the golden fixed-seed tests pin FNV hashes of
-/// this output for pre-`rica-traffic` scenarios, and those must stay
-/// byte-identical. Non-default workloads (always `Some`) append the
-/// field like a normal derive would.
+/// `workload` and `diagnostics` are `None`: the golden fixed-seed tests
+/// pin FNV hashes of this output for pre-`rica-traffic` scenarios, and
+/// those must stay byte-identical. Non-default workloads and
+/// profiling-enabled runs (always `Some`) append their fields like a
+/// normal derive would.
 impl std::fmt::Debug for TrialSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut s = f.debug_struct("TrialSummary");
@@ -384,6 +390,9 @@ impl std::fmt::Debug for TrialSummary {
             .field("ctrl_queue_drops", &self.ctrl_queue_drops);
         if let Some(workload) = &self.workload {
             s.field("workload", workload);
+        }
+        if let Some(diagnostics) = &self.diagnostics {
+            s.field("diagnostics", diagnostics);
         }
         s.finish()
     }

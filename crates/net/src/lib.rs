@@ -48,5 +48,5 @@ pub use packet::{
 pub use pending::PendingBuffer;
 pub use queue::LinkQueue;
 pub use routing::{
-    DropReason, NodeCtx, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot,
+    DropReason, NodeCtx, RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot,
 };

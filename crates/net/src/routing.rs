@@ -34,16 +34,20 @@ pub enum DropReason {
     NoRoute,
     /// The carrying link broke and the packet could not be salvaged.
     LinkBreak,
+    /// The terminal holding the packet (queued or mid-transmission)
+    /// crashed; everything it held died with it.
+    NodeCrashed,
 }
 
 impl DropReason {
     /// Every reason, in declaration (= `Ord`) order; `reason as usize`
     /// indexes this table (flat drop counters).
-    pub const ALL: [DropReason; 4] = [
+    pub const ALL: [DropReason; 5] = [
         DropReason::BufferOverflow,
         DropReason::BufferTimeout,
         DropReason::NoRoute,
         DropReason::LinkBreak,
+        DropReason::NodeCrashed,
     ];
 }
 
@@ -54,8 +58,40 @@ impl std::fmt::Display for DropReason {
             DropReason::BufferTimeout => "buffer-timeout",
             DropReason::NoRoute => "no-route",
             DropReason::LinkBreak => "link-break",
+            DropReason::NodeCrashed => "node-crash",
         };
         f.write_str(s)
+    }
+}
+
+/// A phase in a route's lifecycle, reported through
+/// [`NodeCtx::note_route_phase`] for observability. The vocabulary is
+/// shared by all five protocols; each uses the phases that exist in its
+/// state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutePhase {
+    /// A source began (or re-began) an on-demand discovery for a flow.
+    DiscoveryStart,
+    /// A discovery attempt timed out and is being retried.
+    DiscoveryRetry,
+    /// A source committed to a route (initial selection or a switch).
+    RouteSelected,
+    /// A broken route triggered a local repair attempt.
+    RepairStart,
+    /// A source lost its route and has no immediate replacement.
+    RouteLost,
+}
+
+impl RoutePhase {
+    /// Stable lowercase name (trace artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePhase::DiscoveryStart => "discovery-start",
+            RoutePhase::DiscoveryRetry => "discovery-retry",
+            RoutePhase::RouteSelected => "route-selected",
+            RoutePhase::RepairStart => "repair-start",
+            RoutePhase::RouteLost => "route-lost",
+        }
     }
 }
 
@@ -103,6 +139,23 @@ pub enum Timer {
     },
     /// Protocol-specific extension timer.
     Custom(u64),
+}
+
+impl Timer {
+    /// Stable lowercase name of the timer kind, without its payload
+    /// (trace artifacts and profiling labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Timer::Beacon => "beacon",
+            Timer::LinkMonitor => "link-monitor",
+            Timer::RreqRetry { .. } => "rreq-retry",
+            Timer::ReplyWindow { .. } => "reply-window",
+            Timer::SelectionWindow { .. } => "selection-window",
+            Timer::CsiBroadcast { .. } => "csi-broadcast",
+            Timer::LqTimeout { .. } => "lq-timeout",
+            Timer::Custom(_) => "custom",
+        }
+    }
 }
 
 /// Capabilities the node (harness) exposes to its routing protocol.
@@ -153,6 +206,12 @@ pub trait NodeCtx {
     /// Total occupancy of all of this node's data queues (ABR's node-load
     /// criterion when relaying broadcast queries).
     fn data_queue_total(&self) -> usize;
+
+    /// Observability hook: reports a route-lifecycle phase for the flow
+    /// `(src, dst)` to the node's trace layer. Purely informational — the
+    /// default implementation discards it, and implementations must not
+    /// let it influence protocol behaviour.
+    fn note_route_phase(&mut self, _phase: RoutePhase, _src: NodeId, _dst: NodeId) {}
 }
 
 /// A global adjacency snapshot: every in-range link with its current class.
@@ -226,6 +285,14 @@ mod tests {
         assert_eq!(DropReason::BufferTimeout.to_string(), "buffer-timeout");
         assert_eq!(DropReason::NoRoute.to_string(), "no-route");
         assert_eq!(DropReason::LinkBreak.to_string(), "link-break");
+        assert_eq!(DropReason::NodeCrashed.to_string(), "node-crash");
+    }
+
+    #[test]
+    fn drop_reason_all_is_indexable() {
+        for (i, reason) in DropReason::ALL.into_iter().enumerate() {
+            assert_eq!(reason as usize, i);
+        }
     }
 
     #[test]

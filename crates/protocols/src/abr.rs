@@ -5,7 +5,7 @@
 
 use rica_net::{
     ControlPacket, DataPacket, DropReason, IdMap, KeyMap, NodeCtx, NodeId, PendingBuffer,
-    RoutingProtocol, RxInfo, Timer, TimerToken,
+    RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken,
 };
 use rica_sim::SimTime;
 
@@ -82,6 +82,9 @@ impl Abr {
         let bcast_id = self.next_bcast;
         self.next_bcast += 1;
         let me = ctx.id();
+        let phase =
+            if retries == 0 { RoutePhase::DiscoveryStart } else { RoutePhase::DiscoveryRetry };
+        ctx.note_route_phase(phase, me, dst);
         ctx.broadcast(ControlPacket::Bq {
             src: me,
             dst,
@@ -143,6 +146,7 @@ impl Abr {
         if let Some(e) = self.routes.get_mut(&key) {
             e.downstream = None;
         }
+        ctx.note_route_phase(RoutePhase::RepairStart, key.0, key.1);
         ctx.broadcast(ControlPacket::Lq {
             src: key.0,
             dst: key.1,
@@ -254,6 +258,7 @@ impl RoutingProtocol for Abr {
                     e.last_used = now;
                     e.route_len = topo_hops.max(1);
                     e.hops_to_dst = topo_hops.max(1);
+                    ctx.note_route_phase(RoutePhase::RouteSelected, me, dst);
                     self.flush_pending(ctx, dst);
                     return;
                 }
@@ -491,6 +496,7 @@ impl RoutingProtocol for Abr {
             let held = per_flow.remove(&key).unwrap_or_default();
             if key.0 == me {
                 // Source: re-discover; salvage our packets.
+                ctx.note_route_phase(RoutePhase::RouteLost, key.0, key.1);
                 self.routes.remove(&key);
                 for pkt in held {
                     if let Some(rejected) = self.pending(ctx).push(now, pkt) {

@@ -3,7 +3,7 @@
 
 use rica_net::{
     ControlPacket, DataPacket, DropReason, IdMap, KeyMap, NodeCtx, NodeId, PendingBuffer,
-    RoutingProtocol, RxInfo, Timer, TimerToken,
+    RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken,
 };
 use rica_sim::SimTime;
 
@@ -66,6 +66,9 @@ impl Aodv {
         let bcast_id = self.next_bcast;
         self.next_bcast += 1;
         let me = ctx.id();
+        let phase =
+            if retries == 0 { RoutePhase::DiscoveryStart } else { RoutePhase::DiscoveryRetry };
+        ctx.note_route_phase(phase, me, dst);
         ctx.broadcast(ControlPacket::Rreq { src: me, dst, bcast_id, csi_hops: 0.0, topo_hops: 0 });
         let token = ctx.set_timer(ctx.config().rreq_retry_timeout, Timer::RreqRetry { dst });
         self.discovery.insert(dst, (bcast_id, retries, token));
@@ -152,6 +155,7 @@ impl RoutingProtocol for Aodv {
                     if let Some((_, _, token)) = self.discovery.remove(dst) {
                         ctx.cancel_timer(token);
                     }
+                    ctx.note_route_phase(RoutePhase::RouteSelected, me, dst);
                     self.flush_pending(ctx, dst);
                     return;
                 }
@@ -239,7 +243,13 @@ impl RoutingProtocol for Aodv {
     ) {
         let me = ctx.id();
         let now = ctx.now();
-        self.routes.retain(|_, r| r.next_hop != neighbor);
+        self.routes.retain(|dst, r| {
+            let keep = r.next_hop != neighbor;
+            if !keep {
+                ctx.note_route_phase(RoutePhase::RouteLost, me, dst);
+            }
+            keep
+        });
         let mut reported: Vec<FlowKey> = Vec::new();
         for pkt in undelivered {
             if pkt.src == me {

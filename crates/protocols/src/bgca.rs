@@ -7,7 +7,7 @@
 
 use rica_net::{
     ControlPacket, DataPacket, DropReason, IdMap, KeyMap, NodeCtx, NodeId, PendingBuffer,
-    RoutingProtocol, RxInfo, Timer, TimerToken,
+    RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken,
 };
 
 use crate::common::{FlowEntry, FlowKey, Repair};
@@ -72,6 +72,9 @@ impl Bgca {
         let bcast_id = self.next_bcast;
         self.next_bcast += 1;
         let me = ctx.id();
+        let phase =
+            if retries == 0 { RoutePhase::DiscoveryStart } else { RoutePhase::DiscoveryRetry };
+        ctx.note_route_phase(phase, me, dst);
         ctx.broadcast(ControlPacket::Rreq { src: me, dst, bcast_id, csi_hops: 0.0, topo_hops: 0 });
         let token = ctx.set_timer(ctx.config().rreq_retry_timeout, Timer::RreqRetry { dst });
         self.discovery.insert(dst, (bcast_id, retries, token));
@@ -136,6 +139,7 @@ impl Bgca {
                 e.downstream = None;
             }
         }
+        ctx.note_route_phase(RoutePhase::RepairStart, key.0, key.1);
         ctx.broadcast(ControlPacket::Lq {
             src: key.0,
             dst: key.1,
@@ -270,6 +274,7 @@ impl RoutingProtocol for Bgca {
                     e.last_used = now;
                     e.route_len = topo_hops.max(1);
                     e.hops_to_dst = topo_hops.max(1);
+                    ctx.note_route_phase(RoutePhase::RouteSelected, me, dst);
                     self.arm_monitor(ctx);
                     self.flush_pending(ctx, dst);
                     return;
@@ -497,6 +502,7 @@ impl RoutingProtocol for Bgca {
         for key in affected {
             let held = per_flow.remove(&key).unwrap_or_default();
             if key.0 == me {
+                ctx.note_route_phase(RoutePhase::RouteLost, key.0, key.1);
                 self.routes.remove(&key);
                 for pkt in held {
                     if let Some(rejected) = self.pending(ctx).push(now, pkt) {

@@ -12,8 +12,8 @@
 
 use rica_channel::ChannelClass;
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, IdMap, LsuEntry, NodeCtx, NodeId, RoutingProtocol,
-    RxInfo, Timer, TopologySnapshot,
+    ControlPacket, DataPacket, DropReason, IdMap, LsuEntry, NodeCtx, NodeId, RoutePhase,
+    RoutingProtocol, RxInfo, Timer, TopologySnapshot,
 };
 use rica_sim::SimTime;
 
@@ -402,11 +402,16 @@ impl RoutingProtocol for LinkState {
         self.invalidate_routes();
         self.flood_pending = true;
         self.maybe_flood_own_lsu(ctx);
-        // Re-route salvageable packets on the updated view.
+        // Re-route salvageable packets on the updated view. Link state has
+        // no discovery/repair machinery: a salvage miss is the moment the
+        // route is observably gone, so that is where the phase is reported.
         for pkt in undelivered {
             match self.next_hop_to(me, pkt.dst) {
                 Some(nh) if nh != neighbor => ctx.send_data(nh, pkt),
-                _ => ctx.drop_data(pkt, DropReason::LinkBreak),
+                _ => {
+                    ctx.note_route_phase(RoutePhase::RouteLost, pkt.src, pkt.dst);
+                    ctx.drop_data(pkt, DropReason::LinkBreak);
+                }
             }
         }
     }

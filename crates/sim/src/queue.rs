@@ -301,6 +301,9 @@ pub struct EventQueue<E> {
     cancelled_live: usize,
     next_seq: u64,
     popped: u64,
+    /// Times the bucket ring was (re)built — the startup conversion, ring
+    /// growths and the pre-cursor corner case all count. Diagnostics only.
+    retunes: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -337,6 +340,7 @@ impl<E> EventQueue<E> {
             cancelled_live: 0,
             next_seq: 0,
             popped: 0,
+            retunes: 0,
         }
     }
 
@@ -398,6 +402,7 @@ impl<E> EventQueue<E> {
     /// O(n); runs once at startup, on ring growth (amortised by the
     /// doubling) and in the rebuild corner case of `schedule`.
     fn build_calendar(&mut self) {
+        self.retunes += 1;
         let mut all = std::mem::take(&mut self.overflow.items);
         if let Some(cal) = self.calendar.take() {
             for mut bucket in cal.buckets {
@@ -595,6 +600,12 @@ impl<E> EventQueue<E> {
     pub fn popped(&self) -> u64 {
         self.popped
     }
+
+    /// Number of calendar (re)builds so far: the startup heap→ring
+    /// conversion plus every ring growth / re-tune since.
+    pub fn retunes(&self) -> u64 {
+        self.retunes
+    }
 }
 
 /// An event queue bound to a monotonically advancing clock.
@@ -694,6 +705,11 @@ impl<E> Simulator<E> {
     /// Total events popped so far.
     pub fn popped(&self) -> u64 {
         self.queue.popped()
+    }
+
+    /// Times the calendar event queue (re)built its bucket ring.
+    pub fn retunes(&self) -> u64 {
+        self.queue.retunes()
     }
 }
 

@@ -16,6 +16,8 @@
 //!   packet-size distributions)
 //! * [`metrics`] — simulation metrics (delay, delivery, overhead, …)
 //! * [`exec`] — parallel deterministic experiment-execution engine
+//! * [`trace`] — structured event tracing, time-series sampling and
+//!   per-event-kind profiling (zero overhead when disabled)
 //! * [`rica`] — the RICA protocol (the paper's contribution)
 //! * [`protocols`] — the AODV / ABR / BGCA / link-state baselines
 //! * [`harness`] — full network simulator + the paper's experiments
@@ -48,6 +50,7 @@ pub use rica_mobility as mobility;
 pub use rica_net as net;
 pub use rica_protocols as protocols;
 pub use rica_sim as sim;
+pub use rica_trace as trace;
 pub use rica_traffic as traffic;
 
 /// Convenience prelude re-exporting the most common types.

@@ -1,0 +1,94 @@
+//! Per-packet lifecycle reconciliation: the structured event trace and
+//! the aggregate `Metrics` counters are two independent accounts of the
+//! same trial, and they must agree.
+//!
+//! A `RingSink` collects every event of a golden-scenario RICA run; the
+//! test folds the `(flow, seq)`-keyed lifecycles back together and checks
+//! them against the summary: every generated packet is traced exactly
+//! once, delivered and dropped packets match the counters reason for
+//! reason, no packet is both delivered and dropped, and whatever remains
+//! is exactly the summary's in-flight balance.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rica_harness::{ProtocolKind, Scenario, World};
+use rica_net::{DropReason, FlowId};
+use rica_trace::{RingSink, TraceEvent};
+
+#[test]
+fn trace_lifecycles_reconcile_with_metrics_counters() {
+    let s = Scenario::builder()
+        .nodes(12)
+        .flows(3)
+        .rate_pps(10.0)
+        .duration_secs(30.0)
+        .mean_speed_kmh(36.0)
+        .seed(7)
+        .build();
+    let mut world = World::new(&s, ProtocolKind::Rica, s.seed);
+    world.enable_trace(Box::new(RingSink::unbounded()));
+    world.start();
+    let end = world.now() + s.duration;
+    world.step_until(end);
+    let mut sink = world.take_trace_sink().expect("sink installed");
+    let ring = sink.downcast_mut::<RingSink>().expect("ring sink");
+    assert_eq!(ring.seen() as usize, ring.events().count(), "unbounded ring must keep all");
+
+    type Key = (FlowId, u64);
+    let mut generated: BTreeSet<Key> = BTreeSet::new();
+    let mut delivered: BTreeSet<Key> = BTreeSet::new();
+    let mut dropped: BTreeMap<Key, DropReason> = BTreeMap::new();
+    let mut drops_by_reason: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hops_of_delivered: BTreeMap<Key, u32> = BTreeMap::new();
+    for ev in ring.events() {
+        match *ev {
+            TraceEvent::DataGenerated { flow, seq, .. } => {
+                assert!(generated.insert((flow, seq)), "duplicate generation of {flow:?}/{seq}");
+            }
+            TraceEvent::DataDelivered { flow, seq, hops, delay_ms, .. } => {
+                assert!(delivered.insert((flow, seq)), "double delivery of {flow:?}/{seq}");
+                assert!(delay_ms >= 0.0);
+                hops_of_delivered.insert((flow, seq), hops);
+            }
+            TraceEvent::DataDropped { flow, seq, reason, .. } => {
+                // One packet, one terminal drop. (A packet can be dropped
+                // at most once: the world owns it at every instant.)
+                assert!(
+                    dropped.insert((flow, seq), reason).is_none(),
+                    "packet {flow:?}/{seq} dropped twice"
+                );
+                *drops_by_reason.entry(reason.to_string()).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    let summary = world.finish();
+
+    // Counter-for-counter agreement with the metrics layer.
+    assert_eq!(generated.len() as u64, summary.generated, "generation count mismatch");
+    assert_eq!(delivered.len() as u64, summary.delivered, "delivery count mismatch");
+    assert_eq!(dropped.len() as u64, summary.dropped(), "drop count mismatch");
+    let summary_drops: BTreeMap<String, u64> =
+        summary.drops.iter().map(|(r, c)| (r.to_string(), *c)).collect();
+    assert_eq!(drops_by_reason, summary_drops, "per-reason drop breakdown mismatch");
+
+    // Terminal states are exclusive and complete.
+    assert!(
+        delivered.iter().all(|k| !dropped.contains_key(k)),
+        "a packet was both delivered and dropped"
+    );
+    for k in delivered.iter().chain(dropped.keys()) {
+        assert!(generated.contains(k), "terminal state for a packet never generated: {k:?}");
+    }
+    let in_flight = generated.len() - delivered.len() - dropped.len();
+    assert_eq!(in_flight as u64, summary.in_flight(), "in-flight balance mismatch");
+
+    // Hop counts seen at delivery agree with the aggregate mean.
+    let hops_total: u64 = hops_of_delivered.values().map(|&h| h as u64).sum();
+    let avg = hops_total as f64 / delivered.len().max(1) as f64;
+    assert!(
+        (avg - summary.avg_hops).abs() < 1e-9,
+        "avg hops from lifecycles {avg} != summary {}",
+        summary.avg_hops
+    );
+}
