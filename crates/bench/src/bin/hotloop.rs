@@ -24,6 +24,9 @@
 //!   (50 nodes, 10 flows, 36 km/h, 10 pkt/s) per protocol, seed 1.
 //! * `trial/scale200/RICA` — 200 nodes / 20 flows / 100 s: the scenario
 //!   the spatial grid exists for.
+//! * `trial/scale200_approx/RICA` — the same trial on the approx channel
+//!   tier (`ChannelFidelity::Approx`): ziggurat innovations, dt-quantised
+//!   decay, batched fan-out draws.
 //! * `trial/workload_burst/RICA` — the same 200-node grid at the paper's
 //!   20 pkt/s overload driven through `rica-traffic` (on/off bursts,
 //!   bimodal sizes): the workload-generation path's perf trajectory.
@@ -42,7 +45,7 @@ use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use rica_channel::{ChannelConfig, ChannelModel, DecayCache, OuProcess};
+use rica_channel::{ChannelConfig, ChannelFidelity, ChannelModel, DecayCache, OuProcess};
 use rica_harness::{ProtocolKind, Scenario, World};
 use rica_mobility::{Field, SpatialGrid, Vec2, Waypoint};
 use rica_sim::{EventQueue, Rng, SimTime};
@@ -137,6 +140,23 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
     let secs = time_min(reps, || s200.run_seeded(ProtocolKind::Rica, 1));
     entries.push(("trial/scale200/RICA".to_string(), secs));
     eprintln!("  timed trial/scale200/RICA");
+
+    // The same scale trial on the approx channel tier (ziggurat
+    // innovations, dt-quantised decay, batched fan-out draws) — the row
+    // the fidelity tier's ≥1.5× full-trial target is read from, next to
+    // `trial/scale200/RICA` above.
+    let s200a = Scenario::builder()
+        .nodes(200)
+        .flows(20)
+        .rate_pps(10.0)
+        .mean_speed_kmh(36.0)
+        .duration_secs(trial_secs)
+        .seed(1)
+        .channel(ChannelConfig { fidelity: ChannelFidelity::Approx, ..ChannelConfig::default() })
+        .build();
+    let secs = time_min(reps, || s200a.run_seeded(ProtocolKind::Rica, 1));
+    entries.push(("trial/scale200_approx/RICA".to_string(), secs));
+    eprintln!("  timed trial/scale200_approx/RICA");
 
     // The workload-generation path at overload: 200 nodes, 20 flows of
     // bursty on/off traffic at the paper's 20 pkt/s with bimodal sizes.
@@ -279,6 +299,44 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
                 let p = (i % 64) as usize;
                 t[p] += gaps[(i % 8) as usize];
                 acc += procs[p].sample_cached(SimTime::from_secs_f64(t[p]), &mut rng, &mut cache);
+            }
+            acc
+        }),
+    ));
+    entries.push((
+        "micro/ou_sample_repeat_dt_approx".to_string(),
+        time_min(reps, || {
+            // The same dt regime through the approx tier: ziggurat
+            // innovations + dt quantisation. Compare against
+            // `micro/ou_sample_repeat_dt` — this pair is where the
+            // fidelity tier's ≥2× sampling target is read.
+            let gaps = [0.016384, 1.0, 0.002048, 0.016384, 0.081920, 1.0, 0.016384, 0.000512];
+            let mut seeder = Rng::new(11);
+            let mut procs: Vec<OuProcess> =
+                (0..64).map(|_| OuProcess::new(6.0, 15.0, &mut seeder)).collect();
+            let mut cache = DecayCache::new(6.0, 15.0);
+            let mut rng = Rng::new(12);
+            let mut acc = 0.0f64;
+            let mut t = vec![0.0f64; procs.len()];
+            for i in 0..micro_iters {
+                let p = (i % 64) as usize;
+                t[p] += gaps[(i % 8) as usize];
+                acc += procs[p].sample_approx(SimTime::from_secs_f64(t[p]), &mut rng, &mut cache);
+            }
+            acc
+        }),
+    ));
+    entries.push((
+        "micro/ziggurat_normal".to_string(),
+        time_min(reps, || {
+            // Raw standard-normal throughput of the ziggurat sampler
+            // (~98.8% of draws take the single-u64 fast path). The
+            // Box–Muller floor it breaks is visible in the exact-tier OU
+            // rows above.
+            let mut rng = Rng::new(17);
+            let mut acc = 0.0f64;
+            for _ in 0..micro_iters {
+                acc += rng.normal_ziggurat();
             }
             acc
         }),

@@ -1,5 +1,45 @@
 //! Channel model parameters and their calibration.
 
+/// How faithfully the channel realises its stochastic processes.
+///
+/// * [`ChannelFidelity::Exact`] (the default) is the reproduction tier:
+///   Box–Muller innovations, exact-bits OU decay coefficients. Every
+///   golden hash in the workspace is pinned over this tier, and any
+///   change that perturbs even one bit of an Exact realisation is a
+///   regression.
+/// * [`ChannelFidelity::Approx`] is the throughput tier: ziggurat
+///   innovations ([`rica_sim::Rng::normal_ziggurat`]), reception-`dt`
+///   quantised to a geometric grid so the decay cache hits ~100%
+///   (see `rica_channel::quantise_dt`), and batched per-pair draws in the
+///   broadcast fan-out. It realises a *different but statistically
+///   equivalent* trajectory: the equivalence gate
+///   (`tests/approx_equivalence.rs`) holds class dwell times, transition
+///   rates and delivery/latency aggregates within confidence bounds of
+///   Exact, and the Approx tier pins its own goldens.
+///
+/// Use Exact for reproduction claims and regression pinning; use Approx
+/// for capacity planning, wide sweeps and scenario exploration where
+/// distributional fidelity is what matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelFidelity {
+    /// Bit-pinned reproduction tier (Box–Muller, exact decay bits).
+    #[default]
+    Exact,
+    /// Statistically-equivalent fast tier (ziggurat, quantised decay,
+    /// batched fan-out draws).
+    Approx,
+}
+
+impl ChannelFidelity {
+    /// Stable lower-case label used in artifacts and bench names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelFidelity::Exact => "exact",
+            ChannelFidelity::Approx => "approx",
+        }
+    }
+}
+
 /// Parameters of the composite SNR process and the class mapping.
 ///
 /// The defaults reproduce the paper's environment (§II.A, §III.A): a 250 m
@@ -37,8 +77,13 @@ pub struct ChannelConfig {
     /// are bit-identical either way (the cache stores exactly what
     /// recomputation would produce, keyed by the exact bits of `dt`), which
     /// `tests/channel_fastpath.rs` pins at trial level. Default `true`;
-    /// disable only to measure the cache's contribution.
+    /// disable only to measure the cache's contribution. (The Approx
+    /// fidelity tier always keeps a decay cache regardless — its `dt`
+    /// quantisation exists to feed one.)
     pub use_decay_cache: bool,
+    /// Realisation fidelity tier (see [`ChannelFidelity`]). Defaults to
+    /// [`ChannelFidelity::Exact`], which all pre-existing goldens pin.
+    pub fidelity: ChannelFidelity,
 }
 
 impl Default for ChannelConfig {
@@ -54,6 +99,7 @@ impl Default for ChannelConfig {
             fade_tau_s: 1.5,
             class_thresholds_db: [0.0, -8.0, -15.0],
             use_decay_cache: true,
+            fidelity: ChannelFidelity::default(),
         }
     }
 }

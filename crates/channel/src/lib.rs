@@ -36,6 +36,15 @@
 //! closed-form conditional distribution), so sampling a link at arbitrary
 //! event times costs O(1) and never depends on a global tick.
 //!
+//! ## Fidelity tiers
+//!
+//! [`ChannelFidelity`] selects how the stochastic processes are realised:
+//! `Exact` (default) is bit-pinned against every golden in the workspace,
+//! while `Approx` trades bit identity for throughput — ziggurat innovations,
+//! [`quantise_dt`]-gridded decay lookups and batched fan-out draws
+//! ([`ChannelModel::class_batch`]) — gated on statistical equivalence of the
+//! class process and trial aggregates.
+//!
 //! ```
 //! use rica_channel::{ChannelClass, ChannelConfig, ChannelModel};
 //! use rica_mobility::Vec2;
@@ -62,6 +71,6 @@ mod model;
 mod ou;
 
 pub use class::ChannelClass;
-pub use config::ChannelConfig;
+pub use config::{ChannelConfig, ChannelFidelity};
 pub use model::ChannelModel;
-pub use ou::{DecayCache, OuProcess};
+pub use ou::{quantise_dt, DecayCache, OuProcess};

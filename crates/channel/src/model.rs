@@ -3,7 +3,7 @@
 use rica_mobility::Vec2;
 use rica_sim::{Rng, SimTime};
 
-use crate::{ChannelClass, ChannelConfig, DecayCache, OuProcess};
+use crate::{ChannelClass, ChannelConfig, ChannelFidelity, DecayCache, OuProcess};
 
 /// Per-pair state: the two OU components and their private random stream.
 #[derive(Debug)]
@@ -64,6 +64,9 @@ pub struct ChannelModel {
     presized_nodes: Option<u32>,
     /// Times the indirection table grew past its initial sizing.
     growths: u32,
+    /// Dense pair indices resolved by pass 1 of
+    /// [`ChannelModel::class_batch`], reused across calls.
+    scratch_dense: Vec<u32>,
 }
 
 /// The unordered pair `{a, b}` as `(lo, hi)`.
@@ -99,12 +102,15 @@ impl ChannelModel {
         if let Err(e) = config.validate() {
             panic!("invalid ChannelConfig: {e}");
         }
-        let caches = config.use_decay_cache.then(|| {
-            Box::new((
-                DecayCache::new(config.shadow_sigma_db, config.shadow_tau_s),
-                DecayCache::new(config.fade_sigma_db, config.fade_tau_s),
-            ))
-        });
+        // The Approx tier's dt quantisation exists to feed a decay cache,
+        // so that tier keeps one even when the exact-tier knob is off.
+        let caches =
+            (config.use_decay_cache || config.fidelity == ChannelFidelity::Approx).then(|| {
+                Box::new((
+                    DecayCache::new(config.shadow_sigma_db, config.shadow_tau_s),
+                    DecayCache::new(config.fade_sigma_db, config.fade_tau_s),
+                ))
+            });
         ChannelModel {
             config,
             master,
@@ -113,6 +119,7 @@ impl ChannelModel {
             caches,
             presized_nodes: None,
             growths: 0,
+            scratch_dense: Vec::new(),
         }
     }
 
@@ -237,12 +244,20 @@ impl ChannelModel {
         // Split borrows: the pair state and the shared caches are disjoint
         // fields; sample each process with the pair's own rng.
         let st = &mut self.pairs[dense];
-        let snr = match self.caches.as_deref_mut() {
-            Some((shadow_cache, fade_cache)) => {
-                mean + st.shadow.sample_cached(t, &mut st.rng, shadow_cache)
-                    + st.fade.sample_cached(t, &mut st.rng, fade_cache)
+        let snr = match self.config.fidelity {
+            ChannelFidelity::Exact => match self.caches.as_deref_mut() {
+                Some((shadow_cache, fade_cache)) => {
+                    mean + st.shadow.sample_cached(t, &mut st.rng, shadow_cache)
+                        + st.fade.sample_cached(t, &mut st.rng, fade_cache)
+                }
+                None => mean + st.shadow.sample(t, &mut st.rng) + st.fade.sample(t, &mut st.rng),
+            },
+            ChannelFidelity::Approx => {
+                let (shadow_cache, fade_cache) =
+                    self.caches.as_deref_mut().expect("the Approx tier always has decay caches");
+                mean + st.shadow.sample_approx(t, &mut st.rng, shadow_cache)
+                    + st.fade.sample_approx(t, &mut st.rng, fade_cache)
             }
-            None => mean + st.shadow.sample(t, &mut st.rng) + st.fade.sample(t, &mut st.rng),
         };
         st.snr_stamp = t;
         st.snr_db = snr;
@@ -313,6 +328,82 @@ impl ChannelModel {
         // need) — and a same-instant memo hit skips it entirely.
         let snr = self.snr_memoized(dense, t, || dist_sq.sqrt());
         Some(ChannelClass::from_snr_db(snr, thresholds))
+    }
+
+    /// Classifies a whole broadcast receiver set in one call — the
+    /// **approx-tier** fan-out path.
+    ///
+    /// `receivers` holds `(node id, exact squared distance to tx)` for
+    /// every in-range candidate (the caller has already applied the
+    /// inclusive `d² ≤ tx_range_m²` predicate — debug-asserted here); the
+    /// class of `receivers[i]` lands in `out[i]` (`out` is cleared first).
+    ///
+    /// Semantically identical to calling
+    /// [`ChannelModel::class_at_dist_sq`]`(tx, rx, d², t)` per receiver —
+    /// same per-pair streams, same same-instant memo, so interleaving with
+    /// single-pair queries at the same instant is sound. The point is the
+    /// shape: pass 1 resolves dense pair indices (instantiating first-seen
+    /// pairs), pass 2 walks the dense rows in one tight loop with the
+    /// caches and thresholds already in registers — no per-receiver borrow
+    /// re-derivation or table walk between innovation draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any receiver id equals `tx`, or (debug) if the model is
+    /// not [`ChannelFidelity::Approx`] — the exact tier keeps its pinned
+    /// per-receiver loop.
+    pub fn class_batch(
+        &mut self,
+        tx: u32,
+        receivers: &[(u32, f64)],
+        t: SimTime,
+        out: &mut Vec<ChannelClass>,
+    ) {
+        debug_assert_eq!(
+            self.config.fidelity,
+            ChannelFidelity::Approx,
+            "class_batch is the approx-tier fan-out path"
+        );
+        // Pass 1: resolve (and lazily instantiate) every pair's dense row.
+        let mut dense = std::mem::take(&mut self.scratch_dense);
+        dense.clear();
+        dense.extend(receivers.iter().map(|&(rx, _)| self.pair_index(tx, rx) as u32));
+        // Pass 2: one tight loop over the dense rows. Disjoint field
+        // borrows: `pairs` (mutable, per row), `caches` (mutable, shared),
+        // `config` (read-only).
+        out.clear();
+        out.reserve(receivers.len());
+        let thresholds = self.config.class_thresholds_db;
+        let range_sq = self.config.tx_range_m * self.config.tx_range_m;
+        let (shadow_cache, fade_cache) =
+            self.caches.as_deref_mut().expect("the Approx tier always has decay caches");
+        for (&row, &(_rx, dist_sq)) in dense.iter().zip(receivers) {
+            debug_assert!(dist_sq <= range_sq, "class_batch receiver beyond radio range");
+            let st = &mut self.pairs[row as usize];
+            let snr = if st.snr_stamp == t {
+                #[cfg(debug_assertions)]
+                assert_eq!(
+                    st.snr_dist_m.to_bits(),
+                    dist_sq.sqrt().to_bits(),
+                    "same-instant queries of one pair must agree on its geometry"
+                );
+                st.snr_db
+            } else {
+                let distance_m = dist_sq.sqrt();
+                let snr = self.config.mean_snr_db(distance_m)
+                    + st.shadow.sample_approx(t, &mut st.rng, shadow_cache)
+                    + st.fade.sample_approx(t, &mut st.rng, fade_cache);
+                st.snr_stamp = t;
+                st.snr_db = snr;
+                #[cfg(debug_assertions)]
+                {
+                    st.snr_dist_m = distance_m;
+                }
+                snr
+            };
+            out.push(ChannelClass::from_snr_db(snr, thresholds));
+        }
+        self.scratch_dense = dense;
     }
 
     /// Whether `a` and `b` are within radio range.
@@ -588,6 +679,177 @@ mod tests {
             let got = by_dist.class_at_dist_sq(9, 2, pb.distance_sq(pa), t);
             assert_eq!(want, got, "diverged at step {i}");
         }
+    }
+
+    fn approx_model(seed: u64, nodes: u32) -> ChannelModel {
+        ChannelModel::with_nodes(
+            ChannelConfig { fidelity: ChannelFidelity::Approx, ..ChannelConfig::default() },
+            Rng::new(seed),
+            nodes,
+        )
+    }
+
+    #[test]
+    fn approx_tier_always_has_decay_caches() {
+        let m = ChannelModel::new(
+            ChannelConfig {
+                fidelity: ChannelFidelity::Approx,
+                use_decay_cache: false,
+                ..ChannelConfig::default()
+            },
+            Rng::new(1),
+        );
+        assert!(m.decay_cache_stats().is_some(), "Approx must force the decay caches on");
+    }
+
+    #[test]
+    fn class_batch_matches_single_pair_queries() {
+        // The batched fan-out path and per-receiver `class_at_dist_sq` are
+        // the same realisation: same pair streams, same memo, same grid.
+        let mut batched = approx_model(123, 16);
+        let mut single = approx_model(123, 16);
+        let mut jitter = Rng::new(5);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        for round in 0..200u32 {
+            t += 0.016 + jitter.range_f64(0.0, 0.002);
+            let at = secs(t);
+            let tx = round % 16;
+            let receivers: Vec<(u32, f64)> = (0..16u32)
+                .filter(|&rx| rx != tx)
+                .map(|rx| {
+                    let d = 40.0 + ((tx * 31 + rx * 17) % 200) as f64;
+                    (rx, d * d)
+                })
+                .collect();
+            batched.class_batch(tx, &receivers, at, &mut out);
+            assert_eq!(out.len(), receivers.len());
+            for (&(rx, d_sq), &got) in receivers.iter().zip(&out) {
+                let want = single.class_at_dist_sq(tx, rx, d_sq, at).unwrap();
+                assert_eq!(want, got, "pair ({tx},{rx}) diverged at round {round}");
+            }
+        }
+        // Each pair's jittered dt spans several octaves here (pairs are
+        // touched on irregular rounds), yet the quantised grid still
+        // absorbs the bulk of the vocabulary. (Real reception schedules
+        // are narrower and hit > 99% — pinned in `ou::tests`.)
+        let (hits, misses) = batched.decay_cache_stats().unwrap();
+        let rate = hits as f64 / (hits + misses) as f64;
+        assert!(rate > 0.9, "approx fan-out should mostly hit: {hits}/{misses}");
+    }
+
+    #[test]
+    fn class_batch_interleaves_with_single_queries_at_one_instant() {
+        // A broadcast classifies the receiver set, then a receiver's own
+        // protocol re-measures its CSI at the same instant: the memo must
+        // serve the second query, in either order.
+        let mut m = approx_model(9, 8);
+        let mut out = Vec::new();
+        let receivers: Vec<(u32, f64)> =
+            (1..8u32).map(|rx| (rx, (30.0 * rx as f64).powi(2))).collect();
+        let t0 = secs(1.0);
+        m.class_batch(0, &receivers, t0, &mut out);
+        for (&(rx, d_sq), &batch_class) in receivers.iter().zip(&out) {
+            assert_eq!(m.class_at_dist_sq(0, rx, d_sq, t0).unwrap(), batch_class);
+        }
+        // Reverse order at a later instant: single query first, batch after.
+        let t1 = secs(2.5);
+        let first = m.class_at_dist_sq(0, 3, receivers[2].1, t1).unwrap();
+        m.class_batch(0, &receivers, t1, &mut out);
+        assert_eq!(out[2], first);
+    }
+
+    #[test]
+    fn approx_tier_is_deterministic_and_order_independent() {
+        // Same seed → same realisation, regardless of which pairs were
+        // instantiated first (per-pair forked streams survive batching).
+        let run = |warm_other_pair: bool| {
+            let mut m = approx_model(77, 8);
+            let mut out = Vec::new();
+            if warm_other_pair {
+                m.class_between(6, 7, Vec2::ZERO, Vec2::new(50.0, 0.0), SimTime::ZERO);
+            }
+            let receivers: Vec<(u32, f64)> = vec![(1, 70.0 * 70.0), (2, 130.0 * 130.0)];
+            let mut classes = Vec::new();
+            for i in 1..60u32 {
+                m.class_batch(0, &receivers, secs(i as f64 * 0.107), &mut out);
+                classes.extend(out.iter().copied());
+            }
+            classes
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Mean and variance-of-the-mean of per-seed statistics.
+    fn mean_se_sq(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var / n)
+    }
+
+    #[test]
+    fn approx_class_process_statistics_match_exact() {
+        // Distributional gate at model level: class occupancy at a fixed
+        // mid distance and class switch rate must agree between tiers
+        // within CI half-widths (they share the law, not the bits — and
+        // the slow shadow component keeps samples *within* a seed
+        // correlated, so error bars come from per-seed means, which are
+        // independent by construction).
+        let per_seed = |fidelity: ChannelFidelity| {
+            let mut occ: [Vec<f64>; 4] = Default::default();
+            let mut rates = Vec::new();
+            for seed in 0..120u64 {
+                let mut m = ChannelModel::with_nodes(
+                    ChannelConfig { fidelity, ..ChannelConfig::default() },
+                    Rng::new(40_000 + seed),
+                    2,
+                );
+                let mut counts = [0usize; 4];
+                let mut switches = 0u32;
+                let mut last = None;
+                let steps = 2_000u32;
+                for i in 0..steps {
+                    let c = m
+                        .class_between(
+                            0,
+                            1,
+                            Vec2::ZERO,
+                            Vec2::new(110.0, 0.0),
+                            secs(i as f64 * 0.05),
+                        )
+                        .unwrap();
+                    counts[c.level() as usize] += 1;
+                    if last.is_some() && last != Some(c) {
+                        switches += 1;
+                    }
+                    last = Some(c);
+                }
+                for (k, &c) in counts.iter().enumerate() {
+                    occ[k].push(c as f64 / steps as f64);
+                }
+                rates.push(switches as f64 / steps as f64);
+            }
+            (occ, rates)
+        };
+        let (occ_e, rates_e) = per_seed(ChannelFidelity::Exact);
+        let (occ_a, rates_a) = per_seed(ChannelFidelity::Approx);
+        for k in 0..4 {
+            let (me, se2_e) = mean_se_sq(&occ_e[k]);
+            let (ma, se2_a) = mean_se_sq(&occ_a[k]);
+            let half_width = 3.0 * (se2_e + se2_a).sqrt();
+            assert!(
+                (me - ma).abs() < half_width + 0.005,
+                "class {k} occupancy diverged: exact {me} approx {ma} (3σ {half_width:.4})"
+            );
+        }
+        let (re, se2_e) = mean_se_sq(&rates_e);
+        let (ra, se2_a) = mean_se_sq(&rates_a);
+        let half_width = 3.0 * (se2_e + se2_a).sqrt();
+        assert!(
+            (re - ra).abs() < half_width + 0.001,
+            "switch rate diverged: exact {re} approx {ra} (3σ {half_width:.4})"
+        );
     }
 
     #[test]

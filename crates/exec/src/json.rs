@@ -122,7 +122,13 @@ fn trial(out: &mut String, t: &TrialSummary) {
     out.push('}');
 }
 
-fn cell<P>(out: &mut String, c: &SweepCell<P>, label: &dyn Fn(&P) -> String, name_workload: bool) {
+fn cell<P>(
+    out: &mut String,
+    c: &SweepCell<P>,
+    label: &dyn Fn(&P) -> String,
+    name_workload: bool,
+    name_fidelity: bool,
+) {
     out.push_str("{\"protocol\":");
     esc(out, &label(&c.protocol));
     out.push_str(",\"speed_kmh\":");
@@ -131,6 +137,10 @@ fn cell<P>(out: &mut String, c: &SweepCell<P>, label: &dyn Fn(&P) -> String, nam
     if name_workload {
         out.push_str(",\"workload\":");
         esc(out, &c.workload.label());
+    }
+    if name_fidelity {
+        out.push_str(",\"fidelity\":");
+        esc(out, c.fidelity.name());
     }
     out.push_str(",\"aggregate\":{");
     let _ = write!(out, "\"trials\":{},", c.aggregate.trials);
@@ -216,13 +226,26 @@ pub fn sweep_json<P>(
         }
         out.push(']');
     }
+    // Same conditional pattern for the fidelity axis: only a plan that
+    // departs from the implicit `[Exact]` names it.
+    let name_fidelity = !result.plan.default_fidelity_axis();
+    if name_fidelity {
+        out.push_str(",\"fidelities\":[");
+        for (i, f) in result.plan.fidelities.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            esc(&mut out, f.name());
+        }
+        out.push(']');
+    }
     out.push_str("},\"cells\":[");
     let label_dyn: &dyn Fn(&P) -> String = &label;
     for (i, c) in result.cells.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        cell(&mut out, c, label_dyn, name_workload);
+        cell(&mut out, c, label_dyn, name_workload, name_fidelity);
     }
     out.push_str("]}");
     out
@@ -328,6 +351,33 @@ mod tests {
         // workload fields at all — golden artifact hashes depend on it.
         let doc = sweep_json(&toy_result(), |p| format!("P{p}"), &[]);
         assert!(!doc.contains("workload"), "unexpected workload fields: {doc}");
+    }
+
+    #[test]
+    fn fidelity_axis_is_named_in_the_artifact() {
+        use rica_channel::ChannelFidelity;
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![10], 1, 5)
+            .with_fidelities(vec![ChannelFidelity::Exact, ChannelFidelity::Approx]);
+        let r = plan.run(&ExecOptions::serial(), |job| {
+            let mut m = Metrics::new();
+            m.on_generated();
+            if job.fidelity == ChannelFidelity::Approx {
+                m.on_generated();
+            }
+            m.finish(SimDuration::from_secs(4))
+        });
+        let doc = sweep_json(&r, |p| format!("P{p}"), &[]);
+        assert!(doc.contains("\"fidelities\":[\"exact\",\"approx\"]"), "{doc}");
+        assert!(doc.contains("\"fidelity\":\"exact\""), "{doc}");
+        assert!(doc.contains("\"fidelity\":\"approx\""), "{doc}");
+    }
+
+    #[test]
+    fn default_fidelity_axis_artifact_is_byte_stable() {
+        // A legacy plan (implicit `[Exact]`) must render no fidelity
+        // fields at all — golden artifact hashes depend on it.
+        let doc = sweep_json(&toy_result(), |p| format!("P{p}"), &[]);
+        assert!(!doc.contains("fidelit"), "unexpected fidelity fields: {doc}");
     }
 
     #[test]

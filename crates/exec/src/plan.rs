@@ -1,5 +1,6 @@
 //! Declarative sweep plans and their execution results.
 
+use rica_channel::ChannelFidelity;
 use rica_metrics::{Aggregate, TrialSummary};
 use rica_traffic::WorkloadSpec;
 
@@ -22,6 +23,10 @@ pub struct SweepPlan<P> {
     /// paper workload; widen it with [`SweepPlan::with_workloads`]).
     /// Jobs reference entries by index ([`TrialJob::workload`]).
     pub workloads: Vec<WorkloadSpec>,
+    /// The channel-fidelity axis ([`SweepPlan::new`] defaults it to
+    /// `[Exact]`; widen it with [`SweepPlan::with_fidelities`] to compare
+    /// tiers under common random numbers in one artifact).
+    pub fidelities: Vec<ChannelFidelity>,
     /// Seeded repetitions per grid cell.
     pub trials: usize,
     /// Base seed; trial `i` of every cell runs with `base_seed + i`, so
@@ -50,6 +55,9 @@ pub struct TrialJob<P> {
     /// Index into [`SweepPlan::workloads`] (kept as an index so the job
     /// stays `Copy`; resolve it against the plan).
     pub workload: usize,
+    /// Channel fidelity tier of the cell (already `Copy`, so carried by
+    /// value rather than by index).
+    pub fidelity: ChannelFidelity,
     /// Trial number within the cell (`0..trials`).
     pub trial: usize,
     /// Derived seed for this trial — a pure function of the plan.
@@ -68,6 +76,8 @@ pub struct SweepCell<P> {
     pub nodes: usize,
     /// The workload the cell ran under.
     pub workload: WorkloadSpec,
+    /// The channel fidelity tier the cell ran under.
+    pub fidelity: ChannelFidelity,
     /// Per-trial summaries, in trial order (deterministic).
     pub trials: Vec<TrialSummary>,
     /// Cross-trial aggregate, folded in trial order.
@@ -102,6 +112,7 @@ impl<P: Copy> SweepPlan<P> {
             speeds_kmh,
             node_counts,
             workloads: vec![WorkloadSpec::default()],
+            fidelities: vec![ChannelFidelity::Exact],
             trials,
             base_seed,
             traced_cells: Vec::new(),
@@ -126,6 +137,20 @@ impl<P: Copy> SweepPlan<P> {
         self
     }
 
+    /// Replaces the channel-fidelity axis (a first-class sweep dimension:
+    /// every `(protocol, speed, nodes, workload)` cell is repeated once
+    /// per tier, under common random numbers — paired comparison across
+    /// tiers, exactly like the protocol axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fidelities` is empty.
+    pub fn with_fidelities(mut self, fidelities: Vec<ChannelFidelity>) -> SweepPlan<P> {
+        assert!(!fidelities.is_empty(), "sweep plan has an empty axis");
+        self.fidelities = fidelities;
+        self
+    }
+
     /// Marks cells (by plan-order index) for tracing by trace-aware
     /// runners; indexes are validated lazily by [`SweepPlan::cell_traced`]
     /// (an out-of-range index simply never matches).
@@ -139,9 +164,14 @@ impl<P: Copy> SweepPlan<P> {
         self.traced_cells.contains(&cell)
     }
 
-    /// Number of grid cells (protocols × speeds × node counts × workloads).
+    /// Number of grid cells (protocols × speeds × node counts × workloads
+    /// × fidelities).
     pub fn cell_count(&self) -> usize {
-        self.protocols.len() * self.speeds_kmh.len() * self.node_counts.len() * self.workloads.len()
+        self.protocols.len()
+            * self.speeds_kmh.len()
+            * self.node_counts.len()
+            * self.workloads.len()
+            * self.fidelities.len()
     }
 
     /// Total number of jobs (cells × trials).
@@ -150,9 +180,9 @@ impl<P: Copy> SweepPlan<P> {
     }
 
     /// Derives the flat job grid, protocol-major then speed then nodes
-    /// then workload then trial. Job order — and every seed in it — is a
-    /// pure function of the plan, which is what makes execution results
-    /// independent of scheduling.
+    /// then workload then fidelity then trial. Job order — and every seed
+    /// in it — is a pure function of the plan, which is what makes
+    /// execution results independent of scheduling.
     pub fn jobs(&self) -> Vec<TrialJob<P>> {
         let mut jobs = Vec::with_capacity(self.job_count());
         let mut cell = 0;
@@ -160,19 +190,22 @@ impl<P: Copy> SweepPlan<P> {
             for &speed_kmh in &self.speeds_kmh {
                 for &nodes in &self.node_counts {
                     for workload in 0..self.workloads.len() {
-                        for trial in 0..self.trials {
-                            jobs.push(TrialJob {
-                                index: jobs.len(),
-                                cell,
-                                protocol,
-                                speed_kmh,
-                                nodes,
-                                workload,
-                                trial,
-                                seed: self.base_seed + trial as u64,
-                            });
+                        for &fidelity in &self.fidelities {
+                            for trial in 0..self.trials {
+                                jobs.push(TrialJob {
+                                    index: jobs.len(),
+                                    cell,
+                                    protocol,
+                                    speed_kmh,
+                                    nodes,
+                                    workload,
+                                    fidelity,
+                                    trial,
+                                    seed: self.base_seed + trial as u64,
+                                });
+                            }
+                            cell += 1;
                         }
-                        cell += 1;
                     }
                 }
             }
@@ -199,16 +232,19 @@ impl<P: Copy> SweepPlan<P> {
             for &speed_kmh in &self.speeds_kmh {
                 for &nodes in &self.node_counts {
                     for workload in &self.workloads {
-                        let trials: Vec<TrialSummary> = it.by_ref().take(self.trials).collect();
-                        let aggregate = Aggregate::from_trials(&trials);
-                        cells.push(SweepCell {
-                            protocol,
-                            speed_kmh,
-                            nodes,
-                            workload: workload.clone(),
-                            trials,
-                            aggregate,
-                        });
+                        for &fidelity in &self.fidelities {
+                            let trials: Vec<TrialSummary> = it.by_ref().take(self.trials).collect();
+                            let aggregate = Aggregate::from_trials(&trials);
+                            cells.push(SweepCell {
+                                protocol,
+                                speed_kmh,
+                                nodes,
+                                workload: workload.clone(),
+                                fidelity,
+                                trials,
+                                aggregate,
+                            });
+                        }
                     }
                 }
             }
@@ -228,6 +264,13 @@ impl<P> SweepPlan<P> {
     /// keeps their bytes — and the golden hashes over them — stable.
     pub fn default_workload_axis(&self) -> bool {
         self.workloads.len() == 1 && self.workloads[0].is_paper_default()
+    }
+
+    /// `true` when the fidelity axis is exactly the single Exact default
+    /// (legacy plans). Legacy artifacts omit the axis entirely, which
+    /// keeps their bytes — and the golden hashes over them — stable.
+    pub fn default_fidelity_axis(&self) -> bool {
+        self.fidelities.len() == 1 && self.fidelities[0] == ChannelFidelity::Exact
     }
 }
 
@@ -262,6 +305,23 @@ impl<P: Copy + PartialEq> SweepResult<P> {
     /// All cells for one protocol, in plan (speed-major) order.
     pub fn cells_for(&self, protocol: P) -> Vec<&SweepCell<P>> {
         self.cells.iter().filter(|c| c.protocol == protocol).collect()
+    }
+
+    /// The cell for `(protocol, speed, nodes, fidelity)` under the first
+    /// matching workload, if the plan contains it.
+    pub fn cell_fidelity(
+        &self,
+        protocol: P,
+        speed_kmh: f64,
+        nodes: usize,
+        fidelity: ChannelFidelity,
+    ) -> Option<&SweepCell<P>> {
+        self.cells.iter().find(|c| {
+            c.protocol == protocol
+                && c.speed_kmh == speed_kmh
+                && c.nodes == nodes
+                && c.fidelity == fidelity
+        })
     }
 }
 
@@ -360,6 +420,53 @@ mod tests {
         let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0);
         assert!(plan.default_workload_axis());
         assert_eq!(plan.jobs()[0].workload, 0);
+    }
+
+    #[test]
+    fn fidelity_axis_multiplies_the_grid() {
+        let axis = vec![ChannelFidelity::Exact, ChannelFidelity::Approx];
+        let plan =
+            SweepPlan::new(vec![1u8], vec![0.0], vec![5], 2, 9).with_fidelities(axis.clone());
+        assert!(!plan.default_fidelity_axis());
+        assert_eq!(plan.cell_count(), 2);
+        assert_eq!(plan.job_count(), 4);
+        let jobs = plan.jobs();
+        let fidelities: Vec<ChannelFidelity> = jobs.iter().map(|j| j.fidelity).collect();
+        assert_eq!(
+            fidelities,
+            vec![
+                ChannelFidelity::Exact,
+                ChannelFidelity::Exact,
+                ChannelFidelity::Approx,
+                ChannelFidelity::Approx
+            ],
+            "fidelity-major inside the workload axis"
+        );
+        // Common random numbers across the fidelity axis: trial i shares
+        // its seed between tiers (paired comparison).
+        assert_eq!(jobs[0].seed, jobs[2].seed);
+        assert_eq!(jobs[3].cell, 1);
+        let r = plan.run(&ExecOptions::serial(), toy_runner);
+        assert_eq!(r.cells[0].fidelity, ChannelFidelity::Exact);
+        assert_eq!(r.cells[1].fidelity, ChannelFidelity::Approx);
+        let approx = r.cell_fidelity(1, 0.0, 5, ChannelFidelity::Approx).expect("approx cell");
+        assert_eq!(approx.fidelity, ChannelFidelity::Approx);
+    }
+
+    #[test]
+    fn legacy_plans_have_a_default_fidelity_axis() {
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0);
+        assert!(plan.default_fidelity_axis());
+        assert_eq!(plan.jobs()[0].fidelity, ChannelFidelity::Exact);
+        // The single-Approx axis is NOT the default: artifacts must name it.
+        let approx_only = plan.with_fidelities(vec![ChannelFidelity::Approx]);
+        assert!(!approx_only.default_fidelity_axis());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty axis")]
+    fn empty_fidelity_axis_panics() {
+        let _ = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0).with_fidelities(vec![]);
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! ```text
 //! cargo run --release -p rica-harness --bin inspect -- \
 //!     [protocol] [speed_kmh] [rate_pps] [secs] \
-//!     [--trace[=PATH]] [--timeseries[=PATH]] [--profile]
+//!     [--approx] [--trace[=PATH]] [--timeseries[=PATH]] [--profile]
 //! ```
 //!
 //! Positional arguments select the trial (defaults: RICA, 36 km/h,
 //! 10 pkt/s, 60 s). The observability flags are independent opt-ins:
 //!
+//! * `--approx` runs the trial on the fast-approx channel tier
+//!   ([`ChannelFidelity::Approx`]) instead of the bit-pinned default;
 //! * `--trace[=PATH]` streams a JSONL event trace (default
 //!   `trace.jsonl`);
 //! * `--timeseries[=PATH]` writes the fixed-interval sampler artifact
@@ -20,6 +22,7 @@
 //! summary is bit-identical with every combination of the flags
 //! (`--profile` only adds output, never changes the shared lines).
 
+use rica_channel::{ChannelConfig, ChannelFidelity};
 use rica_harness::{ProtocolKind, Scenario, World};
 use rica_sim::SimDuration;
 use rica_trace::JsonlSink;
@@ -32,11 +35,14 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut timeseries_path: Option<String> = None;
     let mut profile = false;
+    let mut fidelity = ChannelFidelity::Exact;
     for arg in std::env::args().skip(1) {
         if let Some(rest) = arg.strip_prefix("--trace") {
             trace_path = Some(parse_path(rest, "trace.jsonl"));
         } else if let Some(rest) = arg.strip_prefix("--timeseries") {
             timeseries_path = Some(parse_path(rest, "timeseries.json"));
+        } else if arg == "--approx" {
+            fidelity = ChannelFidelity::Approx;
         } else if arg == "--profile" {
             profile = true;
         } else if arg.starts_with("--") {
@@ -61,6 +67,7 @@ fn main() {
         .rate_pps(rate)
         .duration_secs(secs)
         .seed(1)
+        .channel(ChannelConfig { fidelity, ..ChannelConfig::default() })
         .build();
     let mut world = World::new(&s, kind, s.seed);
     if let Some(path) = &trace_path {
@@ -99,6 +106,7 @@ fn main() {
     let diagnostics = profile.then(|| world.diagnostics());
     let r = world.finish();
     println!("protocol            {}", kind.name());
+    println!("channel fidelity    {}", fidelity.name());
     println!("generated           {}", r.generated);
     println!("delivered           {} ({:.1}%)", r.delivered, r.delivery_pct());
     println!("in flight           {}", r.in_flight());

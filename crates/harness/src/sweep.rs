@@ -6,8 +6,8 @@
 //! [`TrialJob`] into a [`TrialSummary`](rica_metrics::TrialSummary).
 //! This module supplies that function for the paper's simulator: a base
 //! [`Scenario`] acts as the template, and each job overrides the swept
-//! axes (nodes, mean speed, workload) before running one seeded
-//! [`World`] trial.
+//! axes (nodes, mean speed, workload, channel fidelity) before running
+//! one seeded [`World`] trial.
 
 use std::path::Path;
 
@@ -57,14 +57,17 @@ fn job_scenario(
     scenario.nodes = job.nodes;
     scenario.mean_speed_kmh = job.speed_kmh;
     scenario.workload = workload.clone();
+    scenario.channel.fidelity = job.fidelity;
     scenario
 }
 
 /// Executes `plan` over the worker pool: every job runs `base` with the
-/// job's node count, mean speed, workload, protocol and seed.
+/// job's node count, mean speed, workload, channel fidelity, protocol
+/// and seed.
 ///
-/// The template's own `nodes`, `mean_speed_kmh`, `workload` and `seed`
-/// are ignored — the plan's axes are authoritative. (Per-flow workload
+/// The template's own `nodes`, `mean_speed_kmh`, `workload`,
+/// `channel.fidelity` and `seed` are ignored — the plan's axes are
+/// authoritative. (Per-flow workload
 /// overrides on explicit template flows still win over the plan axis,
 /// like every other per-flow field.)
 pub fn run_plan(
@@ -227,6 +230,38 @@ mod tests {
         // The artifact names the axis and the cells.
         let doc = rica_exec::sweep_json(&result, |k| k.name().to_string(), &[]);
         assert!(doc.contains(&format!("\"workload\":\"{}\"", bursty.label())), "{doc}");
+    }
+
+    #[test]
+    fn fidelity_axis_overrides_template() {
+        use rica_channel::ChannelFidelity;
+        // Dense enough that routes form and CSI classes shape the outcome
+        // (the 8-node template never delivers, which would make the two
+        // tiers' summaries vacuously equal).
+        let base = Scenario::builder()
+            .nodes(12)
+            .flows(3)
+            .rate_pps(10.0)
+            .duration_secs(20.0)
+            .mean_speed_kmh(36.0)
+            .seed(42)
+            .build();
+        let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![36.0], vec![12], 1, 7)
+            .with_fidelities(vec![ChannelFidelity::Exact, ChannelFidelity::Approx]);
+        let result = run_plan(&plan, &base, &ExecOptions::serial());
+        assert_eq!(result.cells.len(), 2);
+        // Cell 0 ran the Exact tier: same bytes as a direct legacy run.
+        let direct = base.run_seeded(ProtocolKind::Rica, 7);
+        assert_eq!(result.cells[0].trials[0], direct);
+        // Cell 1 ran the Approx tier: a different (but statistically
+        // equivalent) realisation under the same seed.
+        let approx = &result.cells[1].trials[0];
+        assert_ne!(*approx, direct, "approx tier should realise different bits");
+        assert_eq!(approx.generated, direct.generated, "traffic is channel-independent");
+        // The artifact names the axis and the cells.
+        let doc = rica_exec::sweep_json(&result, |k| k.name().to_string(), &[]);
+        assert!(doc.contains("\"fidelities\":[\"exact\",\"approx\"]"), "{doc}");
+        assert!(doc.contains("\"fidelity\":\"approx\""), "{doc}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use rica_channel::{ChannelClass, ChannelModel};
+use rica_channel::{ChannelClass, ChannelFidelity, ChannelModel};
 use rica_mac::{backoff_delay, CommonMedium, TxId};
 use rica_metrics::{Metrics, TrialSummary, WorldDiagnostics};
 use rica_mobility::{kmh_to_ms, SpatialGrid, Vec2, Waypoint};
@@ -153,6 +153,10 @@ pub struct World<'s> {
     scratch_receivers: Vec<(usize, RxInfo)>,
     /// Scratch: expired packets surfaced by queue pops.
     scratch_expired: Vec<DataPacket>,
+    /// Scratch (approx fidelity only): `(candidate, d²)` broadcast
+    /// survivors awaiting batched classification, and their classes.
+    scratch_survivors: Vec<(u32, f64)>,
+    scratch_classes: Vec<ChannelClass>,
     /// Structured event tracing; `None` (the default) keeps every
     /// emission site down to one branch.
     tracer: Option<TraceState>,
@@ -375,6 +379,8 @@ impl<'s> World<'s> {
             fanout: vec![Vec::new(); scenario.nodes],
             scratch_receivers: Vec::new(),
             scratch_expired: Vec::new(),
+            scratch_survivors: Vec::new(),
+            scratch_classes: Vec::new(),
             tracer: None,
             timeseries: None,
             profiler: None,
@@ -893,55 +899,121 @@ impl<'s> World<'s> {
             // them per candidate. The cached list never contains the
             // transmitter itself (see `broadcast_candidates`).
             let World {
-                nodes, dead, pos_cache, pos_stamp, medium, channel, metrics, tracer, ..
+                nodes,
+                dead,
+                pos_cache,
+                pos_stamp,
+                medium,
+                channel,
+                metrics,
+                tracer,
+                scratch_survivors,
+                scratch_classes,
+                ..
             } = self;
-            for &cand in &candidates {
-                let j = cand as usize;
-                if dead[j] {
-                    continue;
-                }
-                // Inlined `World::position`: one evaluation per node per
-                // event timestamp.
-                let pj = if pos_stamp[j] == now {
-                    pos_cache[j]
-                } else {
-                    let p = nodes[j].mobility.position_at(now);
-                    pos_cache[j] = p;
-                    pos_stamp[j] = now;
-                    p
-                };
-                let d_sq = pj.distance_sq(p_tx);
-                if d_sq > range_sq {
-                    continue;
-                }
-                if !medium.delivered_prepared(cand, pj) {
-                    metrics.on_collision();
+            let approx = channel.config().fidelity == ChannelFidelity::Approx;
+            if !approx {
+                for &cand in &candidates {
+                    let j = cand as usize;
+                    if dead[j] {
+                        continue;
+                    }
+                    // Inlined `World::position`: one evaluation per node per
+                    // event timestamp.
+                    let pj = if pos_stamp[j] == now {
+                        pos_cache[j]
+                    } else {
+                        let p = nodes[j].mobility.position_at(now);
+                        pos_cache[j] = p;
+                        pos_stamp[j] = now;
+                        p
+                    };
+                    let d_sq = pj.distance_sq(p_tx);
+                    if d_sq > range_sq {
+                        continue;
+                    }
+                    if !medium.delivered_prepared(cand, pj) {
+                        metrics.on_collision();
+                        if let Some(tr) = tracer {
+                            tr.sink.record(&TraceEvent::MacCollision {
+                                t: now,
+                                tx: NodeId(node as u32),
+                                rx: NodeId(cand),
+                            });
+                        }
+                        continue;
+                    }
+                    // The CSI measurement reuses the squared distance measured
+                    // for the range check above (bit-identical: IEEE negation
+                    // is exact, so the displacement order cannot matter).
+                    let class = channel
+                        .class_at_dist_sq(node as u32, cand, d_sq, now)
+                        .expect("receiver in range has a class");
                     if let Some(tr) = tracer {
-                        tr.sink.record(&TraceEvent::MacCollision {
-                            t: now,
-                            tx: NodeId(node as u32),
-                            rx: NodeId(cand),
-                        });
+                        tr.note_class(now, node as u32, cand, class);
                     }
-                    continue;
-                }
-                // The CSI measurement reuses the squared distance measured
-                // for the range check above (bit-identical: IEEE negation
-                // is exact, so the displacement order cannot matter).
-                let class = channel
-                    .class_at_dist_sq(node as u32, cand, d_sq, now)
-                    .expect("receiver in range has a class");
-                if let Some(tr) = tracer {
-                    tr.note_class(now, node as u32, cand, class);
-                }
-                let info = RxInfo { from: NodeId(node as u32), class };
-                match out.target {
-                    None => receivers.push((j, info)),
-                    Some(t) if t.index() == j => {
-                        target_delivered = true;
-                        receivers.push((j, info));
+                    let info = RxInfo { from: NodeId(node as u32), class };
+                    match out.target {
+                        None => receivers.push((j, info)),
+                        Some(t) if t.index() == j => {
+                            target_delivered = true;
+                            receivers.push((j, info));
+                        }
+                        Some(_) => {} // MAC-filtered: not addressed to j
                     }
-                    Some(_) => {} // MAC-filtered: not addressed to j
+                }
+            } else {
+                // Approx fidelity: identical dead / position / range /
+                // collision filtering, but the surviving receiver set is
+                // classified in one `ChannelModel::class_batch` call — the
+                // per-pair innovation draws happen in a single tight loop
+                // over dense rows instead of per-candidate.
+                scratch_survivors.clear();
+                for &cand in &candidates {
+                    let j = cand as usize;
+                    if dead[j] {
+                        continue;
+                    }
+                    let pj = if pos_stamp[j] == now {
+                        pos_cache[j]
+                    } else {
+                        let p = nodes[j].mobility.position_at(now);
+                        pos_cache[j] = p;
+                        pos_stamp[j] = now;
+                        p
+                    };
+                    let d_sq = pj.distance_sq(p_tx);
+                    if d_sq > range_sq {
+                        continue;
+                    }
+                    if !medium.delivered_prepared(cand, pj) {
+                        metrics.on_collision();
+                        if let Some(tr) = tracer {
+                            tr.sink.record(&TraceEvent::MacCollision {
+                                t: now,
+                                tx: NodeId(node as u32),
+                                rx: NodeId(cand),
+                            });
+                        }
+                        continue;
+                    }
+                    scratch_survivors.push((cand, d_sq));
+                }
+                channel.class_batch(node as u32, scratch_survivors, now, scratch_classes);
+                for (&(cand, _), &class) in scratch_survivors.iter().zip(scratch_classes.iter()) {
+                    let j = cand as usize;
+                    if let Some(tr) = tracer {
+                        tr.note_class(now, node as u32, cand, class);
+                    }
+                    let info = RxInfo { from: NodeId(node as u32), class };
+                    match out.target {
+                        None => receivers.push((j, info)),
+                        Some(t) if t.index() == j => {
+                            target_delivered = true;
+                            receivers.push((j, info));
+                        }
+                        Some(_) => {} // MAC-filtered: not addressed to j
+                    }
                 }
             }
         }

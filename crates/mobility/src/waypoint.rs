@@ -102,6 +102,15 @@ impl Waypoint {
         }
     }
 
+    /// Kept out of line (`#[cold]`): legs change a few times per *trial*
+    /// while `position_at` runs millions of times per trial, and letting
+    /// the leg-drawing machinery (field sampling, RNG) inline into the
+    /// query path is exactly what regressed `micro/mobility_position`
+    /// ~2.5× when the workspace moved to `lto = "thin"` +
+    /// `codegen-units = 1` (the pessimisation appears only under that
+    /// profile combination; see `BENCH_micro.json`).
+    #[cold]
+    #[inline(never)]
     fn draw_moving_leg(&mut self, start: SimTime) -> Leg {
         let to = self.field.random_point(&mut self.rng);
         let speed = self.rng.range_f64(0.0, self.max_speed).max(MIN_SPEED_MS);

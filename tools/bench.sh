@@ -25,9 +25,12 @@
 # so the perf trajectory across PRs stays reviewable in git history.
 #
 # Workloads covered (see crates/bench/src/bin/hotloop.rs): the paper-grid
-# trials per protocol, the 200-node scale trial, the bursty 200-node
+# trials per protocol, the 200-node scale trial on both channel tiers
+# (trial/scale200/RICA, trial/scale200_approx/RICA), the bursty 200-node
 # overload trial through rica-traffic (trial/workload_burst/RICA), and the
-# substrate micro-loops. `smoke` runs them all in quick mode in CI.
+# substrate micro-loops including the approx-tier sampling pair
+# (micro/ou_sample_repeat_dt[_approx], micro/ziggurat_normal). `smoke`
+# runs them all in quick mode in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -6,6 +6,10 @@
 # exists to catch drift between the Rust emitters and the documented
 # schema that external consumers (jq pipelines, notebooks) parse.
 #
+# Runs the trial on both channel fidelity tiers (`--approx` re-routes
+# every OU draw through the ziggurat/quantised path), so schema drift in
+# an approx-only emission path can't hide behind the exact-tier default.
+#
 #   tools/trace_lint.sh [protocol] [secs]     defaults: rica, 10 s
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,47 +19,62 @@ secs="${2:-10}"
 dir="$(mktemp -d /tmp/rica_trace_lint.XXXXXX)"
 trap 'rm -rf "$dir"' EXIT
 
-cargo run --release -q -p rica-harness --bin inspect -- "$proto" 36 10 "$secs" \
-  --trace="$dir/trace.jsonl" --timeseries="$dir/timeseries.json" >/dev/null
-
 names='data_generated|data_enqueued|data_tx_start|data_hop|data_retry'
 names+='|data_delivered|data_dropped|ctrl_tx|ctrl_queue_drop|mac_busy'
 names+='|mac_abandon|mac_collision|ctrl_unicast_gave_up|link_break'
 names+='|timer_fired|route_phase|class_transition|node_crashed'
 
-lines=$(wc -l < "$dir/trace.jsonl")
-if [[ "$lines" -lt 100 ]]; then
-  echo "trace_lint: only $lines trace lines from a ${secs}s trial" >&2
-  exit 1
-fi
+# Lint one traced trial; $1 is the fidelity label ("exact"/"approx") and
+# the remaining arguments are extra `inspect` flags.
+lint_tier() {
+  tier="$1"
+  shift
+  cargo run --release -q -p rica-harness --bin inspect -- "$proto" 36 10 "$secs" \
+    "$@" --trace="$dir/trace.jsonl" --timeseries="$dir/timeseries.json" >/dev/null
 
-# Every line: {"t":<digits>,"ev":"<known name>",...} and closed.
-bad=$(grep -cEv "^\{\"t\":[0-9]+,\"ev\":\"($names)\"(,|\})" "$dir/trace.jsonl" || true)
-if [[ "$bad" -ne 0 ]]; then
-  echo "trace_lint: $bad line(s) break the t/ev prefix schema:" >&2
-  grep -Ev "^\{\"t\":[0-9]+,\"ev\":\"($names)\"(,|\})" "$dir/trace.jsonl" | head -5 >&2
-  exit 1
-fi
-unclosed=$(grep -cv '}$' "$dir/trace.jsonl" || true)
-if [[ "$unclosed" -ne 0 ]]; then
-  echo "trace_lint: $unclosed line(s) are not closed JSON objects" >&2
-  exit 1
-fi
+  lines=$(wc -l < "$dir/trace.jsonl")
+  if [[ "$lines" -lt 100 ]]; then
+    echo "trace_lint[$tier]: only $lines trace lines from a ${secs}s trial" >&2
+    exit 1
+  fi
 
-# Timestamps non-decreasing (the artifact is in dispatch order).
-if ! sed -E 's/^\{"t":([0-9]+).*/\1/' "$dir/trace.jsonl" | sort -C -n; then
-  echo "trace_lint: trace timestamps are not non-decreasing" >&2
-  exit 1
-fi
+  # Every line: {"t":<digits>,"ev":"<known name>",...} and closed.
+  bad=$(grep -cEv "^\{\"t\":[0-9]+,\"ev\":\"($names)\"(,|\})" "$dir/trace.jsonl" || true)
+  if [[ "$bad" -ne 0 ]]; then
+    echo "trace_lint[$tier]: $bad line(s) break the t/ev prefix schema:" >&2
+    grep -Ev "^\{\"t\":[0-9]+,\"ev\":\"($names)\"(,|\})" "$dir/trace.jsonl" | head -5 >&2
+    exit 1
+  fi
+  unclosed=$(grep -cv '}$' "$dir/trace.jsonl" || true)
+  if [[ "$unclosed" -ne 0 ]]; then
+    echo "trace_lint[$tier]: $unclosed line(s) are not closed JSON objects" >&2
+    exit 1
+  fi
 
-# Timeseries artifact: schema marker + one sample per second + t=0 row.
-ts="$dir/timeseries.json"
-grep -q '"schema": "rica-timeseries-v1"' "$ts"
-grep -q '"interval_ns": 1000000000' "$ts"
-samples=$(grep -c '"t_ns":' "$ts")
-if [[ "$samples" -ne $((secs + 1)) ]]; then
-  echo "trace_lint: expected $((secs + 1)) samples for ${secs}s at 1 Hz, got $samples" >&2
-  exit 1
-fi
+  # Timestamps non-decreasing (the artifact is in dispatch order).
+  if ! sed -E 's/^\{"t":([0-9]+).*/\1/' "$dir/trace.jsonl" | sort -C -n; then
+    echo "trace_lint[$tier]: trace timestamps are not non-decreasing" >&2
+    exit 1
+  fi
 
-echo "trace_lint: OK ($lines trace lines, $samples samples, protocol $proto)"
+  # Timeseries artifact: schema marker + one sample per second + t=0 row.
+  ts="$dir/timeseries.json"
+  grep -q '"schema": "rica-timeseries-v1"' "$ts"
+  grep -q '"interval_ns": 1000000000' "$ts"
+  samples=$(grep -c '"t_ns":' "$ts")
+  if [[ "$samples" -ne $((secs + 1)) ]]; then
+    echo "trace_lint[$tier]: expected $((secs + 1)) samples for ${secs}s at 1 Hz, got $samples" >&2
+    exit 1
+  fi
+
+  echo "trace_lint: OK ($lines trace lines, $samples samples, protocol $proto, $tier tier)"
+}
+
+lint_tier exact
+lint_tier approx --approx
+
+# The sweep artifact names the fidelity axis only when it is non-default
+# (mirroring the workload-axis pattern), so a legacy plan's bytes — and
+# the pinned sweep hash — stay untouched. Both shapes are pinned by
+# `cargo test -p rica-exec` (crates/exec/src/json.rs); nothing to lint
+# here beyond the traced trials above.
