@@ -33,6 +33,10 @@
 //! * `micro/trace_noop_overhead` — the paper-grid RICA trial with a
 //!   disabled (`NoopSink`) trace sink installed; compare against
 //!   `trial/paper50/RICA` to read the observability tax (kept ≤2%).
+//! * `micro/fleet_stream_overhead` — serialise + parse round-trips of a
+//!   realistic per-trial JSONL record (`rica_metrics::TrialRecord`): the
+//!   streaming tax a sharded `rica-fleet` sweep pays per trial on top of
+//!   the trial itself.
 //! * `micro/…` — event-queue, channel-sampling and mobility loops with
 //!   fixed iteration counts (seconds per fixed workload, comparable
 //!   across snapshots).
@@ -376,6 +380,54 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
                         }
                     }
                 }
+            }
+            acc
+        }),
+    ));
+    // One realistic trial summary (delivery, drops, control traffic, a
+    // throughput series), round-tripped through the fleet streaming
+    // codec — the per-trial cost a sharded sweep adds on top of the
+    // trial itself. Built once; the loop times serialise + parse.
+    let streamed = {
+        use rica_net::{DataPacket, DropReason, FlowId, NodeId};
+        let mut m = rica_metrics::Metrics::new();
+        let mut rng = Rng::new(23);
+        for i in 0..400u64 {
+            m.on_generated();
+            match rng.u64_below(10) {
+                0 => m.on_dropped(DropReason::NoRoute),
+                1 => m.on_dropped(DropReason::LinkBreak),
+                _ => {
+                    let pkt =
+                        DataPacket::new(FlowId(0), i, NodeId(0), NodeId(1), 512, SimTime::ZERO);
+                    let at = SimTime::from_secs_f64(i as f64 * 0.22 + rng.f64() * 0.05);
+                    m.on_delivered(&pkt, at);
+                }
+            }
+            m.on_control_tx(rica_net::ControlKind::Rreq, 416);
+            m.on_ack_tx(128);
+        }
+        m.finish(rica_sim::SimDuration::from_secs(100))
+    };
+    entries.push((
+        "micro/fleet_stream_overhead".to_string(),
+        time_min(reps, || {
+            let rec = rica_metrics::TrialRecord {
+                job: 17,
+                cell: 3,
+                trial: 2,
+                seed: 44,
+                summary: streamed.clone(),
+            };
+            let mut acc = 0usize;
+            for i in 0..(micro_iters / 16) {
+                let mut r = rec.clone();
+                r.job = i as usize;
+                let line = r.to_line();
+                acc +=
+                    rica_metrics::TrialRecord::parse(&line).expect("round-trip").summary.generated
+                        as usize
+                        + line.len();
             }
             acc
         }),

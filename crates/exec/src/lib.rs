@@ -62,7 +62,7 @@ mod pool;
 mod progress;
 
 pub use json::{json_string, sweep_json, write_sweep_json};
-pub use plan::{SweepCell, SweepPlan, SweepResult, TrialJob};
+pub use plan::{fnv1a, CellAxes, SweepCell, SweepPlan, SweepResult, TrialJob};
 pub use pool::{effective_workers, run_jobs, ExecOptions};
 pub use progress::Progress;
 

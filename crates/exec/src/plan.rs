@@ -39,6 +39,23 @@ pub struct SweepPlan<P> {
     pub traced_cells: Vec<usize>,
 }
 
+/// The resolved axes of one grid cell (plan order) — what
+/// [`SweepPlan::cell_axes`] returns and the shard/adaptive runners build
+/// jobs from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellAxes<P> {
+    /// Protocol label of the cell.
+    pub protocol: P,
+    /// Mean speed (km/h) of the cell.
+    pub speed_kmh: f64,
+    /// Node count of the cell.
+    pub nodes: usize,
+    /// Index into [`SweepPlan::workloads`].
+    pub workload: usize,
+    /// Channel fidelity tier of the cell.
+    pub fidelity: ChannelFidelity,
+}
+
 /// One executable unit: a single seeded trial of a single grid cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialJob<P> {
@@ -213,6 +230,64 @@ impl<P: Copy> SweepPlan<P> {
         jobs
     }
 
+    /// Resolves the axes of grid cell `cell` (plan order) without
+    /// materialising the job grid — the index arithmetic inverse of the
+    /// nested loops in [`SweepPlan::jobs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= self.cell_count()`.
+    pub fn cell_axes(&self, cell: usize) -> CellAxes<P> {
+        assert!(cell < self.cell_count(), "cell {cell} out of range ({})", self.cell_count());
+        let fidelity = self.fidelities[cell % self.fidelities.len()];
+        let rest = cell / self.fidelities.len();
+        let workload = rest % self.workloads.len();
+        let rest = rest / self.workloads.len();
+        let nodes = self.node_counts[rest % self.node_counts.len()];
+        let rest = rest / self.node_counts.len();
+        let speed_kmh = self.speeds_kmh[rest % self.speeds_kmh.len()];
+        let protocol = self.protocols[rest / self.speeds_kmh.len()];
+        CellAxes { protocol, speed_kmh, nodes, workload, fidelity }
+    }
+
+    /// The job at flat index `index` of the grid — identical to
+    /// `self.jobs()[index]` but O(1), so a shard can derive its own
+    /// sub-range of a million-job plan without materialising the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.job_count()`.
+    pub fn job_at(&self, index: usize) -> TrialJob<P> {
+        assert!(index < self.job_count(), "job {index} out of range ({})", self.job_count());
+        let cell = index / self.trials;
+        let trial = index % self.trials;
+        let axes = self.cell_axes(cell);
+        TrialJob {
+            index,
+            cell,
+            protocol: axes.protocol,
+            speed_kmh: axes.speed_kmh,
+            nodes: axes.nodes,
+            workload: axes.workload,
+            fidelity: axes.fidelity,
+            trial,
+            seed: self.base_seed + trial as u64,
+        }
+    }
+
+    /// The contiguous job sub-range `[start, end)` of the grid — the unit
+    /// a fleet shard executes. Identical to `self.jobs()[start..end]`
+    /// (seeds included: they are a pure function of the plan, so any
+    /// shard assignment reproduces the exact single-shot trial stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn jobs_range(&self, start: usize, end: usize) -> Vec<TrialJob<P>> {
+        assert!(start <= end && end <= self.job_count(), "bad job range {start}..{end}");
+        (start..end).map(|i| self.job_at(i)).collect()
+    }
+
     /// Executes the plan: fans the job grid out over `opts.workers`
     /// threads, then reassembles cells in plan order.
     ///
@@ -259,6 +334,42 @@ impl<P: Copy> SweepPlan<P> {
 }
 
 impl<P> SweepPlan<P> {
+    /// A stable content hash of everything that determines the plan's
+    /// results: protocol labels (via `label`), speeds (exact f64 bits),
+    /// node counts, trials, base seed, workload labels and fidelity
+    /// names. `traced_cells` is deliberately excluded — tracing never
+    /// changes results.
+    ///
+    /// Shard manifests and fleet artifacts stamp this hash so a resumed
+    /// sweep can prove its shard files came from the same plan; the
+    /// pinned-value test in `tests/fleet.rs` catches accidental
+    /// plan-schema drift (a new axis must extend this encoding).
+    pub fn content_hash(&self, label: impl Fn(&P) -> String) -> u64 {
+        use std::fmt::Write as _;
+        let mut enc = String::from("rica-sweep-plan-v1;protocols");
+        for p in &self.protocols {
+            let _ = write!(enc, "|{}", label(p));
+        }
+        enc.push_str(";speeds");
+        for v in &self.speeds_kmh {
+            let _ = write!(enc, "|{:016x}", v.to_bits());
+        }
+        enc.push_str(";nodes");
+        for n in &self.node_counts {
+            let _ = write!(enc, "|{n}");
+        }
+        let _ = write!(enc, ";trials|{};seed|{}", self.trials, self.base_seed);
+        enc.push_str(";workloads");
+        for w in &self.workloads {
+            let _ = write!(enc, "|{}", w.label());
+        }
+        enc.push_str(";fidelities");
+        for f in &self.fidelities {
+            let _ = write!(enc, "|{}", f.name());
+        }
+        fnv1a(enc.as_bytes())
+    }
+
     /// `true` when the workload axis is exactly the single paper default
     /// (legacy plans). Legacy artifacts omit the axis entirely, which
     /// keeps their bytes — and the golden hashes over them — stable.
@@ -272,6 +383,17 @@ impl<P> SweepPlan<P> {
     pub fn default_fidelity_axis(&self) -> bool {
         self.fidelities.len() == 1 && self.fidelities[0] == ChannelFidelity::Exact
     }
+}
+
+/// FNV-1a over raw bytes — the workspace's standard content hash (the
+/// golden tests pin the same function over Debug renderings).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl<P: Copy + PartialEq> SweepResult<P> {
@@ -383,6 +505,57 @@ mod tests {
     #[should_panic(expected = "empty axis")]
     fn empty_axis_panics() {
         SweepPlan::<u8>::new(vec![], vec![0.0], vec![5], 1, 0);
+    }
+
+    #[test]
+    fn job_at_matches_materialised_grid() {
+        use rica_traffic::{ArrivalSpec, SizeSpec, WorkloadSpec};
+        let plan = SweepPlan::new(vec![1u8, 2, 3], vec![0.0, 36.0], vec![10, 50], 3, 100)
+            .with_workloads(vec![
+                WorkloadSpec::default(),
+                WorkloadSpec { arrival: ArrivalSpec::Cbr, size: SizeSpec::Fixed },
+            ])
+            .with_fidelities(vec![ChannelFidelity::Exact, ChannelFidelity::Approx]);
+        let jobs = plan.jobs();
+        assert_eq!(jobs.len(), plan.job_count());
+        for (i, want) in jobs.iter().enumerate() {
+            assert_eq!(plan.job_at(i), *want, "job_at({i}) diverged from jobs()");
+        }
+        // Ranges are exactly the slices, including seeds.
+        assert_eq!(plan.jobs_range(0, jobs.len()), jobs);
+        assert_eq!(plan.jobs_range(5, 17), jobs[5..17].to_vec());
+        assert_eq!(plan.jobs_range(7, 7), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn job_at_rejects_out_of_range() {
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 2, 0);
+        let _ = plan.job_at(2);
+    }
+
+    #[test]
+    fn content_hash_tracks_every_axis() {
+        let base = SweepPlan::new(vec![1u8, 2], vec![0.0, 36.0], vec![10], 4, 100);
+        let label = |p: &u8| format!("P{p}");
+        let h = base.content_hash(label);
+        // Same plan, same hash; traced cells are excluded by design.
+        assert_eq!(base.clone().with_traced_cells(vec![0]).content_hash(label), h);
+        // Every results-relevant axis moves the hash.
+        let mut speeds = base.clone();
+        speeds.speeds_kmh[1] = 37.0;
+        assert_ne!(speeds.content_hash(label), h);
+        let mut trials = base.clone();
+        trials.trials = 5;
+        assert_ne!(trials.content_hash(label), h);
+        let mut seed = base.clone();
+        seed.base_seed = 101;
+        assert_ne!(seed.content_hash(label), h);
+        let widened =
+            base.clone().with_fidelities(vec![ChannelFidelity::Exact, ChannelFidelity::Approx]);
+        assert_ne!(widened.content_hash(label), h);
+        // And the label function matters (protocol identity).
+        assert_ne!(base.content_hash(|p| format!("Q{p}")), h);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! The fleet coordinator: resume-aware shard execution and the
+//! deterministic merge back into a legacy sweep result.
+
+use std::path::Path;
+
+use rica_exec::{ExecOptions, SweepCell, SweepPlan, SweepResult, TrialJob};
+use rica_metrics::{Aggregate, TrialSummary};
+
+use crate::manifest::FleetManifest;
+use crate::shard::{read_shard, run_shard, shard_state, ShardState};
+
+/// File name of the manifest inside a fleet directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// What one coordinator pass did per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// The manifest the pass ran under (fresh or adopted from disk).
+    pub manifest: FleetManifest,
+    /// Shards executed in this pass (missing or invalid on entry).
+    pub ran: Vec<usize>,
+    /// Shards whose existing streams validated and were kept as-is.
+    pub reused: Vec<usize>,
+}
+
+/// Loads the manifest of a fleet directory, if one exists.
+pub fn load_manifest(dir: &Path) -> Result<Option<FleetManifest>, String> {
+    let path = dir.join(MANIFEST_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let body = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    FleetManifest::parse(&body).map(Some)
+}
+
+/// Resolves the manifest a pass should run under: adopt a matching
+/// on-disk manifest (its shard split wins — that is what the existing
+/// streams were cut against), or derive and persist a fresh
+/// `shard_count`-way split. A manifest from a *different* plan is a
+/// hard error: the directory holds someone else's results.
+pub fn ensure_manifest<P: Copy>(
+    plan: &SweepPlan<P>,
+    label: impl Fn(&P) -> String,
+    dir: &Path,
+    shard_count: usize,
+) -> Result<FleetManifest, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if let Some(existing) = load_manifest(dir)? {
+        existing.matches_plan(plan, &label)?;
+        return Ok(existing);
+    }
+    let manifest = FleetManifest::split(plan, label, shard_count);
+    std::fs::write(dir.join(MANIFEST_FILE), manifest.to_json())
+        .map_err(|e| format!("write manifest: {e}"))?;
+    Ok(manifest)
+}
+
+/// Runs (or resumes) a sharded sweep in `dir`: scans every shard stream,
+/// keeps the complete ones, and re-runs only the missing or invalid
+/// ones. Idempotent — a second call over a finished directory runs
+/// nothing.
+///
+/// # Errors
+///
+/// Fails if the directory's manifest belongs to a different plan, or on
+/// stream I/O errors.
+pub fn run_fleet<P, F>(
+    plan: &SweepPlan<P>,
+    label: impl Fn(&P) -> String,
+    dir: &Path,
+    shard_count: usize,
+    opts: &ExecOptions,
+    runner: F,
+) -> Result<FleetReport, String>
+where
+    P: Copy + Send + Sync,
+    F: Fn(&TrialJob<P>) -> TrialSummary + Sync,
+{
+    let manifest = ensure_manifest(plan, &label, dir, shard_count)?;
+    let mut ran = Vec::new();
+    let mut reused = Vec::new();
+    for shard in 0..manifest.shards.len() {
+        match shard_state(&manifest, shard, dir) {
+            ShardState::Complete => reused.push(shard),
+            ShardState::Missing | ShardState::Invalid(_) => {
+                run_shard(plan, &manifest, shard, dir, opts, &runner)
+                    .map_err(|e| format!("shard {shard}: {e}"))?;
+                ran.push(shard);
+            }
+        }
+    }
+    Ok(FleetReport { manifest, ran, reused })
+}
+
+/// Merges a completed fleet directory back into a [`SweepResult`]: every
+/// shard stream is re-validated, records are reassembled in plan order,
+/// and each cell's aggregate is folded by `Aggregate::from_trials` —
+/// the same code path `SweepPlan::run` uses, so the merged result (and
+/// any artifact rendered from it) is **byte-identical** to a single-shot
+/// in-process sweep of the same plan. Execution metadata is normalised
+/// (`workers = 0`, `wall_secs = 0.0`): a merged result's payload is a
+/// function of the plan alone, never of how the fleet was cut.
+///
+/// # Errors
+///
+/// Fails if the manifest is absent or foreign, or any shard stream is
+/// missing, truncated, or inconsistent with the plan.
+pub fn merge_fleet<P>(
+    plan: &SweepPlan<P>,
+    label: impl Fn(&P) -> String,
+    dir: &Path,
+) -> Result<SweepResult<P>, String>
+where
+    P: Copy,
+{
+    let manifest = load_manifest(dir)?.ok_or("fleet directory has no manifest")?;
+    manifest.matches_plan(plan, label)?;
+    let mut summaries: Vec<TrialSummary> = Vec::with_capacity(manifest.jobs);
+    for shard in 0..manifest.shards.len() {
+        let records =
+            read_shard(&manifest, shard, dir).map_err(|e| format!("shard {shard}: {e}"))?;
+        for rec in records {
+            let job = plan.job_at(rec.job);
+            if rec.cell != job.cell || rec.trial != job.trial || rec.seed != job.seed {
+                return Err(format!("record for job {} disagrees with the plan grid", rec.job));
+            }
+            debug_assert_eq!(summaries.len(), rec.job, "shards tile jobs in order");
+            summaries.push(rec.summary);
+        }
+    }
+    let mut cells = Vec::with_capacity(manifest.cells);
+    for cell in 0..manifest.cells {
+        let axes = plan.cell_axes(cell);
+        let trials = summaries[cell * plan.trials..(cell + 1) * plan.trials].to_vec();
+        let aggregate = Aggregate::from_trials(&trials);
+        cells.push(SweepCell {
+            protocol: axes.protocol,
+            speed_kmh: axes.speed_kmh,
+            nodes: axes.nodes,
+            workload: plan.workloads[axes.workload].clone(),
+            fidelity: axes.fidelity,
+            trials,
+            aggregate,
+        });
+    }
+    Ok(SweepResult { plan: plan.clone(), cells, workers: 0, wall_secs: 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_metrics::Metrics;
+    use rica_sim::SimDuration;
+
+    fn toy_runner(job: &TrialJob<u8>) -> TrialSummary {
+        use rica_net::{DataPacket, FlowId, NodeId};
+        use rica_sim::SimTime;
+        let mut m = Metrics::new();
+        let n = job.seed % 7 + job.protocol as u64 + job.trial as u64 + job.nodes as u64;
+        for i in 0..n {
+            m.on_generated();
+            if i % 2 == 0 {
+                // Deliver half the packets with job-dependent delays so
+                // aggregates carry real means and variances.
+                let pkt = DataPacket::new(FlowId(0), i, NodeId(0), NodeId(1), 512, SimTime::ZERO);
+                let at = SimTime::ZERO + SimDuration::from_millis(5 + job.trial as u64 + i);
+                m.on_delivered(&pkt, at);
+            }
+        }
+        m.finish(SimDuration::from_secs(1))
+    }
+
+    fn plan() -> SweepPlan<u8> {
+        SweepPlan::new(vec![1u8, 2], vec![0.0, 36.0], vec![10, 20], 4, 42)
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rica_fleet_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_run_executes_every_shard_and_merges_to_plan_run() {
+        let p = plan();
+        let dir = tmp_dir("fresh");
+        let report =
+            run_fleet(&p, u8::to_string, &dir, 4, &ExecOptions::serial(), toy_runner).unwrap();
+        assert_eq!(report.ran, vec![0, 1, 2, 3]);
+        assert!(report.reused.is_empty());
+        let merged = merge_fleet(&p, u8::to_string, &dir).unwrap();
+        let mut direct = p.run(&ExecOptions::serial(), toy_runner);
+        direct.workers = 0;
+        direct.wall_secs = 0.0;
+        assert_eq!(merged.cells, direct.cells, "merge must equal a single-shot run");
+        let label = |x: &u8| x.to_string();
+        assert_eq!(
+            rica_exec::sweep_json(&merged, label, &[]),
+            rica_exec::sweep_json(&direct, label, &[]),
+            "…byte-for-byte in the artifact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_runs_only_the_damaged_shard() {
+        let p = plan();
+        let dir = tmp_dir("resume");
+        let first =
+            run_fleet(&p, u8::to_string, &dir, 4, &ExecOptions::serial(), toy_runner).unwrap();
+        let before = merge_fleet(&p, u8::to_string, &dir).unwrap();
+        // Kill one shard; truncate another mid-stream.
+        std::fs::remove_file(first.manifest.shard_path(&dir, 2)).unwrap();
+        let victim = first.manifest.shard_path(&dir, 0);
+        let body = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &body[..body.len() / 2]).unwrap();
+        let second =
+            run_fleet(&p, u8::to_string, &dir, 4, &ExecOptions::serial(), toy_runner).unwrap();
+        assert_eq!(second.ran, vec![0, 2], "only the damaged shards re-ran");
+        assert_eq!(second.reused, vec![1, 3]);
+        let after = merge_fleet(&p, u8::to_string, &dir).unwrap();
+        assert_eq!(after.cells, before.cells, "resume reproduces the identical result");
+        // And a third pass is a no-op.
+        let third =
+            run_fleet(&p, u8::to_string, &dir, 4, &ExecOptions::serial(), toy_runner).unwrap();
+        assert!(third.ran.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_directory_is_refused() {
+        let p = plan();
+        let dir = tmp_dir("foreign");
+        run_fleet(&p, u8::to_string, &dir, 2, &ExecOptions::serial(), toy_runner).unwrap();
+        let mut other = p.clone();
+        other.trials += 1;
+        let err = run_fleet(&other, u8::to_string, &dir, 2, &ExecOptions::serial(), toy_runner)
+            .unwrap_err();
+        assert!(err.contains("hash"), "{err}");
+        assert!(merge_fleet(&other, u8::to_string, &dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adopted_manifest_split_wins_over_requested_shard_count() {
+        let p = plan();
+        let dir = tmp_dir("adopt");
+        run_fleet(&p, u8::to_string, &dir, 4, &ExecOptions::serial(), toy_runner).unwrap();
+        // Resuming with a different shard count keeps the on-disk split —
+        // that is what the existing streams were cut against.
+        let report =
+            run_fleet(&p, u8::to_string, &dir, 9, &ExecOptions::serial(), toy_runner).unwrap();
+        assert_eq!(report.manifest.shards.len(), 4);
+        assert!(report.ran.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,301 @@
+//! Shard streams: run one job sub-range, streaming per-trial JSONL.
+//!
+//! A shard file is self-describing and self-checking:
+//!
+//! ```json
+//! {"schema":1,"kind":"header","plan_hash":"0x…","shard":2,"start":14,"end":21}
+//! {"schema":1,"job":14,"cell":2,"trial":4,"seed":46,"summary":{…}}
+//! …one record per job, in plan order…
+//! {"kind":"footer","records":7}
+//! ```
+//!
+//! The header binds the file to a manifest (plan hash + range); the
+//! footer arrives only after every record flushed, so a killed run
+//! leaves a file the resume scan provably classifies as truncated. The
+//! writer executes the range in bounded chunks over the `rica-exec`
+//! worker pool and appends each chunk as it completes: memory is
+//! bounded by the chunk, not the shard, and output order is plan order
+//! regardless of worker scheduling.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rica_exec::{run_jobs, ExecOptions, SweepPlan, TrialJob};
+use rica_metrics::{parse_json, JsonValue, TrialRecord, TrialSummary};
+
+use crate::manifest::{hash_hex, parse_hash_hex, FleetManifest};
+
+/// Shard-stream schema version (header lines; records carry
+/// [`rica_metrics::TRIAL_RECORD_SCHEMA`]).
+pub const SHARD_SCHEMA: u32 = 1;
+
+/// What the resume scan concluded about one shard's stream file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardState {
+    /// Header, every record, and footer all present and consistent.
+    Complete,
+    /// No file on disk.
+    Missing,
+    /// Present but unusable (truncated, foreign, or corrupt) — the
+    /// reason states why. Resume re-runs the shard from scratch.
+    Invalid(String),
+}
+
+/// The header line binding a stream file to its manifest slot.
+pub fn header_line(manifest: &FleetManifest, shard: usize) -> String {
+    let s = &manifest.shards[shard];
+    format!(
+        "{{\"schema\":{SHARD_SCHEMA},\"kind\":\"header\",\"plan_hash\":\"{}\",\"shard\":{},\
+         \"start\":{},\"end\":{}}}",
+        hash_hex(manifest.plan_hash),
+        s.shard,
+        s.start,
+        s.end
+    )
+}
+
+/// The footer line that certifies a complete stream.
+pub fn footer_line(records: usize) -> String {
+    format!("{{\"kind\":\"footer\",\"records\":{records}}}")
+}
+
+/// Executes shard `shard` of `plan` as `manifest` cut it, streaming
+/// records into the shard's file under `dir` (truncating any previous
+/// attempt). Chunked fan-out: at most `chunk × workers`-ish summaries
+/// are ever held in memory, and every completed chunk is already on
+/// disk when the next one starts.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream file.
+///
+/// # Panics
+///
+/// Panics if `shard` is out of range for the manifest, or if the
+/// manifest does not describe `plan` (debug-checked via job bounds).
+pub fn run_shard<P, F>(
+    plan: &SweepPlan<P>,
+    manifest: &FleetManifest,
+    shard: usize,
+    dir: &Path,
+    opts: &ExecOptions,
+    runner: F,
+) -> std::io::Result<PathBuf>
+where
+    P: Copy + Send + Sync,
+    F: Fn(&TrialJob<P>) -> TrialSummary + Sync,
+{
+    let spec = &manifest.shards[shard];
+    let path = manifest.shard_path(dir, shard);
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{}", header_line(manifest, shard))?;
+    // Chunks keep memory bounded and still feed every worker: a few
+    // jobs per worker per chunk amortises the pool's spawn/join cost.
+    let chunk = (opts.workers.max(1) * 4).max(16);
+    let mut written = 0;
+    let mut start = spec.start;
+    while start < spec.end {
+        let end = (start + chunk).min(spec.end);
+        let jobs = plan.jobs_range(start, end);
+        let summaries = run_jobs(&jobs, opts, &runner);
+        for (job, summary) in jobs.iter().zip(summaries) {
+            let rec = TrialRecord {
+                job: job.index,
+                cell: job.cell,
+                trial: job.trial,
+                seed: job.seed,
+                summary,
+            };
+            writeln!(out, "{}", rec.to_line())?;
+            written += 1;
+        }
+        out.flush()?;
+        start = end;
+    }
+    writeln!(out, "{}", footer_line(written))?;
+    out.flush()?;
+    Ok(path)
+}
+
+fn check_header(line: &str, manifest: &FleetManifest, shard: usize) -> Result<(), String> {
+    let spec = &manifest.shards[shard];
+    let v = parse_json(line).map_err(|e| format!("bad header: {e}"))?;
+    if v.get("kind").and_then(JsonValue::as_str) != Some("header") {
+        return Err("first line is not a shard header".into());
+    }
+    let schema = v.get("schema").and_then(JsonValue::as_u64).ok_or("header missing schema")?;
+    if schema != SHARD_SCHEMA as u64 {
+        return Err(format!("unsupported shard schema {schema}"));
+    }
+    let hash = parse_hash_hex(
+        v.get("plan_hash").and_then(JsonValue::as_str).ok_or("header missing plan_hash")?,
+    )?;
+    if hash != manifest.plan_hash {
+        return Err(format!(
+            "shard stream is from plan {}, manifest expects {}",
+            hash_hex(hash),
+            hash_hex(manifest.plan_hash)
+        ));
+    }
+    let field = |key: &str| {
+        v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("header missing {key}"))
+    };
+    if field("shard")? != spec.shard as u64
+        || field("start")? != spec.start as u64
+        || field("end")? != spec.end as u64
+    {
+        return Err("header range does not match the manifest slot".into());
+    }
+    Ok(())
+}
+
+/// Fully validates shard `shard`'s stream under `dir` against the
+/// manifest and returns its records in job order: header binds to the
+/// manifest slot, every job index of the range appears exactly once in
+/// order, and the footer count matches. Any shortfall is an `Err`
+/// describing the first problem.
+pub fn read_shard(
+    manifest: &FleetManifest,
+    shard: usize,
+    dir: &Path,
+) -> Result<Vec<TrialRecord>, String> {
+    let spec = &manifest.shards[shard];
+    let path = manifest.shard_path(dir, shard);
+    let body = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = body.lines();
+    check_header(lines.next().ok_or("empty shard file")?, manifest, shard)?;
+    let mut records = Vec::with_capacity(spec.jobs());
+    let mut footer = None;
+    for line in lines {
+        if footer.is_some() {
+            return Err("content after footer".into());
+        }
+        if let Ok(v) = parse_json(line) {
+            if v.get("kind").and_then(JsonValue::as_str) == Some("footer") {
+                footer = Some(v.get("records").and_then(JsonValue::as_u64).ok_or("bad footer")?);
+                continue;
+            }
+        }
+        let rec = TrialRecord::parse(line).map_err(|e| format!("record {}: {e}", records.len()))?;
+        let want = spec.start + records.len();
+        if rec.job != want {
+            return Err(format!("record out of order: job {} where {want} expected", rec.job));
+        }
+        records.push(rec);
+    }
+    let footer = footer.ok_or("missing footer (stream truncated)")?;
+    if footer != records.len() as u64 || records.len() != spec.jobs() {
+        return Err(format!(
+            "record count mismatch: footer {footer}, read {}, range needs {}",
+            records.len(),
+            spec.jobs()
+        ));
+    }
+    Ok(records)
+}
+
+/// Classifies shard `shard`'s stream file for the resume scan.
+pub fn shard_state(manifest: &FleetManifest, shard: usize, dir: &Path) -> ShardState {
+    if !manifest.shard_path(dir, shard).exists() {
+        return ShardState::Missing;
+    }
+    match read_shard(manifest, shard, dir) {
+        Ok(_) => ShardState::Complete,
+        Err(reason) => ShardState::Invalid(reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rica_metrics::Metrics;
+    use rica_sim::SimDuration;
+
+    fn toy_runner(job: &TrialJob<u8>) -> TrialSummary {
+        let mut m = Metrics::new();
+        for _ in 0..(job.seed % 7 + job.protocol as u64 + job.trial as u64) {
+            m.on_generated();
+        }
+        m.finish(SimDuration::from_secs(1))
+    }
+
+    fn setup() -> (SweepPlan<u8>, FleetManifest, std::path::PathBuf) {
+        let plan = SweepPlan::new(vec![1u8, 2], vec![0.0, 36.0], vec![10], 5, 42);
+        let manifest = FleetManifest::split(&plan, u8::to_string, 3);
+        let dir = std::env::temp_dir().join(format!(
+            "rica_shard_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        (plan, manifest, dir)
+    }
+
+    #[test]
+    fn shard_streams_validate_and_read_back() {
+        let (plan, manifest, dir) = setup();
+        for shard in 0..manifest.shards.len() {
+            assert_eq!(shard_state(&manifest, shard, &dir), ShardState::Missing);
+            run_shard(&plan, &manifest, shard, &dir, &ExecOptions::serial(), toy_runner).unwrap();
+            assert_eq!(shard_state(&manifest, shard, &dir), ShardState::Complete);
+            let records = read_shard(&manifest, shard, &dir).unwrap();
+            let spec = &manifest.shards[shard];
+            assert_eq!(records.len(), spec.jobs());
+            for (i, rec) in records.iter().enumerate() {
+                let job = plan.job_at(spec.start + i);
+                assert_eq!(rec.job, job.index);
+                assert_eq!(rec.cell, job.cell);
+                assert_eq!(rec.trial, job.trial);
+                assert_eq!(rec.seed, job.seed);
+                assert_eq!(rec.summary, toy_runner(&job), "stream must carry the exact summary");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_stream_is_invalid() {
+        let (plan, manifest, dir) = setup();
+        let path =
+            run_shard(&plan, &manifest, 1, &dir, &ExecOptions::serial(), toy_runner).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        // Drop the footer — simulates a kill mid-write.
+        let cut: String =
+            body.lines().take(body.lines().count() - 1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, cut).unwrap();
+        match shard_state(&manifest, 1, &dir) {
+            ShardState::Invalid(reason) => assert!(reason.contains("truncated"), "{reason}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_stream_is_invalid() {
+        let (plan, manifest, dir) = setup();
+        // A stream written under a different plan hash must be rejected
+        // even though its shape is right.
+        let mut other_plan = plan.clone();
+        other_plan.base_seed += 1;
+        let other = FleetManifest::split(&other_plan, u8::to_string, 3);
+        run_shard(&other_plan, &other, 0, &dir, &ExecOptions::serial(), toy_runner).unwrap();
+        match shard_state(&manifest, 0, &dir) {
+            ShardState::Invalid(reason) => assert!(reason.contains("plan"), "{reason}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_and_serial_streams_are_byte_identical() {
+        let (plan, manifest, dir) = setup();
+        let path =
+            run_shard(&plan, &manifest, 0, &dir, &ExecOptions::serial(), toy_runner).unwrap();
+        let serial = std::fs::read_to_string(&path).unwrap();
+        let path = run_shard(&plan, &manifest, 0, &dir, &ExecOptions::with_workers(4), toy_runner)
+            .unwrap();
+        let parallel = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(serial, parallel, "worker count must not change stream bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,6 +41,25 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
+    /// The aggregate of zero trials — the identity of [`Aggregate::merge`]
+    /// (merging it in either direction changes nothing and produces no
+    /// NaNs), and the natural fold seed for streaming paths that merge
+    /// results as they arrive without knowing the count up front.
+    pub fn empty() -> Self {
+        Aggregate {
+            trials: 0,
+            delay_ms: Welford::new(),
+            delivery_pct: Welford::new(),
+            overhead_kbps: Welford::new(),
+            link_throughput_kbps: Welford::new(),
+            hops: Welford::new(),
+            throughput_kbps: Vec::new(),
+            drops: BTreeMap::new(),
+            collisions: 0.0,
+            link_breaks: 0.0,
+        }
+    }
+
     /// Aggregates a non-empty set of trial summaries.
     ///
     /// # Panics
@@ -99,6 +118,19 @@ impl Aggregate {
         Aggregate::from_trials(std::slice::from_ref(summary))
     }
 
+    /// Half-width of the confidence interval on the mean delivery
+    /// percentage at critical value `z` (infinite below 2 trials) — the
+    /// quantity adaptive sweeps drive to a target.
+    pub fn delivery_ci_half_width(&self, z: f64) -> f64 {
+        self.delivery_pct.ci_half_width(z)
+    }
+
+    /// Half-width of the confidence interval on the mean end-to-end
+    /// delay (ms) at critical value `z` (infinite below 2 trials).
+    pub fn delay_ci_half_width(&self, z: f64) -> f64 {
+        self.delay_ms.ci_half_width(z)
+    }
+
     /// Merges `other` into `self`, producing the aggregate of the union
     /// of both trial sets.
     ///
@@ -110,6 +142,18 @@ impl Aggregate {
     /// therefore agrees with single-pass accumulation up to floating-point
     /// rounding (see the property tests).
     pub fn merge(&mut self, other: &Aggregate) {
+        // Zero-trial aggregates are the merge identity in both
+        // directions. Without these guards the trial-count-weighted means
+        // below divide by n = 0 and poison every metric with NaN — the
+        // exact edge the streaming fleet path hits when a cell's first
+        // batch merges into an [`Aggregate::empty`] seed.
+        if other.trials == 0 {
+            return;
+        }
+        if self.trials == 0 {
+            *self = other.clone();
+            return;
+        }
         let n1 = self.trials as f64;
         let n2 = other.trials as f64;
         let n = n1 + n2;
@@ -195,6 +239,28 @@ mod tests {
     #[should_panic(expected = "zero trials")]
     fn empty_panics() {
         Aggregate::from_trials(&[]);
+    }
+
+    #[test]
+    fn empty_merge_is_identity_and_nan_free() {
+        let mut s1 = summary(100.0, 8, 10);
+        s1.drops.insert(DropReason::NoRoute, 2);
+        let real = Aggregate::of_trial(&s1);
+        // nonempty ⊕ empty: unchanged.
+        let mut a = real.clone();
+        a.merge(&Aggregate::empty());
+        assert_eq!(a, real);
+        // empty ⊕ nonempty: becomes the nonempty side.
+        let mut b = Aggregate::empty();
+        b.merge(&real);
+        assert_eq!(b, real);
+        // empty ⊕ empty: still empty, and every metric is a number.
+        let mut e = Aggregate::empty();
+        e.merge(&Aggregate::empty());
+        assert_eq!(e.trials, 0);
+        assert!(e.collisions == 0.0 && e.link_breaks == 0.0);
+        assert!(e.delay_ms.mean() == 0.0 && e.delivery_pct.mean() == 0.0);
+        assert!(e.drops.is_empty() && e.throughput_kbps.is_empty());
     }
 
     #[test]
@@ -337,6 +403,98 @@ mod proptests {
             prop_assert_eq!(merged.throughput_kbps.len(), whole.throughput_kbps.len());
             for (a, b) in merged.throughput_kbps.iter().zip(&whole.throughput_kbps) {
                 prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        /// Merging an empty aggregate anywhere into any fold is the
+        /// identity, exactly (no tolerance needed), and never introduces
+        /// a NaN — the streaming path's seed-and-fold edge cases.
+        #[test]
+        fn aggregate_merge_empty_identity(
+            raw in proptest::collection::vec(
+                (0.0f64..5000.0, 0u64..40, 1u64..40,
+                 proptest::collection::vec(0.0f64..100.0, 0..6)),
+                1..10,
+            ),
+            empty_at in 0usize..11,
+        ) {
+            let trials: Vec<TrialSummary> = raw
+                .into_iter()
+                .map(|(d, del, gen, series)| trial_from(d, del, gen, series))
+                .collect();
+            let mut with_empty = Aggregate::empty();
+            let mut without = Aggregate::empty();
+            for (i, t) in trials.iter().enumerate() {
+                if i == empty_at % (trials.len() + 1) {
+                    with_empty.merge(&Aggregate::empty());
+                }
+                with_empty.merge(&Aggregate::of_trial(t));
+                without.merge(&Aggregate::of_trial(t));
+            }
+            prop_assert_eq!(&with_empty, &without);
+            prop_assert!(with_empty.delay_ms.mean().is_finite());
+            prop_assert!(with_empty.delivery_pct.sample_std().is_finite());
+            prop_assert!(with_empty.collisions.is_finite());
+            prop_assert!(with_empty.link_breaks.is_finite());
+            prop_assert!(with_empty.drops.values().all(|v| v.is_finite()));
+            prop_assert!(with_empty.throughput_kbps.iter().all(|v| v.is_finite()));
+        }
+
+        /// Repeated merging is associative over arbitrary trial blocks:
+        /// left-fold and right-fold of the same split agree up to
+        /// floating-point tolerance.
+        #[test]
+        fn aggregate_repeated_merge_associative(
+            raw in proptest::collection::vec(
+                (0.0f64..5000.0, 0u64..40, 1u64..40,
+                 proptest::collection::vec(0.0f64..100.0, 0..4)),
+                3..15,
+            ),
+            cut1_frac in 0.0f64..1.0,
+            cut2_frac in 0.0f64..1.0,
+        ) {
+            let trials: Vec<TrialSummary> = raw
+                .into_iter()
+                .map(|(d, del, gen, series)| trial_from(d, del, gen, series))
+                .collect();
+            let mut cuts = [
+                (trials.len() as f64 * cut1_frac) as usize,
+                (trials.len() as f64 * cut2_frac) as usize,
+            ];
+            cuts.sort_unstable();
+            let blocks: Vec<Aggregate> = [
+                &trials[..cuts[0]], &trials[cuts[0]..cuts[1]], &trials[cuts[1]..],
+            ]
+            .iter()
+            .map(|b| {
+                let mut acc = Aggregate::empty();
+                for t in *b {
+                    acc.merge(&Aggregate::of_trial(t));
+                }
+                acc
+            })
+            .collect();
+            let mut left = blocks[0].clone();
+            left.merge(&blocks[1]);
+            left.merge(&blocks[2]);
+            let mut bc = blocks[1].clone();
+            bc.merge(&blocks[2]);
+            let mut right = blocks[0].clone();
+            right.merge(&bc);
+            prop_assert_eq!(left.trials, right.trials);
+            prop_assert!((left.delay_ms.mean() - right.delay_ms.mean()).abs() < 1e-6);
+            prop_assert!(
+                (left.delay_ms.sample_std() - right.delay_ms.sample_std()).abs() < 1e-6
+            );
+            prop_assert!((left.delivery_pct.mean() - right.delivery_pct.mean()).abs() < 1e-6);
+            prop_assert!((left.collisions - right.collisions).abs() < 1e-6);
+            prop_assert_eq!(left.throughput_kbps.len(), right.throughput_kbps.len());
+            for (a, b) in left.throughput_kbps.iter().zip(&right.throughput_kbps) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+            for (reason, v) in &left.drops {
+                let w = right.drops.get(reason).copied().unwrap_or(f64::NAN);
+                prop_assert!((v - w).abs() < 1e-6);
             }
         }
 

@@ -69,6 +69,21 @@ impl Welford {
         }
     }
 
+    /// Half-width of the confidence interval on the mean at critical
+    /// value `z` (e.g. 1.96 for 95%): `z · s / √n` with the sample
+    /// (Bessel-corrected) standard deviation.
+    ///
+    /// Returns `f64::INFINITY` with fewer than 2 observations — a cell
+    /// that has not been measured twice has no defensible interval, and
+    /// infinity composes correctly with "stop when the half-width is
+    /// under the target" adaptive-stopping checks.
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        z * self.sample_std() / (self.n as f64).sqrt()
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {
@@ -159,6 +174,23 @@ mod tests {
         assert_eq!(pushed.count(), merged.count());
         assert!((pushed.mean() - merged.mean()).abs() < 1e-12);
         assert!((pushed.population_variance() - merged.population_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_half_width_shrinks_as_root_n() {
+        let mut w = Welford::new();
+        assert_eq!(w.ci_half_width(1.96), f64::INFINITY);
+        w.push(10.0);
+        assert_eq!(w.ci_half_width(1.96), f64::INFINITY, "one observation has no interval");
+        w.push(14.0);
+        // n=2: s = 2·√2 ≈ 2.828…; hw = 1.96·s/√2 = 1.96·2 = 3.92.
+        assert!((w.ci_half_width(1.96) - 3.92).abs() < 1e-12);
+        // Identical further observations collapse the interval.
+        let mut tight = Welford::new();
+        for _ in 0..100 {
+            tight.push(5.0);
+        }
+        assert_eq!(tight.ci_half_width(1.96), 0.0);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   packet-size distributions)
 //! * [`metrics`] — simulation metrics (delay, delivery, overhead, …)
 //! * [`exec`] — parallel deterministic experiment-execution engine
+//! * [`fleet`] — sharded, streaming, resumable sweep orchestration with
+//!   adaptive stopping
 //! * [`trace`] — structured event tracing, time-series sampling and
 //!   per-event-kind profiling (zero overhead when disabled)
 //! * [`rica`] — the RICA protocol (the paper's contribution)
@@ -43,6 +45,7 @@
 pub use rica_channel as channel;
 pub use rica_core as rica;
 pub use rica_exec as exec;
+pub use rica_fleet as fleet;
 pub use rica_harness as harness;
 pub use rica_mac as mac;
 pub use rica_metrics as metrics;

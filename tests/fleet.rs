@@ -1,0 +1,174 @@
+//! Fleet orchestration proofs over the real simulator.
+//!
+//! The claims under test, end to end:
+//!
+//! * **Shard/worker invariance** — merging any shard cut, executed with
+//!   any worker count, yields an artifact byte-identical to a
+//!   single-shot `SweepPlan::run` of the same plan.
+//! * **Kill-and-resume** — deleting or truncating shard streams and
+//!   re-running re-executes only the damaged shards and reproduces the
+//!   identical final artifact.
+//! * **Plan hashing** — the paper plan's content hash is pinned, so
+//!   schema drift (a new axis silently missing from the encoding) fails
+//!   loudly here.
+//! * **Adaptive stopping** — realised trial counts converge to the CI
+//!   targets on real simulator noise and are recorded in the report.
+
+use rica_repro::exec::{sweep_json, ExecOptions, SweepPlan};
+use rica_repro::fleet::{
+    adaptive_json, merge_fleet, run_adaptive, run_fleet, AdaptiveConfig, FleetManifest,
+};
+use rica_repro::harness::{sweep::run_job, ProtocolKind, Scenario};
+
+fn base() -> Scenario {
+    Scenario::builder().nodes(8).flows(2).duration_secs(5.0).mean_speed_kmh(18.0).seed(42).build()
+}
+
+/// 2 protocols × 2 speeds × 2 trials = 8 jobs: enough grid for an
+/// 8-shard cut while staying fast.
+fn plan() -> SweepPlan<ProtocolKind> {
+    SweepPlan::new(vec![ProtocolKind::Rica, ProtocolKind::Aodv], vec![0.0, 36.0], vec![8], 2, 42)
+}
+
+fn label(k: &ProtocolKind) -> String {
+    k.name().to_string()
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rica_fleet_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The reference artifact: a single-shot in-process sweep, normalised
+/// the way merged results are (execution metadata zeroed).
+fn reference_doc(p: &SweepPlan<ProtocolKind>, s: &Scenario) -> String {
+    let mut direct =
+        p.run(&ExecOptions::serial(), |job| run_job(s, &p.workloads[job.workload], job));
+    direct.workers = 0;
+    direct.wall_secs = 0.0;
+    sweep_json(&direct, label, &[])
+}
+
+#[test]
+fn any_shard_cut_and_worker_count_merges_byte_identical() {
+    let p = plan();
+    let s = base();
+    let want = reference_doc(&p, &s);
+    for shards in [1, 2, 8] {
+        for workers in [1, 4] {
+            let dir = tmp_dir(&format!("cut{shards}w{workers}"));
+            run_fleet(&p, label, &dir, shards, &ExecOptions::with_workers(workers), |job| {
+                run_job(&s, &p.workloads[job.workload], job)
+            })
+            .expect("fleet run");
+            let merged = merge_fleet(&p, label, &dir).expect("merge");
+            assert_eq!(
+                sweep_json(&merged, label, &[]),
+                want,
+                "{shards} shards × {workers} workers diverged from the single-shot artifact"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_runs_only_damaged_shards_and_reproduces_bytes() {
+    let p = plan();
+    let s = base();
+    let dir = tmp_dir("resume");
+    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| {
+        run_job(&s, &p.workloads[job.workload], job)
+    };
+    let first = run_fleet(&p, label, &dir, 4, &ExecOptions::serial(), runner).expect("first run");
+    assert_eq!(first.ran.len(), 4);
+    let want = sweep_json(&merge_fleet(&p, label, &dir).expect("merge"), label, &[]);
+    assert_eq!(want, reference_doc(&p, &s), "fleet artifact matches the legacy bytes");
+
+    // Kill: delete one stream outright, truncate another mid-record.
+    std::fs::remove_file(first.manifest.shard_path(&dir, 3)).expect("delete shard 3");
+    let victim = first.manifest.shard_path(&dir, 1);
+    let body = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &body[..body.len() * 2 / 3]).unwrap();
+
+    let second = run_fleet(&p, label, &dir, 4, &ExecOptions::serial(), runner).expect("resume");
+    assert_eq!(second.ran, vec![1, 3], "resume must re-run exactly the damaged shards");
+    assert_eq!(second.reused, vec![0, 2]);
+    let after = sweep_json(&merge_fleet(&p, label, &dir).expect("merge"), label, &[]);
+    assert_eq!(after, want, "resumed artifact must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_refuses_incomplete_directories() {
+    let p = plan();
+    let s = base();
+    let dir = tmp_dir("incomplete");
+    let report = run_fleet(&p, label, &dir, 2, &ExecOptions::serial(), |job| {
+        run_job(&s, &p.workloads[job.workload], job)
+    })
+    .expect("fleet run");
+    std::fs::remove_file(report.manifest.shard_path(&dir, 0)).unwrap();
+    let err = merge_fleet(&p, label, &dir).unwrap_err();
+    assert!(err.contains("shard 0"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The paper-grid plan hash, pinned. If this moves, either an axis was
+/// (intentionally) added to `SweepPlan::content_hash` — update the pin —
+/// or the encoding regressed and every manifest on disk just silently
+/// detached from its plan.
+#[test]
+fn paper_plan_content_hash_is_pinned() {
+    let paper = SweepPlan::new(
+        vec![
+            ProtocolKind::Rica,
+            ProtocolKind::Bgca,
+            ProtocolKind::Abr,
+            ProtocolKind::Aodv,
+            ProtocolKind::LinkState,
+        ],
+        vec![0.0, 18.0, 36.0, 54.0, 72.0],
+        vec![25],
+        25,
+        42,
+    );
+    assert_eq!(paper.content_hash(label), 0xa5552b5a151aabab, "plan-hash encoding drifted");
+    // The manifest split is stable too: same plan, same cut, same hash.
+    let m = FleetManifest::split(&paper, label, 8);
+    assert_eq!(m.plan_hash, paper.content_hash(label));
+    assert_eq!(m.jobs, 625);
+    let n = FleetManifest::parse(&m.to_json()).expect("round-trip");
+    assert_eq!(n, m);
+}
+
+#[test]
+fn adaptive_stopping_converges_and_records_realised_counts() {
+    let s = base();
+    // Single-cell plan, minimum 2 trials; delivery on this little
+    // scenario is noisy, so a moderate target forces extra rounds.
+    let p = SweepPlan::new(vec![ProtocolKind::Rica], vec![18.0], vec![8], 2, 42);
+    let config = AdaptiveConfig {
+        delivery_hw_pct: Some(25.0),
+        batch: 2,
+        max_trials: 24,
+        ..AdaptiveConfig::default()
+    };
+    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| {
+        run_job(&s, &p.workloads[job.workload], job)
+    };
+    let report = run_adaptive(&p, &ExecOptions::serial(), &config, runner);
+    assert!(report.all_converged(), "target should be reachable before the cap");
+    let cell = &report.cells[0];
+    assert!(cell.trials >= p.trials);
+    assert!(cell.delivery_hw_pct <= 25.0);
+    assert_eq!(cell.aggregate.trials, cell.trials, "aggregate covers every realised trial");
+    // Realised counts are recorded in the artifact.
+    let doc = adaptive_json(&report, &p, label);
+    assert!(doc.contains(&format!("\"trials\":{}", cell.trials)), "{doc}");
+    assert!(doc.contains(&format!("\"total_trials\":{}", report.total_trials())), "{doc}");
+    // And the whole adaptive pass is scheduling-independent.
+    let parallel = run_adaptive(&p, &ExecOptions::with_workers(4), &config, runner);
+    assert_eq!(adaptive_json(&parallel, &p, label), doc, "worker count changed the report");
+}

@@ -38,7 +38,7 @@ case "${1:-}" in
   record)
     label="${2:?usage: tools/bench.sh record <label>}"
     cargo build --release -q
-    cargo bench --bench micro
+    cargo bench -p rica-bench --bench micro
     cargo run --release -q -p rica-bench --bin hotloop -- --label "$label"
     ;;
   compare)

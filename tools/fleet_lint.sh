@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Fleet-artifact schema lint + kill/resume smoke: run a small sharded
+# sweep through the `fleet` binary, kill it mid-flight (one stream
+# deleted, one truncated), resume, and verify
+#   1. every stream line matches the published JSONL schema
+#      (crates/metrics/src/stream.rs: header / record / footer),
+#   2. the manifest matches its documented shape and plan hash,
+#   3. resume re-runs ONLY the damaged shards,
+#   4. the merged sweep_results.json is byte-identical before and after
+#      the kill, and across 1-vs-4 worker runs of a fresh directory.
+# CI runs this as the orchestration smoke; it exists to catch drift
+# between the Rust emitters and the schema external consumers (jq
+# pipelines, resume logic in other languages) parse.
+#
+#   tools/fleet_lint.sh [secs]     default: 4 simulated seconds/trial
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+secs="${1:-4}"
+dir="$(mktemp -d /tmp/rica_fleet_lint.XXXXXX)"
+trap 'rm -rf "$dir"' EXIT
+
+plan=(--protocols rica,aodv --speeds 0,36 --nodes 8 --trials 2
+      --flows 2 --duration "$secs")
+run_fleet() { cargo run --release -q -p rica-fleet --bin fleet -- "$@"; }
+
+# --- 1. fresh sharded sweep + merge ------------------------------------
+run_fleet sweep --dir "$dir/a" --shards 4 --workers 2 "${plan[@]}" 2>"$dir/log_a"
+run_fleet merge --dir "$dir/a" --legacy --json "$dir/a/results.json" "${plan[@]}" 2>>"$dir/log_a"
+
+# Manifest shape: one line, fleet-manifest kind, hex plan hash, 4 shards.
+m="$dir/a/manifest.json"
+grep -q '"kind":"fleet-manifest"' "$m"
+grep -qE '"plan_hash":"0x[0-9a-f]{16}"' "$m"
+shards=$(grep -o '"shard":' "$m" | wc -l)
+if [[ "$shards" -ne 4 ]]; then
+  echo "fleet_lint: manifest lists $shards shards, expected 4" >&2
+  exit 1
+fi
+
+# Stream schema: header first, footer last, records in between.
+for f in "$dir"/a/shard_*.jsonl; do
+  head -1 "$f" | grep -qE '^\{"schema":1,"kind":"header","plan_hash":"0x[0-9a-f]{16}","shard":[0-9]+,"start":[0-9]+,"end":[0-9]+\}$' \
+    || { echo "fleet_lint: bad header in $f" >&2; exit 1; }
+  tail -1 "$f" | grep -qE '^\{"kind":"footer","records":[0-9]+\}$' \
+    || { echo "fleet_lint: bad footer in $f" >&2; exit 1; }
+  bad=$(sed '1d;$d' "$f" | grep -cEv '^\{"schema":1,"job":[0-9]+,"cell":[0-9]+,"trial":[0-9]+,"seed":[0-9]+,"summary":\{"duration_ns":[0-9]+,' || true)
+  if [[ "$bad" -ne 0 ]]; then
+    echo "fleet_lint: $bad record line(s) in $f break the schema:" >&2
+    sed '1d;$d' "$f" | grep -Ev '^\{"schema":1,"job":' | head -3 >&2
+    exit 1
+  fi
+  want=$(tail -1 "$f" | grep -oE '[0-9]+')
+  got=$(( $(wc -l < "$f") - 2 ))
+  if [[ "$want" -ne "$got" ]]; then
+    echo "fleet_lint: $f footer says $want records, file has $got" >&2
+    exit 1
+  fi
+done
+
+# --- 2. kill (delete one stream, truncate another), then resume --------
+rm "$dir/a/shard_3.jsonl"
+head -c "$(( $(wc -c < "$dir/a/shard_1.jsonl") / 2 ))" "$dir/a/shard_1.jsonl" \
+  > "$dir/a/shard_1.jsonl.cut" && mv "$dir/a/shard_1.jsonl.cut" "$dir/a/shard_1.jsonl"
+run_fleet sweep --dir "$dir/a" --shards 4 --workers 2 "${plan[@]}" 2>"$dir/log_resume"
+grep -q 'ran 2 shard(s), reused 2' "$dir/log_resume" \
+  || { echo "fleet_lint: resume did not re-run exactly the 2 damaged shards:" >&2
+       cat "$dir/log_resume" >&2; exit 1; }
+run_fleet merge --dir "$dir/a" --legacy --json "$dir/a/results_resumed.json" "${plan[@]}"
+cmp "$dir/a/results.json" "$dir/a/results_resumed.json" \
+  || { echo "fleet_lint: resumed artifact differs from the original" >&2; exit 1; }
+
+# --- 3. a different cut with a different worker count, same bytes ------
+run_fleet sweep --dir "$dir/b" --shards 2 --workers 4 "${plan[@]}" 2>/dev/null
+run_fleet merge --dir "$dir/b" --legacy --json "$dir/b/results.json" "${plan[@]}"
+cmp "$dir/a/results.json" "$dir/b/results.json" \
+  || { echo "fleet_lint: shard cut / worker count changed the merged bytes" >&2; exit 1; }
+
+records=$(cat "$dir"/a/shard_*.jsonl | grep -c '"summary"')
+echo "fleet_lint: OK ($records records across 4 shards; resume + 2-shard/4-worker cut byte-identical)"
