@@ -49,10 +49,12 @@ fn esc(out: &mut String, s: &str) {
 
 fn num(out: &mut String, v: f64) {
     if v.is_finite() {
-        // `{}` on f64 is shortest-roundtrip and always contains the value
-        // exactly; integral values print without a dot, which JSON allows.
-        let _ = write!(out, "{v}");
+        // The pinned shortest-roundtrip codec; integral values print
+        // without a dot, which JSON allows.
+        rica_metrics::push_f64(out, v);
     } else {
+        // This artifact is strict JSON: non-finite → null (the stream
+        // codec's NaN/inf extension tokens would not parse here).
         out.push_str("null");
     }
 }

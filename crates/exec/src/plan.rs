@@ -298,6 +298,7 @@ impl<P: Copy> SweepPlan<P> {
         P: Send + Sync,
         F: Fn(&TrialJob<P>) -> TrialSummary + Sync,
     {
+        // rica-lint: allow(wall-clock, "diagnostics-only: wall_secs reports sweep wall time in artifact meta; fleet merges normalise it and no sim state ever reads it")
         let t0 = std::time::Instant::now();
         let jobs = self.jobs();
         let summaries = run_jobs(&jobs, opts, &runner);

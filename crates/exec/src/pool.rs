@@ -87,6 +87,7 @@ where
     }
     let workers = opts.workers.min(total);
     let cursor = AtomicUsize::new(0);
+    // rica-lint: allow(unordered-collect, "arrival order is discarded: every result is committed into its job-indexed slot below, so the output is a pure function of the job list")
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
     slots.resize_with(total, || None);
@@ -108,6 +109,7 @@ where
         }
         drop(tx);
         let mut done = 0;
+        // rica-lint: allow(unordered-collect, "the plan-order commit step itself: receives land in slots[i] keyed by job index, never folded in arrival order")
         while let Ok((i, summary)) = rx.recv() {
             debug_assert!(slots[i].is_none(), "job {i} completed twice");
             slots[i] = Some(summary);

@@ -104,7 +104,9 @@ impl SpeedSweep {
             .iter()
             .enumerate()
             .map(|(i, speed)| {
+                // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
                 let mut row = vec![format!("{speed:.0}")];
+                // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
                 row.extend(self.results.iter().map(|(_, aggs)| format!("{:.2}", metric(&aggs[i]))));
                 row
             })
@@ -157,7 +159,9 @@ impl SpeedSweep {
                 for (_, aggs) in &self.results {
                     let w = metric(&aggs[i]);
                     let (m, s) = fmt(&w);
+                    // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
                     row.push(format!("{m:.4}"));
+                    // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
                     row.push(format!("{s:.4}"));
                 }
                 row
@@ -237,6 +241,7 @@ impl RouteQuality {
         let rows: Vec<Vec<String>> = self
             .results
             .iter()
+            // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
             .map(|(k, a)| vec![k.name().into(), format!("{:.1}", a.link_throughput_kbps.mean())])
             .collect();
         format!(
@@ -250,6 +255,7 @@ impl RouteQuality {
         let rows: Vec<Vec<String>> = self
             .results
             .iter()
+            // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
             .map(|(k, a)| vec![k.name().into(), format!("{:.2}", a.hops.mean())])
             .collect();
         format!(
@@ -303,6 +309,7 @@ impl ThroughputSeries {
                 row.extend(
                     self.results
                         .iter()
+                        // rica-lint: allow(float-fmt, "paper-figure table, deliberately rounded presentation output; exact results stream through rica_metrics")
                         .map(|(_, v)| v.get(b).map_or("-".into(), |x| format!("{x:.1}"))),
                 );
                 row
@@ -328,6 +335,7 @@ impl ThroughputSeries {
                 row.extend(
                     self.results
                         .iter()
+                        // rica-lint: allow(float-fmt, "figure-6 CSV is a plotting input at fixed precision, not a resumable artifact; exact results stream through rica_metrics")
                         .map(|(_, v)| v.get(b).map_or(String::new(), |x| format!("{x:.4}"))),
                 );
                 row

@@ -1,14 +1,15 @@
 //! The discrete-event world: nodes, MAC, data plane, dispatch loop.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rica_channel::{ChannelClass, ChannelFidelity, ChannelModel};
 use rica_mac::{backoff_delay, CommonMedium, TxId};
 use rica_metrics::{Metrics, TrialSummary, WorldDiagnostics};
 use rica_mobility::{kmh_to_ms, SpatialGrid, Vec2, Waypoint};
 use rica_net::{
-    ControlPacket, DataPacket, DropReason, FlowId, LinkQueue, NodeCtx, NodeId, ProtocolConfig,
-    RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot, DATA_ACK_BYTES,
+    ControlPacket, DataPacket, DropReason, FlowId, KeyMap, LinkQueue, NodeCtx, NodeId,
+    ProtocolConfig, RoutePhase, RoutingProtocol, RxInfo, Timer, TimerToken, TopologySnapshot,
+    DATA_ACK_BYTES,
 };
 use rica_sim::{EventToken, Rng, SimDuration, SimTime, Simulator};
 use rica_trace::{EventProfiler, TimeseriesRecorder, TraceEvent, TraceSink};
@@ -171,7 +172,7 @@ pub struct World<'s> {
 /// enabled, and only ever *reads* simulation state.
 struct TraceState {
     sink: Box<dyn TraceSink>,
-    last_class: HashMap<(u32, u32), ChannelClass>,
+    last_class: KeyMap<(u32, u32), ChannelClass>,
 }
 
 impl TraceState {
@@ -396,7 +397,7 @@ impl<'s> World<'s> {
     /// without it (pinned by `tests/trace_identity.rs`). Call before
     /// [`World::run`]/[`World::start`].
     pub fn enable_trace(&mut self, sink: Box<dyn TraceSink>) {
-        self.tracer = Some(TraceState { sink, last_class: HashMap::new() });
+        self.tracer = Some(TraceState { sink, last_class: KeyMap::new() });
     }
 
     /// Flushes and detaches the trace sink (e.g. to recover a

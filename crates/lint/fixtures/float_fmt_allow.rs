@@ -1,0 +1,10 @@
+//! R5 fixture (suppressed): presentation-only float rendering.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+pub fn render_delay(ms: f64) -> String {
+    // rica-lint: allow(float-fmt, "fixture: human-facing table cell, deliberately rounded; artifacts use push_f64")
+    format!("{ms:.2}")
+}
+
+// rica-lint: allow(float-fmt, "fixture: debug display only, never written to an artifact")
+pub fn render_raw(v: f64) -> String { format!("{}", v) }

@@ -1,0 +1,8 @@
+//! R5 fixture (fires): lossy float formatting outside the pinned codec.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+pub fn render_delay(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+pub fn render_raw(v: f64) -> String { format!("{}", v) }

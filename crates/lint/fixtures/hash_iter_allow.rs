@@ -1,0 +1,15 @@
+//! R1 fixture (suppressed): every `HashMap`/`HashSet` site carries an
+//! allow with a justification. Not compiled — linted by
+//! `tests/fixtures.rs`, which asserts this file is fully clean.
+
+use std::collections::{HashMap, HashSet}; // rica-lint: allow(hash-iter, "fixture: import for keyed-only maps below")
+
+pub struct QueueStats {
+    // rica-lint: allow(hash-iter, "fixture: keyed-only, probed by node id, never iterated")
+    depths: HashMap<u32, usize>,
+}
+
+// rica-lint: allow(hash-iter, "fixture: membership-only set, only len() is observed")
+pub fn distinct(ids: &HashSet<u32>) -> usize {
+    ids.len()
+}

@@ -1,0 +1,14 @@
+//! R1 fixture (fires): `HashMap`/`HashSet` in sim-deterministic code.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct QueueStats {
+    depths: HashMap<u32, usize>,
+}
+
+pub fn distinct(ids: &HashSet<u32>) -> usize {
+    ids.len()
+}
+
+pub fn to_pairs(m: &HashMap<u32, usize>) -> Vec<(u32, usize)> { m.iter().map(|(k, v)| (*k, *v)).collect() }

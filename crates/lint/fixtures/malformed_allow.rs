@@ -1,0 +1,16 @@
+//! Meta fixture: malformed suppression directives are `malformed-allow`
+//! findings — missing justification, unknown rule id, empty
+//! justification, and a directive that is not `allow(...)` at all.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+// rica-lint: allow(hash-iter)
+pub fn missing_justification() {}
+
+// rica-lint: allow(no-such-rule, "justified against a rule that does not exist")
+pub fn unknown_rule() {}
+
+// rica-lint: allow(wall-clock, "")
+pub fn empty_justification() {}
+
+// rica-lint: suppress-everything-forever
+pub fn not_an_allow() {}

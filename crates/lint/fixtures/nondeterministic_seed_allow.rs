@@ -1,0 +1,9 @@
+//! R6 fixture (suppressed): entropy use justified (e.g. a salt for a
+//! host-side temp-file name that never reaches sim state).
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+pub fn temp_salt() -> u64 {
+    // rica-lint: allow(nondeterministic-seed, "fixture: salts a temp-file name only; no sim state or artifact depends on it")
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

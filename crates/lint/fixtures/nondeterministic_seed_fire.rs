@@ -1,0 +1,16 @@
+//! R6 fixture (fires): entropy / wall-clock seed material.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+pub fn bad_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn bad_hash_key() {
+    let hasher = DefaultHasher::default();
+    drop(hasher);
+}
+
+pub fn bad_clock_seed(clock: &Clock) -> Rng {
+    Rng::new(clock.now().as_nanos() as u64)
+}

@@ -1,0 +1,18 @@
+//! R3 fixture (suppressed): receive sites justified by a plan-indexed
+//! commit step. Not compiled — linted by `tests/fixtures.rs`.
+
+use std::sync::mpsc;
+
+pub fn fold_results(n: usize) -> Vec<Option<u64>> {
+    // rica-lint: allow(unordered-collect, "fixture: results carry their plan index and commit into slots")
+    let (tx, rx) = mpsc::channel();
+    spawn_workers(n, tx);
+    let mut slots: Vec<Option<u64>> = vec![None; n];
+    // rica-lint: allow(unordered-collect, "fixture: arrival order is dead — each result lands in slots[i]")
+    while let Ok((i, v)) = rx.recv() {
+        slots[i] = Some(v);
+    }
+    slots
+}
+
+fn spawn_workers(_n: usize, _tx: mpsc::Sender<(usize, u64)>) {}

@@ -1,0 +1,16 @@
+//! R3 fixture (fires): channel receive in sim-deterministic code.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+use std::sync::mpsc;
+
+pub fn fold_results(n: usize) -> Vec<u64> {
+    let (tx, rx) = mpsc::channel();
+    spawn_workers(n, tx);
+    let mut out = Vec::new();
+    while let Ok(v) = rx.recv() {
+        out.push(v);
+    }
+    out
+}
+
+fn spawn_workers(_n: usize, _tx: mpsc::Sender<u64>) {}

@@ -1,0 +1,8 @@
+//! R4 fixture (suppressed): the allow route (a `// SAFETY:` comment is
+//! the preferred fix and would silence the rule without any allow).
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    // rica-lint: allow(unsafe-undocumented, "fixture: caller contract guarantees ptr is valid and aligned")
+    unsafe { *ptr }
+}

@@ -1,0 +1,6 @@
+//! R4 fixture (fires): `unsafe` without a `// SAFETY:` comment.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}

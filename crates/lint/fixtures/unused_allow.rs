@@ -1,0 +1,8 @@
+//! Meta fixture: an allow that suppresses nothing is itself a finding
+//! (`unused-allow`), so stale annotations cannot linger.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+// rica-lint: allow(hash-iter, "nothing on the next line actually fires")
+pub fn perfectly_clean() -> u32 {
+    42
+}

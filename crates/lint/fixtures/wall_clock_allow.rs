@@ -1,0 +1,13 @@
+//! R2 fixture (suppressed): wall-clock reads justified as
+//! diagnostics-only. Not compiled — linted by `tests/fixtures.rs`.
+
+use std::time::Instant; // rica-lint: allow(wall-clock, "fixture: diagnostics-only timing, never feeds sim state")
+
+pub fn measure() -> u128 {
+    // rica-lint: allow(wall-clock, "fixture: wall time reported to the operator, not an artifact")
+    let t0 = Instant::now();
+    busy_work();
+    t0.elapsed().as_nanos()
+}
+
+fn busy_work() {}

@@ -1,0 +1,16 @@
+//! R2 fixture (fires): wall-clock types in sim-deterministic code.
+//! Not compiled — linted by `tests/fixtures.rs`.
+
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now();
+    busy_work();
+    t0.elapsed().as_nanos()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::UNIX_EPOCH
+}
+
+fn busy_work() {}

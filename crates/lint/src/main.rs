@@ -1,0 +1,115 @@
+//! The `rica-lint` CLI.
+//!
+//! ```text
+//! rica-lint --workspace            lint every .rs file of the workspace
+//! rica-lint PATH...                lint specific files/dirs (workspace-relative)
+//! rica-lint --list-rules           print the rule catalogue
+//!   --root DIR                     workspace root (default: nearest [workspace])
+//!   --json                         machine-readable report on stdout
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rica_lint::{all_rules, find_workspace_root, lint_files, workspace_files};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if list_rules {
+        for rule in all_rules() {
+            println!("{:24} {}", rule.id(), rule.summary());
+            println!("{:24}   fix: {}", "", rule.hint());
+        }
+        println!("{:24} meta: broken/unknown/empty allow directives", "malformed-allow");
+        println!("{:24} meta: allow comments that suppress nothing", "unused-allow");
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && paths.is_empty() {
+        return usage("nothing to lint: pass --workspace or at least one path");
+    }
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = match root.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => return usage("no [workspace] Cargo.toml found above the current directory"),
+    };
+    let files = if workspace {
+        match workspace_files(&root) {
+            Ok(fs) => fs,
+            Err(e) => return usage(&format!("walking {}: {e}", root.display())),
+        }
+    } else {
+        let mut fs = Vec::new();
+        for p in paths {
+            let abs = root.join(&p);
+            if abs.is_dir() {
+                match workspace_files(&abs) {
+                    Ok(sub) => fs.extend(sub.into_iter().map(|s| p.join(s))),
+                    Err(e) => return usage(&format!("walking {}: {e}", abs.display())),
+                }
+            } else {
+                fs.push(p);
+            }
+        }
+        fs.sort();
+        fs
+    };
+    let report = match lint_files(&root, &files) {
+        Ok(r) => r,
+        Err(e) => return usage(&format!("linting: {e}")),
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "\
+rica-lint: offline determinism/correctness lints for the RICA workspace
+
+usage:
+  rica-lint --workspace [--json] [--root DIR]
+  rica-lint [--root DIR] PATH...
+  rica-lint --list-rules
+
+Suppress a finding at its site, justification mandatory:
+  // rica-lint: allow(<rule>, \"<why this is safe>\")
+
+exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error
+";
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("rica-lint: {err}");
+    eprint!("{}", USAGE);
+    ExitCode::from(2)
+}

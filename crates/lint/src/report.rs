@@ -1,0 +1,197 @@
+//! Findings and their text/JSON renderings.
+
+use crate::rules::{Rule, MALFORMED_ALLOW};
+use crate::scan::SourceFile;
+
+/// One lint finding, possibly suppressed by an allow-annotation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id.
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+    /// The justification of the allow that suppressed this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// A finding of `rule` at `line` of `file`.
+    pub fn new(file: &SourceFile, line: usize, rule: &dyn Rule, message: String) -> Finding {
+        Finding {
+            file: file.rel_path.clone(),
+            line,
+            rule: rule.id(),
+            message,
+            hint: rule.hint(),
+            suppressed: None,
+        }
+    }
+
+    /// A suppression-misuse meta finding (never suppressible).
+    pub fn misuse(file: &str, line: usize, message: String) -> Finding {
+        Finding::misuse_rule(file, line, MALFORMED_ALLOW, message)
+    }
+
+    /// A meta finding with an explicit meta-rule id.
+    pub fn misuse_rule(file: &str, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            rule,
+            message,
+            hint: "suppressions must be `// rica-lint: allow(<rule>, \"<justification>\")` with \
+                   a non-empty justification, and must actually suppress a finding",
+            suppressed: None,
+        }
+    }
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding (suppressed and not), sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Findings not covered by an allow-annotation.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// How many findings an allow-annotation covered.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed.is_some()).count()
+    }
+
+    /// Whether the tree is clean (CI gate).
+    pub fn is_clean(&self) -> bool {
+        self.unsuppressed().next().is_none()
+    }
+
+    /// Human-readable rendering: one block per unsuppressed finding plus
+    /// a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.unsuppressed() {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+            out.push_str(&format!("    hint: {}\n", f.hint));
+        }
+        let open = self.unsuppressed().count();
+        out.push_str(&format!(
+            "rica-lint: {} file(s) checked, {} finding(s) ({} suppressed)\n",
+            self.files_checked,
+            open,
+            self.suppressed_count()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (one JSON object, findings array
+    /// includes suppressed entries with their justifications).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"files_checked\":");
+        out.push_str(&self.files_checked.to_string());
+        out.push_str(",\"unsuppressed\":");
+        out.push_str(&self.unsuppressed().count().to_string());
+        out.push_str(",\"suppressed\":");
+        out.push_str(&self.suppressed_count().to_string());
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"file\":");
+            esc(&mut out, &f.file);
+            out.push_str(",\"line\":");
+            out.push_str(&f.line.to_string());
+            out.push_str(",\"rule\":");
+            esc(&mut out, f.rule);
+            out.push_str(",\"message\":");
+            esc(&mut out, &f.message);
+            out.push_str(",\"hint\":");
+            esc(&mut out, f.hint);
+            match &f.suppressed {
+                Some(j) => {
+                    out.push_str(",\"suppressed\":");
+                    esc(&mut out, j);
+                }
+                None => out.push_str(",\"suppressed\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the artifact writers).
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, suppressed: Option<&str>) -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule,
+            message: "msg with \"quotes\"".into(),
+            hint: "hint",
+            suppressed: suppressed.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn text_hides_suppressed_but_counts_them() {
+        let r = Report {
+            findings: vec![finding("hash-iter", None), finding("wall-clock", Some("why"))],
+            files_checked: 3,
+        };
+        let text = r.to_text();
+        assert!(text.contains("[hash-iter]"));
+        assert!(!text.contains("[wall-clock]"));
+        assert!(text.contains("1 finding(s) (1 suppressed)"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_is_parseable_by_the_workspace_parser_shape() {
+        let r = Report {
+            findings: vec![finding("hash-iter", Some("keyed \"only\""))],
+            files_checked: 1,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"files_checked\":1"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"suppressed\":\"keyed \\\"only\\\"\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,371 @@
+//! A lightweight Rust lexer: masks a source file into three parallel
+//! per-line views (code, comments, string-literal contents) so rules can
+//! match tokens without being fooled by comments or string text.
+//!
+//! This is deliberately **not** a full parser (the workspace builds
+//! offline — no `syn`, no `regex`): a byte-level state machine handles
+//! line comments, nested block comments, plain/byte strings with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth), and char
+//! literals vs lifetimes. Each view has exactly the raw line's byte
+//! length, with out-of-view bytes blanked to spaces, so byte columns
+//! line up across views.
+
+use crate::classify::CrateClass;
+
+/// One masked source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line exactly as written (no trailing newline).
+    pub raw: String,
+    /// Only the code bytes; comments and string/char contents → spaces.
+    /// String and char delimiters stay, so `"x"` masks to `" "`.
+    pub code: String,
+    /// Only comment text (markers included); everything else → spaces.
+    pub comment: String,
+    /// Only string-literal contents; everything else → spaces.
+    pub string: String,
+}
+
+/// A parsed file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (display + classification key).
+    pub rel_path: String,
+    /// Which lint regime applies.
+    pub class: CrateClass,
+    /// Masked lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state across lines.
+enum St {
+    Code,
+    LineComment,
+    /// Nested depth.
+    Block(u32),
+    /// Inside `"…"` / `b"…"`.
+    Str,
+    /// Inside a raw string; the payload is the closing hash count.
+    RawStr(usize),
+    /// Inside `'…'` (contents already validated to close).
+    Char,
+}
+
+/// Which view a byte belongs to.
+#[derive(Clone, Copy, PartialEq)]
+enum View {
+    Code,
+    Comment,
+    String,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl SourceFile {
+    /// Lexes `src` into masked lines.
+    pub fn parse(rel_path: &str, class: CrateClass, src: &str) -> SourceFile {
+        let bytes = src.as_bytes();
+        let mut code = Vec::with_capacity(bytes.len());
+        let mut comment = Vec::with_capacity(bytes.len());
+        let mut string = Vec::with_capacity(bytes.len());
+        let mut st = St::Code;
+        let mut i = 0;
+        // Emits byte(s) into one view, spaces into the others.
+        let put =
+            |code: &mut Vec<u8>, comment: &mut Vec<u8>, string: &mut Vec<u8>, view: View, b: u8| {
+                if b == b'\n' {
+                    // Newlines go to every view so line splits stay aligned.
+                    code.push(b);
+                    comment.push(b);
+                    string.push(b);
+                    return;
+                }
+                code.push(if view == View::Code { b } else { b' ' });
+                comment.push(if view == View::Comment { b } else { b' ' });
+                string.push(if view == View::String { b } else { b' ' });
+            };
+        while i < bytes.len() {
+            let b = bytes[i];
+            match st {
+                St::Code => {
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                        st = St::LineComment;
+                        put(&mut code, &mut comment, &mut string, View::Comment, b);
+                    } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        st = St::Block(1);
+                        put(&mut code, &mut comment, &mut string, View::Comment, b);
+                        put(&mut code, &mut comment, &mut string, View::Comment, bytes[i + 1]);
+                        i += 1;
+                    } else if let Some(hashes) = raw_string_start(bytes, i) {
+                        // Opening `r`/`br` + hashes + quote are code bytes.
+                        let open_len = bytes[i..].iter().position(|&b| b == b'"').unwrap() + 1;
+                        for _ in 0..open_len {
+                            put(&mut code, &mut comment, &mut string, View::Code, bytes[i]);
+                            i += 1;
+                        }
+                        st = St::RawStr(hashes);
+                        continue;
+                    } else if b == b'"' {
+                        st = St::Str;
+                        put(&mut code, &mut comment, &mut string, View::Code, b);
+                    } else if b == b'\'' && char_literal_end(bytes, i).is_some() {
+                        st = St::Char;
+                        put(&mut code, &mut comment, &mut string, View::Code, b);
+                    } else {
+                        put(&mut code, &mut comment, &mut string, View::Code, b);
+                    }
+                }
+                St::LineComment => {
+                    if b == b'\n' {
+                        st = St::Code;
+                    }
+                    put(&mut code, &mut comment, &mut string, View::Comment, b);
+                }
+                St::Block(depth) => {
+                    if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                        put(&mut code, &mut comment, &mut string, View::Comment, b);
+                        put(&mut code, &mut comment, &mut string, View::Comment, bytes[i + 1]);
+                        i += 1;
+                    } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        st = St::Block(depth + 1);
+                        put(&mut code, &mut comment, &mut string, View::Comment, b);
+                        put(&mut code, &mut comment, &mut string, View::Comment, bytes[i + 1]);
+                        i += 1;
+                    } else {
+                        put(&mut code, &mut comment, &mut string, View::Comment, b);
+                    }
+                }
+                St::Str => {
+                    if b == b'\\' && i + 1 < bytes.len() {
+                        put(&mut code, &mut comment, &mut string, View::String, b);
+                        put(&mut code, &mut comment, &mut string, View::String, bytes[i + 1]);
+                        i += 1;
+                    } else if b == b'"' {
+                        st = St::Code;
+                        put(&mut code, &mut comment, &mut string, View::Code, b);
+                    } else {
+                        put(&mut code, &mut comment, &mut string, View::String, b);
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if b == b'"'
+                        && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count()
+                            == hashes
+                    {
+                        for _ in 0..=hashes {
+                            put(&mut code, &mut comment, &mut string, View::Code, bytes[i]);
+                            i += 1;
+                        }
+                        st = St::Code;
+                        continue;
+                    }
+                    put(&mut code, &mut comment, &mut string, View::String, b);
+                }
+                St::Char => {
+                    if b == b'\\' && i + 1 < bytes.len() {
+                        put(&mut code, &mut comment, &mut string, View::String, b);
+                        put(&mut code, &mut comment, &mut string, View::String, bytes[i + 1]);
+                        i += 1;
+                    } else if b == b'\'' {
+                        st = St::Code;
+                        put(&mut code, &mut comment, &mut string, View::Code, b);
+                    } else {
+                        put(&mut code, &mut comment, &mut string, View::String, b);
+                    }
+                }
+            }
+            i += 1;
+        }
+        let split = |v: Vec<u8>| -> Vec<String> {
+            // Masking only blanks whole bytes of multi-byte chars (state
+            // transitions happen at ASCII delimiters), so views are UTF-8.
+            String::from_utf8(v)
+                .expect("masked view is valid UTF-8")
+                .split('\n')
+                .map(str::to_owned)
+                .collect()
+        };
+        let (code, comment, string) = (split(code), split(comment), split(string));
+        let raws: Vec<String> = src.split('\n').map(str::to_owned).collect();
+        let lines = raws
+            .into_iter()
+            .zip(code)
+            .zip(comment)
+            .zip(string)
+            .map(|(((raw, code), comment), string)| Line { raw, code, comment, string })
+            .collect();
+        SourceFile { rel_path: rel_path.to_owned(), class, lines }
+    }
+}
+
+/// Detects `r"`, `r#"`, `br##"`, … starting at `i`; returns the hash count.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<usize> {
+    // Must not be the tail of an identifier (`for"` cannot occur, but a
+    // variable named `br` could precede a macro — be conservative).
+    if i > 0 && is_ident(bytes[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// If the `'` at `i` opens a char literal, returns the closing quote
+/// index; lifetimes/labels (`'a`, `'static`, `'outer:`) return `None`.
+///
+/// Heuristic: a char literal's closing quote sits within 1–4 content
+/// bytes (longest: one escaped/multibyte char), or further for `\u{…}`.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    if bytes.get(i + 1) == Some(&b'\\') {
+        // Escaped char: scan to the next quote (handles \u{1F600}).
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j);
+    }
+    // Unescaped: the closing quote must appear within the next 1–4 bytes
+    // (one UTF-8 char), and the literal must be non-empty.
+    let hi = (i + 5).min(bytes.len().saturating_sub(1));
+    if i + 2 > hi {
+        return None;
+    }
+    for (j, &b) in bytes.iter().enumerate().take(hi + 1).skip(i + 2) {
+        match b {
+            b'\'' => return Some(j),
+            b'\n' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Iterates identifier tokens of a masked code line as `(byte_col, token)`.
+pub fn idents(code: &str) -> impl Iterator<Item = (usize, &str)> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        while i < bytes.len() && !is_ident(bytes[i]) {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return None;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        Some((start, &code[start..i]))
+    })
+}
+
+/// Whether the masked code line contains `word` as a whole token.
+pub fn has_ident(code: &str, word: &str) -> bool {
+    idents(code).any(|(_, t)| t == word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs", CrateClass::SimDeterministic, src)
+    }
+
+    #[test]
+    fn masks_line_comments() {
+        let f = parse("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!has_ident(&f.lines[0].code, "HashMap"));
+        assert!(has_ident(&f.lines[0].comment, "HashMap"));
+        assert!(has_ident(&f.lines[0].code, "x"));
+        assert!(has_ident(&f.lines[1].code, "y"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let f = parse("a /* one /* two */ still */ b");
+        assert!(has_ident(&f.lines[0].code, "a"));
+        assert!(has_ident(&f.lines[0].code, "b"));
+        assert!(!has_ident(&f.lines[0].code, "one"));
+        assert!(!has_ident(&f.lines[0].code, "still"));
+        assert!(has_ident(&f.lines[0].comment, "still"));
+    }
+
+    #[test]
+    fn masks_strings_and_escapes() {
+        let f = parse(r#"let s = "Instant \" HashMap"; let t = 1;"#);
+        assert!(!has_ident(&f.lines[0].code, "HashMap"));
+        assert!(has_ident(&f.lines[0].string, "HashMap"));
+        assert!(has_ident(&f.lines[0].string, "Instant"));
+        assert!(has_ident(&f.lines[0].code, "t"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let f = parse("let s = r#\"no \" escape HashMap\"#; let u = 2;");
+        assert!(!has_ident(&f.lines[0].code, "HashMap"));
+        assert!(has_ident(&f.lines[0].string, "HashMap"));
+        assert!(has_ident(&f.lines[0].code, "u"));
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let f = parse("let s = \"line one\nHashMap still string\"; let v = 3;");
+        assert!(!has_ident(&f.lines[1].code, "HashMap"));
+        assert!(has_ident(&f.lines[1].string, "HashMap"));
+        assert!(has_ident(&f.lines[1].code, "v"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = parse("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        // Lifetimes stay code; char contents are string view.
+        assert!(has_ident(&f.lines[0].code, "a"));
+        assert!(has_ident(&f.lines[0].code, "x")); // param x is code
+        assert!(has_ident(&f.lines[0].string, "x")); // the 'x' literal
+    }
+
+    #[test]
+    fn comment_inside_string_is_string() {
+        let f = parse(r#"let s = "// not a comment";"#);
+        assert!(f.lines[0].comment.trim().is_empty());
+        assert!(f.lines[0].string.contains("// not a comment"));
+    }
+
+    #[test]
+    fn ident_tokens_are_whole_words() {
+        assert!(has_ident("use std::time::Instant;", "Instant"));
+        assert!(!has_ident("fn instantiate() {}", "Instant"));
+        assert!(!has_ident("Instantiates", "Instant"));
+        let toks: Vec<&str> = idents("a.b_c::d(1)").map(|(_, t)| t).collect();
+        assert_eq!(toks, vec!["a", "b_c", "d", "1"]);
+    }
+
+    #[test]
+    fn views_align_bytewise() {
+        let src = "let s = \"x\"; // c";
+        let f = parse(src);
+        let l = &f.lines[0];
+        assert_eq!(l.raw.len(), l.code.len());
+        assert_eq!(l.raw.len(), l.comment.len());
+        assert_eq!(l.raw.len(), l.string.len());
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-site suppression comments.
+//!
+//! Syntax (inside any comment):
+//!
+//! ```text
+//! // rica-lint: allow(hash-iter, "keyed-only: inserted and probed, never iterated")
+//! ```
+//!
+//! The justification is **mandatory** and must be non-empty — a
+//! suppression documents *why* the hazard is safe here, not just that
+//! someone wanted the finding gone. A standalone suppression line
+//! applies to the next line that carries code (blank and comment lines
+//! are skipped); a trailing suppression applies to its own line. Each
+//! `allow` arms exactly one rule; stack several comments to suppress
+//! several rules at one site.
+//!
+//! Misuse is itself reported: malformed syntax, an unknown rule id, an
+//! empty justification, or an allow that suppressed nothing all produce
+//! findings (`malformed-allow` / `unused-allow`), so stale annotations
+//! cannot linger. Meta findings are not suppressible.
+
+use crate::report::Finding;
+use crate::scan::SourceFile;
+
+/// One parsed `allow` clause.
+#[derive(Debug)]
+struct Allow {
+    /// 1-based line the comment sits on.
+    comment_line: usize,
+    /// 1-based line the suppression covers.
+    target_line: usize,
+    rule: String,
+    justification: String,
+    used: bool,
+}
+
+/// All suppressions of one file, plus misuse findings collected while
+/// parsing.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    allows: Vec<Allow>,
+    misuse: Vec<Finding>,
+}
+
+/// The comment marker that introduces lint directives.
+pub const MARKER: &str = "rica-lint:";
+
+impl Suppressions {
+    /// Parses every suppression comment in `file`. `known_rules` is the
+    /// registered rule-id universe (unknown ids are misuse).
+    pub fn parse(file: &SourceFile, known_rules: &[&'static str]) -> Suppressions {
+        let mut out = Suppressions::default();
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            let comment = &line.comment;
+            let Some(pos) = comment.find(MARKER) else { continue };
+            let directives = &comment[pos + MARKER.len()..];
+            let standalone = line.code.trim().is_empty();
+            let target_line = if standalone {
+                // The next line that carries code.
+                file.lines[idx + 1..]
+                    .iter()
+                    .position(|l| !l.code.trim().is_empty())
+                    .map(|off| lineno + 1 + off)
+                    .unwrap_or(lineno)
+            } else {
+                lineno
+            };
+            let mut rest = directives.trim();
+            let mut parsed_any = false;
+            while let Some(stripped) = rest.strip_prefix("allow(") {
+                parsed_any = true;
+                match parse_allow_body(stripped) {
+                    Ok((rule, justification, after)) => {
+                        if !known_rules.contains(&rule.as_str()) {
+                            out.misuse.push(Finding::misuse(
+                                &file.rel_path,
+                                lineno,
+                                format!("allow names unknown rule `{rule}`"),
+                            ));
+                        } else if justification.trim().is_empty() {
+                            out.misuse.push(Finding::misuse(
+                                &file.rel_path,
+                                lineno,
+                                format!("allow({rule}) has an empty justification"),
+                            ));
+                        } else {
+                            out.allows.push(Allow {
+                                comment_line: lineno,
+                                target_line,
+                                rule,
+                                justification,
+                                used: false,
+                            });
+                        }
+                        rest = after.trim_start();
+                    }
+                    Err(why) => {
+                        out.misuse.push(Finding::misuse(&file.rel_path, lineno, why));
+                        rest = "";
+                    }
+                }
+            }
+            if !parsed_any {
+                out.misuse.push(Finding::misuse(
+                    &file.rel_path,
+                    lineno,
+                    "directive after `rica-lint:` must be `allow(<rule>, \"<justification>\")`"
+                        .into(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// If an allow covers (`rule`, `line`), consumes it and returns the
+    /// justification.
+    pub fn suppress(&mut self, rule: &str, line: usize) -> Option<String> {
+        let a = self.allows.iter_mut().find(|a| a.rule == rule && a.target_line == line)?;
+        a.used = true;
+        Some(a.justification.clone())
+    }
+
+    /// Misuse findings plus one `unused-allow` per allow that never
+    /// matched a finding.
+    pub fn finish(self, rel_path: &str) -> Vec<Finding> {
+        let mut out = self.misuse;
+        for a in self.allows.iter().filter(|a| !a.used) {
+            out.push(Finding::misuse_rule(
+                rel_path,
+                a.comment_line,
+                crate::rules::UNUSED_ALLOW,
+                format!("allow({}) suppressed nothing — remove it or fix the target line", a.rule),
+            ));
+        }
+        out
+    }
+}
+
+/// Parses `<rule>, "<justification>")…` returning the tail after `)`.
+fn parse_allow_body(s: &str) -> Result<(String, String, &str), String> {
+    let comma = s.find(',').ok_or("allow(...) is missing the justification argument")?;
+    let rule = s[..comma].trim().to_owned();
+    if rule.is_empty() {
+        return Err("allow(...) is missing the rule id".into());
+    }
+    let rest = s[comma + 1..].trim_start();
+    let inner = rest.strip_prefix('"').ok_or("allow(...) justification must be a quoted string")?;
+    let endq = inner.find('"').ok_or("allow(...) justification is missing its closing quote")?;
+    let justification = inner[..endq].to_owned();
+    let after = inner[endq + 1..]
+        .trim_start()
+        .strip_prefix(')')
+        .ok_or("allow(...) is missing its closing parenthesis")?;
+    Ok((rule, justification, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::CrateClass;
+
+    const RULES: &[&str] = &["hash-iter", "wall-clock"];
+
+    fn parse(src: &str) -> (SourceFile, Suppressions) {
+        let f = SourceFile::parse("t.rs", CrateClass::SimDeterministic, src);
+        let s = Suppressions::parse(&f, RULES);
+        (f, s)
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let (_, mut s) =
+            parse("let m = HashMap::new(); // rica-lint: allow(hash-iter, \"keyed only\")\n");
+        assert_eq!(s.suppress("hash-iter", 1).as_deref(), Some("keyed only"));
+        assert!(s.finish("t.rs").is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// rica-lint: allow(hash-iter, \"membership only\")\n// another comment\n\nlet m = HashMap::new();\n";
+        let (_, mut s) = parse(src);
+        assert!(s.suppress("hash-iter", 1).is_none());
+        assert_eq!(s.suppress("hash-iter", 4).as_deref(), Some("membership only"));
+    }
+
+    #[test]
+    fn empty_justification_is_misuse() {
+        let (_, s) = parse("// rica-lint: allow(hash-iter, \"\")\nlet x = 1;\n");
+        let fs = s.finish("t.rs");
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("empty justification"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn unknown_rule_is_misuse() {
+        let (_, s) = parse("// rica-lint: allow(no-such-rule, \"why\")\nlet x = 1;\n");
+        let fs = s.finish("t.rs");
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn missing_justification_is_misuse() {
+        let (_, s) = parse("// rica-lint: allow(hash-iter)\nlet x = 1;\n");
+        assert_eq!(s.finish("t.rs").len(), 1);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let (_, s) = parse("// rica-lint: allow(wall-clock, \"never fired\")\nlet x = 1;\n");
+        let fs = s.finish("t.rs");
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("suppressed nothing"));
+    }
+
+    #[test]
+    fn stacked_standalone_allows() {
+        let src = "// rica-lint: allow(hash-iter, \"a\")\n// rica-lint: allow(wall-clock, \"b\")\nstd::time::Instant::now(); HashMap::new();\n";
+        let (_, mut s) = parse(src);
+        assert!(s.suppress("hash-iter", 3).is_some());
+        assert!(s.suppress("wall-clock", 3).is_some());
+        assert!(s.finish("t.rs").is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixture-corpus tests: one firing and one suppressed fixture per
+//! registered rule, plus the two meta rules. The `rule_coverage` test
+//! pins the corpus to the registry, so adding a rule without fixtures
+//! fails here.
+
+use rica_lint::{all_rules, lint_source, CrateClass, Finding};
+
+/// (rule id, firing fixture, suppressed fixture) — extend when adding a
+/// rule to `all_rules()`.
+const CORPUS: &[(&str, &str, &str)] = &[
+    (
+        "hash-iter",
+        include_str!("../fixtures/hash_iter_fire.rs"),
+        include_str!("../fixtures/hash_iter_allow.rs"),
+    ),
+    (
+        "wall-clock",
+        include_str!("../fixtures/wall_clock_fire.rs"),
+        include_str!("../fixtures/wall_clock_allow.rs"),
+    ),
+    (
+        "unordered-collect",
+        include_str!("../fixtures/unordered_collect_fire.rs"),
+        include_str!("../fixtures/unordered_collect_allow.rs"),
+    ),
+    (
+        "unsafe-undocumented",
+        include_str!("../fixtures/unsafe_undocumented_fire.rs"),
+        include_str!("../fixtures/unsafe_undocumented_allow.rs"),
+    ),
+    (
+        "float-fmt",
+        include_str!("../fixtures/float_fmt_fire.rs"),
+        include_str!("../fixtures/float_fmt_allow.rs"),
+    ),
+    (
+        "nondeterministic-seed",
+        include_str!("../fixtures/nondeterministic_seed_fire.rs"),
+        include_str!("../fixtures/nondeterministic_seed_allow.rs"),
+    ),
+];
+
+fn lint_fixture(rule: &str, kind: &str, src: &str) -> Vec<Finding> {
+    let path = format!("fixtures/{}_{kind}.rs", rule.replace('-', "_"));
+    lint_source(&path, CrateClass::SimDeterministic, src)
+}
+
+/// Every rule in the registry has a corpus entry, and vice versa.
+#[test]
+fn rule_coverage() {
+    let mut registered: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+    let mut covered: Vec<&str> = CORPUS.iter().map(|(id, _, _)| *id).collect();
+    registered.sort_unstable();
+    covered.sort_unstable();
+    assert_eq!(registered, covered, "fixture corpus out of sync with all_rules()");
+}
+
+/// Each firing fixture produces at least one unsuppressed finding of its
+/// rule — and nothing but that rule, so fixtures stay single-hazard.
+#[test]
+fn fire_fixtures_fire() {
+    for (rule, fire, _) in CORPUS {
+        let findings = lint_fixture(rule, "fire", fire);
+        assert!(
+            findings.iter().any(|f| f.rule == *rule && f.suppressed.is_none()),
+            "{rule}: firing fixture produced no unsuppressed {rule} finding: {findings:?}"
+        );
+        for f in &findings {
+            assert_eq!(f.rule, *rule, "{rule}: firing fixture leaked a different rule: {f:?}");
+        }
+    }
+}
+
+/// Each suppressed fixture still triggers its rule, but every finding is
+/// covered by a justified allow — the file lints fully clean (which also
+/// proves no allow went unused or was malformed).
+#[test]
+fn allow_fixtures_are_clean() {
+    for (rule, _, allow) in CORPUS {
+        let findings = lint_fixture(rule, "allow", allow);
+        assert!(
+            findings.iter().any(|f| f.rule == *rule && f.suppressed.is_some()),
+            "{rule}: suppressed fixture never triggered {rule}: {findings:?}"
+        );
+        for f in &findings {
+            assert!(f.suppressed.is_some(), "{rule}: unsuppressed finding in allow fixture: {f:?}");
+            let justification = f.suppressed.as_deref().unwrap();
+            assert!(!justification.trim().is_empty());
+        }
+    }
+}
+
+/// An allow that suppresses nothing is itself reported.
+#[test]
+fn unused_allow_is_a_finding() {
+    let src = include_str!("../fixtures/unused_allow.rs");
+    let findings = lint_source("fixtures/unused_allow.rs", CrateClass::SimDeterministic, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "unused-allow");
+    assert!(findings[0].suppressed.is_none(), "meta findings are unsuppressible");
+}
+
+/// Malformed directives (missing/empty justification, unknown rule,
+/// non-allow directive) are each reported.
+#[test]
+fn malformed_allows_are_findings() {
+    let src = include_str!("../fixtures/malformed_allow.rs");
+    let findings = lint_source("fixtures/malformed_allow.rs", CrateClass::SimDeterministic, src);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    for f in &findings {
+        assert_eq!(f.rule, "malformed-allow", "{f:?}");
+        assert!(f.suppressed.is_none(), "meta findings are unsuppressible");
+    }
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("missing the justification")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("unknown rule")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("empty justification")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("must be `allow(")), "{messages:?}");
+}
+
+/// Host-side classification drops the sim-only rules but keeps the
+/// universal ones: the R1 firing fixture is clean host-side, the R4 one
+/// still fires.
+#[test]
+fn host_side_rules_subset() {
+    let (_, hash_fire, _) = CORPUS[0];
+    let findings = lint_source("crates/bench/src/lib.rs", CrateClass::HostSide, hash_fire);
+    assert!(findings.is_empty(), "hash-iter must not fire host-side: {findings:?}");
+
+    let (_, unsafe_fire, _) = CORPUS[3];
+    let findings = lint_source("crates/bench/src/lib.rs", CrateClass::HostSide, unsafe_fire);
+    assert!(
+        findings.iter().any(|f| f.rule == "unsafe-undocumented"),
+        "unsafe-undocumented applies to every class: {findings:?}"
+    );
+}

@@ -1,0 +1,38 @@
+//! Integration test: lint the real workspace and require it clean.
+//!
+//! This is the same gate `tools/lint.sh` runs in CI, expressed as a
+//! test so `cargo test` alone catches a determinism-hazard regression.
+
+use std::path::Path;
+
+use rica_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn real_workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("walk + lint the workspace");
+
+    assert!(report.is_clean(), "unsuppressed findings:\n{}", report.to_text());
+
+    // Sanity: the walk actually saw the tree (≈100 files at the time of
+    // writing) and the annotation sweep is present (≈24 suppressions).
+    assert!(report.files_checked > 50, "only {} files checked", report.files_checked);
+    assert!(
+        report.suppressed_count() >= 15,
+        "only {} suppressions seen",
+        report.suppressed_count()
+    );
+
+    // Every suppression carries a real justification, not a shrug.
+    for f in &report.findings {
+        let justification = f.suppressed.as_deref().unwrap_or_default();
+        assert!(
+            justification.len() >= 15,
+            "{}:{} [{}] justification too thin: {justification:?}",
+            f.file,
+            f.line,
+            f.rule
+        );
+    }
+}

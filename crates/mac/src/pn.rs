@@ -66,6 +66,7 @@ mod tests {
 
     #[test]
     fn distinct_for_distinct_pairs() {
+        // rica-lint: allow(hash-iter, "order-free distinctness check: only insert() return values are asserted, the set is never iterated")
         let mut seen = std::collections::HashSet::new();
         for a in 0..20u32 {
             for b in 0..20u32 {

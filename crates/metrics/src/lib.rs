@@ -35,6 +35,6 @@ pub use aggregate::Aggregate;
 pub use csv::csv_document;
 pub use diagnostics::{EventKindStats, EventProfile, WorldDiagnostics};
 pub use recorder::{FlowSummary, Metrics, TrialSummary, WorkloadSummary};
-pub use stream::{parse_json, JsonValue, TrialRecord, TRIAL_RECORD_SCHEMA};
+pub use stream::{fmt_f64, parse_json, push_f64, JsonValue, TrialRecord, TRIAL_RECORD_SCHEMA};
 pub use table::{format_table, Align};
 pub use welford::Welford;

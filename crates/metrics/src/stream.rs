@@ -121,13 +121,27 @@ fn esc(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Shortest-roundtrip `f64` — `{}` always prints a representation that
-/// parses back to the identical bits, which is the codec's whole
-/// contract. (Non-finite values never occur in summaries; they would
-/// render as the extension tokens `NaN`/`inf`, which [`parse_json`]
-/// accepts for robustness.)
-fn num(out: &mut String, v: f64) {
+/// Shortest-roundtrip `f64` — **the** pinned float→text codec for every
+/// artifact the workspace writes. `{}` always prints a representation
+/// that parses back to the identical bits, which is the codec's whole
+/// contract; `rica-lint`'s `float-fmt` rule points artifact writers
+/// here. (Non-finite values never occur in summaries; they would render
+/// as the extension tokens `NaN`/`inf`, which [`parse_json`] accepts
+/// for robustness — callers with a different non-finite policy, e.g.
+/// JSON `null`, branch on `is_finite` first.)
+pub fn push_f64(out: &mut String, v: f64) {
     let _ = write!(out, "{v}");
+}
+
+/// [`push_f64`] as a plain `String` (convenience for one-off renders).
+pub fn fmt_f64(v: f64) -> String {
+    let mut out = String::new();
+    push_f64(&mut out, v);
+    out
+}
+
+fn num(out: &mut String, v: f64) {
+    push_f64(out, v);
 }
 
 fn f64_array(out: &mut String, xs: &[f64]) {

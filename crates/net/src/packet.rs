@@ -388,6 +388,7 @@ mod tests {
             assert_eq!(p.size_bits(), p.size_bytes() as u64 * 8);
         }
         // All 10 kinds distinct.
+        // rica-lint: allow(hash-iter, "order-free distinctness count: only len() is observed, the set is never iterated")
         let kinds: std::collections::HashSet<_> = pkts.iter().map(|p| p.kind()).collect();
         assert_eq!(kinds.len(), 10);
     }

@@ -10,13 +10,12 @@
 //! assert_eq!(ctx.link_class_to(NodeId(4)), Some(rica_channel::ChannelClass::B));
 //! ```
 
-use std::collections::HashMap;
-
 use rica_channel::ChannelClass;
 use rica_sim::{Rng, SimDuration, SimTime};
 
 use crate::{
-    ControlPacket, DataPacket, DropReason, NodeCtx, NodeId, ProtocolConfig, Timer, TimerToken,
+    ControlPacket, DataPacket, DropReason, KeyMap, NodeCtx, NodeId, ProtocolConfig, Timer,
+    TimerToken,
 };
 
 /// A recorded timer: when it should fire and what it is.
@@ -43,8 +42,8 @@ pub struct ScriptedCtx {
     now: SimTime,
     rng: Rng,
     config: ProtocolConfig,
-    link_classes: HashMap<NodeId, Option<ChannelClass>>,
-    queue_lens: HashMap<NodeId, usize>,
+    link_classes: KeyMap<NodeId, Option<ChannelClass>>,
+    queue_lens: KeyMap<NodeId, usize>,
     next_token: u64,
     /// Broadcast control packets, in emission order.
     pub broadcasts: Vec<ControlPacket>,
@@ -68,8 +67,8 @@ impl ScriptedCtx {
             now: SimTime::ZERO,
             rng: Rng::new(0),
             config: ProtocolConfig::default(),
-            link_classes: HashMap::new(),
-            queue_lens: HashMap::new(),
+            link_classes: KeyMap::new(),
+            queue_lens: KeyMap::new(),
             next_token: 0,
             broadcasts: Vec::new(),
             unicasts: Vec::new(),
@@ -199,7 +198,7 @@ impl NodeCtx for ScriptedCtx {
     }
 
     fn data_queue_total(&self) -> usize {
-        self.queue_lens.values().sum()
+        self.queue_lens.iter().map(|(_, n)| n).sum()
     }
 }
 

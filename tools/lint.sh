@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Determinism lint: run `rica-lint` over the whole workspace and fail on
+# any unsuppressed finding. The rule catalogue (hash-iter, wall-clock,
+# unordered-collect, unsafe-undocumented, float-fmt,
+# nondeterministic-seed) guards the byte-determinism contract — merged
+# fleet artifacts identical to single-shot sweeps, goldens green across
+# worker counts — against the hazards that break it silently.
+#
+# Suppressions are per-site comments with mandatory justifications:
+#
+#   // rica-lint: allow(hash-iter, "keyed-only: probed by NodeId, never iterated")
+#
+# Extra flags pass through (e.g. `tools/lint.sh --json`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -q -p rica-lint -- --workspace "$@"
