@@ -30,6 +30,9 @@
 //! * `trial/workload_burst/RICA` — the same 200-node grid at the paper's
 //!   20 pkt/s overload driven through `rica-traffic` (on/off bursts,
 //!   bimodal sizes): the workload-generation path's perf trajectory.
+//! * `trial/churn/RICA` — the paper grid under whole-population
+//!   crash–reboot churn (`rica-faults`): the fault machinery's perf
+//!   trajectory next to `trial/paper50/RICA`.
 //! * `micro/trace_noop_overhead` — the paper-grid RICA trial with a
 //!   disabled (`NoopSink`) trace sink installed; compare against
 //!   `trial/paper50/RICA` to read the observability tax (kept ≤2%).
@@ -183,6 +186,22 @@ fn run_all(quick: bool, reps: usize) -> Vec<(String, f64)> {
     let secs = time_min(reps, || burst.run_seeded(ProtocolKind::Rica, 1));
     entries.push(("trial/workload_burst/RICA".to_string(), secs));
     eprintln!("  timed trial/workload_burst/RICA");
+
+    // The fault-injection path under churn: the paper grid with a
+    // seed-forked crash–reboot renewal process over the whole population.
+    // Compare against `trial/paper50/RICA` to read the fault machinery's
+    // tax (incarnation guards, owner-tagged timer sweeps, recovery
+    // accounting) plus the extra protocol work the churn itself induces.
+    let churn = Scenario::builder()
+        .mean_speed_kmh(36.0)
+        .rate_pps(10.0)
+        .duration_secs(trial_secs)
+        .seed(1)
+        .faults(rica_faults::FaultPlan::none().with_churn(40.0, 10.0, 5.0))
+        .build();
+    let secs = time_min(reps, || churn.run_seeded(ProtocolKind::Rica, 1));
+    entries.push(("trial/churn/RICA".to_string(), secs));
+    eprintln!("  timed trial/churn/RICA");
 
     // The observability tax when nothing listens: the paper-grid RICA
     // trial with a `NoopSink` installed, so every emission site takes its

@@ -121,6 +121,28 @@ fn trial(out: &mut String, t: &TrialSummary) {
         }
         out.push_str("]}");
     }
+    // Recovery accounting exists only for faulted trials, so this block
+    // never appears in (byte-pinned) legacy artifacts either.
+    if let Some(r) = &t.recovery {
+        let _ = write!(
+            out,
+            ",\"recovery\":{{\"crashes\":{},\"reboots\":{},\"partitions\":{},\"heals\":{},\"delivered_intact\":{},\"delivered_disrupted\":{},\"disrupted_flows\":{},\"recovered_flows\":{},\"unrecovered_flows\":{}",
+            r.crashes,
+            r.reboots,
+            r.partitions,
+            r.heals,
+            r.delivered_intact,
+            r.delivered_disrupted,
+            r.disrupted_flows,
+            r.recovered_flows,
+            r.unrecovered_flows
+        );
+        out.push_str(",\"disruption_mean_ms\":");
+        num(out, r.disruption_mean_ms);
+        out.push_str(",\"reroute_mean_ms\":");
+        num(out, r.reroute_mean_ms);
+        out.push('}');
+    }
     out.push('}');
 }
 
@@ -130,6 +152,7 @@ fn cell<P>(
     label: &dyn Fn(&P) -> String,
     name_workload: bool,
     name_fidelity: bool,
+    name_faults: bool,
 ) {
     out.push_str("{\"protocol\":");
     esc(out, &label(&c.protocol));
@@ -143,6 +166,10 @@ fn cell<P>(
     if name_fidelity {
         out.push_str(",\"fidelity\":");
         esc(out, c.fidelity.name());
+    }
+    if name_faults {
+        out.push_str(",\"faults\":");
+        esc(out, &c.faults.label());
     }
     out.push_str(",\"aggregate\":{");
     let _ = write!(out, "\"trials\":{},", c.aggregate.trials);
@@ -241,13 +268,26 @@ pub fn sweep_json<P>(
         }
         out.push(']');
     }
+    // And for the fault axis: only a plan that departs from the implicit
+    // fault-free `[none]` names it.
+    let name_faults = !result.plan.default_fault_axis();
+    if name_faults {
+        out.push_str(",\"faults\":[");
+        for (i, f) in result.plan.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            esc(&mut out, &f.label());
+        }
+        out.push(']');
+    }
     out.push_str("},\"cells\":[");
     let label_dyn: &dyn Fn(&P) -> String = &label;
     for (i, c) in result.cells.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        cell(&mut out, c, label_dyn, name_workload, name_fidelity);
+        cell(&mut out, c, label_dyn, name_workload, name_fidelity, name_faults);
     }
     out.push_str("]}");
     out
@@ -380,6 +420,38 @@ mod tests {
         // fields at all — golden artifact hashes depend on it.
         let doc = sweep_json(&toy_result(), |p| format!("P{p}"), &[]);
         assert!(!doc.contains("fidelit"), "unexpected fidelity fields: {doc}");
+    }
+
+    #[test]
+    fn fault_axis_is_named_in_the_artifact() {
+        use rica_faults::FaultPlan;
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![10], 1, 5)
+            .with_faults(vec![FaultPlan::none(), FaultPlan::none().with_churn(40.0, 8.0, 0.0)]);
+        let r = plan.run(&ExecOptions::serial(), |job| {
+            let mut m = Metrics::new();
+            m.on_generated();
+            if job.faults == 1 {
+                m.enable_recovery(1);
+                m.on_fault(rica_metrics::FaultKind::Crash, rica_sim::SimTime::ZERO);
+            }
+            m.finish(SimDuration::from_secs(4))
+        });
+        let doc = sweep_json(&r, |p| format!("P{p}"), &[]);
+        assert!(doc.contains("\"faults\":[\"none\",\"churn(up40s,down8s)\"]"), "{doc}");
+        assert!(doc.contains("\"faults\":\"none\""), "{doc}");
+        assert!(doc.contains("\"faults\":\"churn(up40s,down8s)\""), "{doc}");
+        // The faulted cell's trials carry the recovery block; the
+        // fault-free baseline cell's trials do not.
+        assert!(doc.contains("\"recovery\":{\"crashes\":1,"), "{doc}");
+    }
+
+    #[test]
+    fn default_fault_axis_artifact_is_byte_stable() {
+        // A legacy plan (implicit fault-free axis) must render no fault
+        // fields at all — golden artifact hashes depend on it.
+        let doc = sweep_json(&toy_result(), |p| format!("P{p}"), &[]);
+        assert!(!doc.contains("fault"), "unexpected fault fields: {doc}");
+        assert!(!doc.contains("recovery"), "unexpected recovery fields: {doc}");
     }
 
     #[test]

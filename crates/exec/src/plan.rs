@@ -1,6 +1,7 @@
 //! Declarative sweep plans and their execution results.
 
 use rica_channel::ChannelFidelity;
+use rica_faults::FaultPlan;
 use rica_metrics::{Aggregate, TrialSummary};
 use rica_traffic::WorkloadSpec;
 
@@ -27,6 +28,12 @@ pub struct SweepPlan<P> {
     /// `[Exact]`; widen it with [`SweepPlan::with_fidelities`] to compare
     /// tiers under common random numbers in one artifact).
     pub fidelities: Vec<ChannelFidelity>,
+    /// The fault-injection axis ([`SweepPlan::new`] defaults it to the
+    /// single empty plan — no faults; widen it with
+    /// [`SweepPlan::with_faults`] to compare fault regimes under common
+    /// random numbers). Jobs reference entries by index
+    /// ([`TrialJob::faults`]).
+    pub faults: Vec<FaultPlan>,
     /// Seeded repetitions per grid cell.
     pub trials: usize,
     /// Base seed; trial `i` of every cell runs with `base_seed + i`, so
@@ -54,6 +61,8 @@ pub struct CellAxes<P> {
     pub workload: usize,
     /// Channel fidelity tier of the cell.
     pub fidelity: ChannelFidelity,
+    /// Index into [`SweepPlan::faults`].
+    pub faults: usize,
 }
 
 /// One executable unit: a single seeded trial of a single grid cell.
@@ -75,6 +84,9 @@ pub struct TrialJob<P> {
     /// Channel fidelity tier of the cell (already `Copy`, so carried by
     /// value rather than by index).
     pub fidelity: ChannelFidelity,
+    /// Index into [`SweepPlan::faults`] (kept as an index so the job
+    /// stays `Copy`; resolve it against the plan).
+    pub faults: usize,
     /// Trial number within the cell (`0..trials`).
     pub trial: usize,
     /// Derived seed for this trial — a pure function of the plan.
@@ -95,6 +107,8 @@ pub struct SweepCell<P> {
     pub workload: WorkloadSpec,
     /// The channel fidelity tier the cell ran under.
     pub fidelity: ChannelFidelity,
+    /// The fault plan the cell ran under (empty for fault-free cells).
+    pub faults: FaultPlan,
     /// Per-trial summaries, in trial order (deterministic).
     pub trials: Vec<TrialSummary>,
     /// Cross-trial aggregate, folded in trial order.
@@ -130,6 +144,7 @@ impl<P: Copy> SweepPlan<P> {
             node_counts,
             workloads: vec![WorkloadSpec::default()],
             fidelities: vec![ChannelFidelity::Exact],
+            faults: vec![FaultPlan::none()],
             trials,
             base_seed,
             traced_cells: Vec::new(),
@@ -168,6 +183,22 @@ impl<P: Copy> SweepPlan<P> {
         self
     }
 
+    /// Replaces the fault-injection axis (a first-class sweep dimension:
+    /// every `(protocol, speed, nodes, workload, fidelity)` cell is
+    /// repeated once per fault plan, under common random numbers — the
+    /// fault-free baseline and the faulted regimes are paired trial by
+    /// trial). Plans are validated against each node count lazily when
+    /// the runner builds the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` is empty.
+    pub fn with_faults(mut self, faults: Vec<FaultPlan>) -> SweepPlan<P> {
+        assert!(!faults.is_empty(), "sweep plan has an empty axis");
+        self.faults = faults;
+        self
+    }
+
     /// Marks cells (by plan-order index) for tracing by trace-aware
     /// runners; indexes are validated lazily by [`SweepPlan::cell_traced`]
     /// (an out-of-range index simply never matches).
@@ -182,13 +213,14 @@ impl<P: Copy> SweepPlan<P> {
     }
 
     /// Number of grid cells (protocols × speeds × node counts × workloads
-    /// × fidelities).
+    /// × fidelities × fault plans).
     pub fn cell_count(&self) -> usize {
         self.protocols.len()
             * self.speeds_kmh.len()
             * self.node_counts.len()
             * self.workloads.len()
             * self.fidelities.len()
+            * self.faults.len()
     }
 
     /// Total number of jobs (cells × trials).
@@ -197,9 +229,9 @@ impl<P: Copy> SweepPlan<P> {
     }
 
     /// Derives the flat job grid, protocol-major then speed then nodes
-    /// then workload then fidelity then trial. Job order — and every seed
-    /// in it — is a pure function of the plan, which is what makes
-    /// execution results independent of scheduling.
+    /// then workload then fidelity then fault plan then trial. Job order
+    /// — and every seed in it — is a pure function of the plan, which is
+    /// what makes execution results independent of scheduling.
     pub fn jobs(&self) -> Vec<TrialJob<P>> {
         let mut jobs = Vec::with_capacity(self.job_count());
         let mut cell = 0;
@@ -208,20 +240,23 @@ impl<P: Copy> SweepPlan<P> {
                 for &nodes in &self.node_counts {
                     for workload in 0..self.workloads.len() {
                         for &fidelity in &self.fidelities {
-                            for trial in 0..self.trials {
-                                jobs.push(TrialJob {
-                                    index: jobs.len(),
-                                    cell,
-                                    protocol,
-                                    speed_kmh,
-                                    nodes,
-                                    workload,
-                                    fidelity,
-                                    trial,
-                                    seed: self.base_seed + trial as u64,
-                                });
+                            for faults in 0..self.faults.len() {
+                                for trial in 0..self.trials {
+                                    jobs.push(TrialJob {
+                                        index: jobs.len(),
+                                        cell,
+                                        protocol,
+                                        speed_kmh,
+                                        nodes,
+                                        workload,
+                                        fidelity,
+                                        faults,
+                                        trial,
+                                        seed: self.base_seed + trial as u64,
+                                    });
+                                }
+                                cell += 1;
                             }
-                            cell += 1;
                         }
                     }
                 }
@@ -239,15 +274,17 @@ impl<P: Copy> SweepPlan<P> {
     /// Panics if `cell >= self.cell_count()`.
     pub fn cell_axes(&self, cell: usize) -> CellAxes<P> {
         assert!(cell < self.cell_count(), "cell {cell} out of range ({})", self.cell_count());
-        let fidelity = self.fidelities[cell % self.fidelities.len()];
-        let rest = cell / self.fidelities.len();
+        let faults = cell % self.faults.len();
+        let rest = cell / self.faults.len();
+        let fidelity = self.fidelities[rest % self.fidelities.len()];
+        let rest = rest / self.fidelities.len();
         let workload = rest % self.workloads.len();
         let rest = rest / self.workloads.len();
         let nodes = self.node_counts[rest % self.node_counts.len()];
         let rest = rest / self.node_counts.len();
         let speed_kmh = self.speeds_kmh[rest % self.speeds_kmh.len()];
         let protocol = self.protocols[rest / self.speeds_kmh.len()];
-        CellAxes { protocol, speed_kmh, nodes, workload, fidelity }
+        CellAxes { protocol, speed_kmh, nodes, workload, fidelity, faults }
     }
 
     /// The job at flat index `index` of the grid — identical to
@@ -270,6 +307,7 @@ impl<P: Copy> SweepPlan<P> {
             nodes: axes.nodes,
             workload: axes.workload,
             fidelity: axes.fidelity,
+            faults: axes.faults,
             trial,
             seed: self.base_seed + trial as u64,
         }
@@ -309,17 +347,21 @@ impl<P: Copy> SweepPlan<P> {
                 for &nodes in &self.node_counts {
                     for workload in &self.workloads {
                         for &fidelity in &self.fidelities {
-                            let trials: Vec<TrialSummary> = it.by_ref().take(self.trials).collect();
-                            let aggregate = Aggregate::from_trials(&trials);
-                            cells.push(SweepCell {
-                                protocol,
-                                speed_kmh,
-                                nodes,
-                                workload: workload.clone(),
-                                fidelity,
-                                trials,
-                                aggregate,
-                            });
+                            for faults in &self.faults {
+                                let trials: Vec<TrialSummary> =
+                                    it.by_ref().take(self.trials).collect();
+                                let aggregate = Aggregate::from_trials(&trials);
+                                cells.push(SweepCell {
+                                    protocol,
+                                    speed_kmh,
+                                    nodes,
+                                    workload: workload.clone(),
+                                    fidelity,
+                                    faults: faults.clone(),
+                                    trials,
+                                    aggregate,
+                                });
+                            }
                         }
                     }
                 }
@@ -368,6 +410,16 @@ impl<P> SweepPlan<P> {
         for f in &self.fidelities {
             let _ = write!(enc, "|{}", f.name());
         }
+        // The fault segment is appended only when the axis is widened
+        // beyond the fault-free default: legacy plans must keep hashing to
+        // their pinned pre-fault values (the encoding is still injective —
+        // no default-axis plan ends in ";faults…").
+        if !self.default_fault_axis() {
+            enc.push_str(";faults");
+            for f in &self.faults {
+                let _ = write!(enc, "|{}", f.label());
+            }
+        }
         fnv1a(enc.as_bytes())
     }
 
@@ -383,6 +435,14 @@ impl<P> SweepPlan<P> {
     /// keeps their bytes — and the golden hashes over them — stable.
     pub fn default_fidelity_axis(&self) -> bool {
         self.fidelities.len() == 1 && self.fidelities[0] == ChannelFidelity::Exact
+    }
+
+    /// `true` when the fault axis is exactly the single empty plan
+    /// (fault-free legacy plans). Legacy artifacts — and the plan content
+    /// hash — omit the axis entirely, which keeps their bytes and the
+    /// golden hashes over them stable.
+    pub fn default_fault_axis(&self) -> bool {
+        self.faults.len() == 1 && self.faults[0].is_empty()
     }
 }
 
@@ -555,6 +615,14 @@ mod tests {
         let widened =
             base.clone().with_fidelities(vec![ChannelFidelity::Exact, ChannelFidelity::Approx]);
         assert_ne!(widened.content_hash(label), h);
+        // A widened fault axis moves the hash; the default axis does not
+        // (legacy plans keep their pinned pre-fault hash values).
+        let faulted = base.clone().with_faults(vec![
+            FaultPlan::none(),
+            FaultPlan::none().with_crash(rica_faults::NodeId(3), 100.0, None),
+        ]);
+        assert_ne!(faulted.content_hash(label), h);
+        assert_eq!(base.clone().with_faults(vec![FaultPlan::none()]).content_hash(label), h);
         // And the label function matters (protocol identity).
         assert_ne!(base.content_hash(|p| format!("Q{p}")), h);
     }
@@ -635,6 +703,46 @@ mod tests {
         // The single-Approx axis is NOT the default: artifacts must name it.
         let approx_only = plan.with_fidelities(vec![ChannelFidelity::Approx]);
         assert!(!approx_only.default_fidelity_axis());
+    }
+
+    #[test]
+    fn fault_axis_multiplies_the_grid() {
+        let axis = vec![FaultPlan::none(), FaultPlan::none().with_churn(40.0, 8.0, 10.0)];
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 2, 9).with_faults(axis.clone());
+        assert!(!plan.default_fault_axis());
+        assert_eq!(plan.cell_count(), 2);
+        assert_eq!(plan.job_count(), 4);
+        let jobs = plan.jobs();
+        let faults: Vec<usize> = jobs.iter().map(|j| j.faults).collect();
+        assert_eq!(faults, vec![0, 0, 1, 1], "fault-plan-major inside the fidelity axis");
+        // Common random numbers across the fault axis: trial i shares its
+        // seed between the fault-free baseline and the churn regime.
+        assert_eq!(jobs[0].seed, jobs[2].seed);
+        assert_eq!(jobs[3].cell, 1);
+        assert_eq!(plan.cell_axes(1).faults, 1);
+        for (i, want) in jobs.iter().enumerate() {
+            assert_eq!(plan.job_at(i), *want, "job_at({i}) diverged from jobs()");
+        }
+        let r = plan.run(&ExecOptions::serial(), toy_runner);
+        assert!(r.cells[0].faults.is_empty());
+        assert_eq!(r.cells[1].faults, axis[1]);
+    }
+
+    #[test]
+    fn legacy_plans_have_a_default_fault_axis() {
+        let plan = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0);
+        assert!(plan.default_fault_axis());
+        assert_eq!(plan.jobs()[0].faults, 0);
+        // A single *non-empty* plan is NOT the default: artifacts must
+        // name it.
+        let churned = plan.with_faults(vec![FaultPlan::none().with_churn(40.0, 8.0, 0.0)]);
+        assert!(!churned.default_fault_axis());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty axis")]
+    fn empty_fault_axis_panics() {
+        let _ = SweepPlan::new(vec![1u8], vec![0.0], vec![5], 1, 0).with_faults(vec![]);
     }
 
     #[test]

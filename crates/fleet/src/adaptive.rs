@@ -156,6 +156,7 @@ where
                     nodes: axes.nodes,
                     workload: axes.workload,
                     fidelity: axes.fidelity,
+                    faults: axes.faults,
                     trial,
                     seed: plan.base_seed + trial as u64,
                 })

@@ -254,9 +254,7 @@ fn main() {
     let cmd = argv.next().unwrap_or_else(|| die("usage: fleet <sweep|run-shard|merge|adaptive> …"));
     let a = parse(argv);
     let (plan, base) = build(&a);
-    let runner = |job: &rica_exec::TrialJob<ProtocolKind>| {
-        run_job(&base, &plan.workloads[job.workload], job)
-    };
+    let runner = |job: &rica_exec::TrialJob<ProtocolKind>| run_job(&base, &plan, job);
     match cmd.as_str() {
         "sweep" => {
             let dir = a.dir.clone().unwrap_or_else(|| die("sweep needs --dir"));
@@ -347,17 +345,30 @@ fn main() {
     }
 }
 
+/// Per-shard outcome of a spawned sweep, for the structured summary.
+enum ShardOutcome {
+    /// Shard file already complete; no child spawned.
+    Reused,
+    /// First child attempt exited successfully.
+    Ok,
+    /// First attempt failed; the retry succeeded.
+    OkAfterRetry,
+    /// Both attempts failed; carries the last exit status.
+    Failed(std::process::ExitStatus),
+}
+
 /// Process-level fan-out: one `fleet run-shard` child per pending shard.
+///
+/// A shard whose child exits non-zero (transient spawn-level failures:
+/// OOM kill, signal, disk hiccup) is retried exactly once after a
+/// bounded backoff; shard files are content-checked on resume, so a
+/// retry can never corrupt a sweep — at worst it fails again. Shard
+/// results themselves stay deterministic: the retry re-runs the same
+/// plan-derived job range.
 fn sweep_spawned(a: &Args, plan: &SweepPlan<ProtocolKind>, dir: &std::path::Path) {
     let manifest = ensure_manifest(plan, label, dir, a.shards).unwrap_or_else(|e| die(&e));
     let exe = std::env::current_exe().unwrap_or_else(|e| die(&format!("current_exe: {e}")));
-    let mut children = Vec::new();
-    let mut reused = 0;
-    for shard in 0..manifest.shards.len() {
-        if shard_state(&manifest, shard, dir) == ShardState::Complete {
-            reused += 1;
-            continue;
-        }
+    let spawn_shard = |shard: usize| {
         let mut cmd = Command::new(&exe);
         cmd.arg("run-shard")
             .arg("--dir")
@@ -365,20 +376,61 @@ fn sweep_spawned(a: &Args, plan: &SweepPlan<ProtocolKind>, dir: &std::path::Path
             .arg("--shard")
             .arg(shard.to_string())
             .args(plan_flags(a));
-        let child = cmd.spawn().unwrap_or_else(|e| die(&format!("spawn shard {shard}: {e}")));
-        children.push((shard, child));
+        cmd.spawn().unwrap_or_else(|e| die(&format!("spawn shard {shard}: {e}")))
+    };
+    let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(manifest.shards.len());
+    let mut children = Vec::new();
+    for shard in 0..manifest.shards.len() {
+        if shard_state(&manifest, shard, dir) == ShardState::Complete {
+            outcomes.push(ShardOutcome::Reused);
+            continue;
+        }
+        outcomes.push(ShardOutcome::Ok); // provisional; demoted below on failure
+        children.push((shard, spawn_shard(shard)));
     }
-    let mut failed = false;
+    let mut retry_queue = Vec::new();
     for (shard, mut child) in children {
         let status = child.wait().unwrap_or_else(|e| die(&format!("wait shard {shard}: {e}")));
         if !status.success() {
-            eprintln!("fleet: shard {shard} child failed ({status})");
-            failed = true;
+            eprintln!("fleet: shard {shard} child failed ({status}); will retry once");
+            retry_queue.push(shard);
         }
     }
-    if failed {
+    // Retry pass: bounded backoff (500 ms + 250 ms per queued shard,
+    // capped at 2 s) gives transient resource pressure a moment to
+    // clear, then each failed shard gets exactly one more attempt.
+    if !retry_queue.is_empty() {
+        let backoff_ms = (500 + 250 * retry_queue.len() as u64).min(2_000);
+        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+        let retries: Vec<_> =
+            retry_queue.iter().map(|&shard| (shard, spawn_shard(shard))).collect();
+        for (shard, mut child) in retries {
+            let status = child.wait().unwrap_or_else(|e| die(&format!("wait shard {shard}: {e}")));
+            outcomes[shard] = if status.success() {
+                ShardOutcome::OkAfterRetry
+            } else {
+                ShardOutcome::Failed(status)
+            };
+        }
+    }
+    // Structured per-shard summary: one line per shard, machine-grepable.
+    let mut failed = 0;
+    for (shard, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            ShardOutcome::Reused => eprintln!("fleet: shard {shard}: reused"),
+            ShardOutcome::Ok => eprintln!("fleet: shard {shard}: ok"),
+            ShardOutcome::OkAfterRetry => eprintln!("fleet: shard {shard}: ok (after retry)"),
+            ShardOutcome::Failed(status) => {
+                eprintln!("fleet: shard {shard}: FAILED ({status}) after retry");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("fleet: {failed}/{} shard(s) failed", manifest.shards.len());
         std::process::exit(1);
     }
+    let reused = outcomes.iter().filter(|o| matches!(o, ShardOutcome::Reused)).count();
     eprintln!(
         "fleet: plan {} — spawned {} shard(s), reused {reused}",
         hash_hex(manifest.plan_hash),

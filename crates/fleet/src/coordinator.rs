@@ -139,6 +139,7 @@ where
             nodes: axes.nodes,
             workload: plan.workloads[axes.workload].clone(),
             fidelity: axes.fidelity,
+            faults: plan.faults[axes.faults].clone(),
             trials,
             aggregate,
         });

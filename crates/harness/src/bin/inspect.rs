@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p rica-harness --bin inspect -- \
 //!     [protocol] [speed_kmh] [rate_pps] [secs] \
-//!     [--approx] [--trace[=PATH]] [--timeseries[=PATH]] [--profile]
+//!     [--approx] [--faults[=SPEC]] [--trace[=PATH]] \
+//!     [--timeseries[=PATH]] [--profile]
 //! ```
 //!
 //! Positional arguments select the trial (defaults: RICA, 36 km/h,
@@ -11,6 +12,12 @@
 //!
 //! * `--approx` runs the trial on the fast-approx channel tier
 //!   ([`ChannelFidelity::Approx`]) instead of the bit-pinned default;
+//! * `--faults[=SPEC]` injects a deterministic fault preset scaled to
+//!   the trial duration. `SPEC` is `crash` (one crash–reboot),
+//!   `churn` (renewal up/down churn), `partition` (one
+//!   partition-and-heal episode) or `all` (the default: every kind at
+//!   once) — the combined preset exercises every fault trace event in
+//!   a single short trial, which is what `tools/trace_lint.sh` checks;
 //! * `--trace[=PATH]` streams a JSONL event trace (default
 //!   `trace.jsonl`);
 //! * `--timeseries[=PATH]` writes the fixed-interval sampler artifact
@@ -23,6 +30,7 @@
 //! (`--profile` only adds output, never changes the shared lines).
 
 use rica_channel::{ChannelConfig, ChannelFidelity};
+use rica_faults::{FaultPlan, NodeGroup, NodeId};
 use rica_harness::{ProtocolKind, Scenario, World};
 use rica_sim::SimDuration;
 use rica_trace::JsonlSink;
@@ -36,11 +44,14 @@ fn main() {
     let mut timeseries_path: Option<String> = None;
     let mut profile = false;
     let mut fidelity = ChannelFidelity::Exact;
+    let mut faults_spec: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if let Some(rest) = arg.strip_prefix("--trace") {
             trace_path = Some(parse_path(rest, "trace.jsonl"));
         } else if let Some(rest) = arg.strip_prefix("--timeseries") {
             timeseries_path = Some(parse_path(rest, "timeseries.json"));
+        } else if let Some(rest) = arg.strip_prefix("--faults") {
+            faults_spec = Some(parse_path(rest, "all"));
         } else if arg == "--approx" {
             fidelity = ChannelFidelity::Approx;
         } else if arg == "--profile" {
@@ -62,13 +73,17 @@ fn main() {
     let speed: f64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(36.0);
     let rate: f64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(10.0);
     let secs: f64 = positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(60.0);
-    let s = Scenario::builder()
+    let mut s = Scenario::builder()
         .mean_speed_kmh(speed)
         .rate_pps(rate)
         .duration_secs(secs)
         .seed(1)
         .channel(ChannelConfig { fidelity, ..ChannelConfig::default() })
         .build();
+    if let Some(spec) = &faults_spec {
+        s.faults = fault_preset(spec, s.nodes, secs);
+        s.faults.validate(s.nodes).expect("fault preset is valid by construction");
+    }
     let mut world = World::new(&s, kind, s.seed);
     if let Some(path) = &trace_path {
         match JsonlSink::create(path) {
@@ -107,6 +122,9 @@ fn main() {
     let r = world.finish();
     println!("protocol            {}", kind.name());
     println!("channel fidelity    {}", fidelity.name());
+    if !s.faults.is_empty() {
+        println!("fault plan          {}", s.faults.label());
+    }
     println!("generated           {}", r.generated);
     println!("delivered           {} ({:.1}%)", r.delivered, r.delivery_pct());
     println!("in flight           {}", r.in_flight());
@@ -130,6 +148,27 @@ fn main() {
     println!("-- control bits by kind (kbps)");
     for (kind, bits) in &r.control_bits {
         println!("   {kind:<10?} {:>8.2}", *bits as f64 / secs / 1e3);
+    }
+    if let Some(rec) = r.recovery {
+        println!("-- recovery");
+        println!("   crashes / reboots   {} / {}", rec.crashes, rec.reboots);
+        println!("   partitions / heals  {} / {}", rec.partitions, rec.heals);
+        println!(
+            "   delivered           {} intact, {} disrupted",
+            rec.delivered_intact, rec.delivered_disrupted
+        );
+        println!(
+            "   disrupted flows     {} ({} recovered, {} unrecovered)",
+            rec.disrupted_flows, rec.recovered_flows, rec.unrecovered_flows
+        );
+        println!(
+            "   disruption mean/max {:.1} / {:.1} ms",
+            rec.disruption_mean_ms, rec.disruption_max_ms
+        );
+        println!(
+            "   reroute mean/max    {:.1} / {:.1} ms",
+            rec.reroute_mean_ms, rec.reroute_max_ms
+        );
     }
     if let Some(diag) = diagnostics {
         println!("-- world diagnostics");
@@ -156,6 +195,27 @@ fn main() {
                     row.max_ns
                 );
             }
+        }
+    }
+}
+
+/// A named fault preset scaled to the trial duration, so even a short
+/// trial exercises the selected fault kinds (and emits their trace
+/// events) well inside the run.
+fn fault_preset(spec: &str, nodes: usize, secs: f64) -> FaultPlan {
+    let crash = |p: FaultPlan| p.with_crash(NodeId(2), 0.25 * secs, Some(0.15 * secs));
+    let churn = |p: FaultPlan| p.with_churn(0.4 * secs, 0.1 * secs, 0.2 * secs);
+    let partition = |p: FaultPlan| {
+        p.with_partition(0.5 * secs, 0.75 * secs, NodeGroup::IdBelow((nodes / 2) as u32))
+    };
+    match spec {
+        "all" => partition(churn(crash(FaultPlan::none()))),
+        "crash" => crash(FaultPlan::none()),
+        "churn" => churn(FaultPlan::none()),
+        "partition" => partition(FaultPlan::none()),
+        other => {
+            eprintln!("unknown fault preset {other:?}; use crash, churn, partition or all");
+            std::process::exit(2);
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Scenario description and protocol selection.
 
 use rica_channel::ChannelConfig;
+use rica_faults::FaultPlan;
 use rica_mac::MacConfig;
 use rica_mobility::Field;
 use rica_net::{NodeId, ProtocolConfig, RoutingProtocol, DATA_HEADER_BYTES};
@@ -123,8 +124,13 @@ pub struct Scenario {
     pub pinned_positions: Option<Vec<rica_mobility::Vec2>>,
     /// Failure injection: `(time_secs, node)` pairs at which terminals
     /// crash (stop transmitting, receiving and generating traffic). Not in
-    /// the paper — used by the robustness test suite.
+    /// the paper — used by the robustness test suite. These crashes are
+    /// permanent; for crash–reboot churn and partitions use `faults`.
     pub node_failures: Vec<(f64, NodeId)>,
+    /// Declarative fault plan: crash–reboot events, churn, and
+    /// partition-and-heal episodes. The default (empty) plan injects
+    /// nothing and keeps the trial byte-identical to a fault-free run.
+    pub faults: FaultPlan,
     /// Simulated duration (paper: 500 s).
     pub duration: SimDuration,
     /// Master seed; trial `i` uses `seed + i`.
@@ -209,6 +215,7 @@ impl Default for ScenarioBuilder {
                 explicit_flows: None,
                 pinned_positions: None,
                 node_failures: Vec::new(),
+                faults: FaultPlan::default(),
                 duration: SimDuration::from_secs(500),
                 seed: 0,
                 channel: ChannelConfig::default(),
@@ -288,6 +295,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a declarative fault plan (crash–reboot, churn,
+    /// partition-and-heal). See [`FaultPlan`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.scenario.faults = plan;
+        self
+    }
+
     /// Sets the simulated duration in seconds.
     pub fn duration_secs(mut self, secs: f64) -> Self {
         self.scenario.duration = SimDuration::from_secs_f64(secs);
@@ -334,6 +348,7 @@ impl ScenarioBuilder {
             assert!(secs >= 0.0 && secs.is_finite(), "bad failure time {secs}");
             assert!(node.index() < s.nodes, "failure for unknown node {node}");
         }
+        s.faults.validate(s.nodes).expect("invalid fault plan");
         assert!(s.duration > SimDuration::ZERO, "duration must be positive");
         // Finiteness matters — of the rate *and* its reciprocal (a
         // subnormal rate's mean gap overflows to inf): the generators'

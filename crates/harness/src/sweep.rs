@@ -18,21 +18,23 @@ use rica_traffic::WorkloadSpec;
 
 use crate::{ProtocolKind, Scenario, World};
 
-/// Runs one job of a plan against the template scenario; `workload` is
-/// the plan's `workloads[job.workload]` (the job carries only the index).
+/// Runs one job of `plan` against the template scenario; the job carries
+/// only indices for the workload and fault axes, so the plan itself is
+/// needed to resolve them.
 ///
 /// # Panics
 ///
 /// Panics if the job's node count breaks a template invariant the
 /// builder would normally enforce: fewer than 2 nodes, or a template
 /// with pinned positions whose length differs from the job's node count
-/// (pinned topologies cannot be node-count swept).
+/// (pinned topologies cannot be node-count swept). Also panics if the
+/// job's fault plan is invalid for the job's node count.
 pub fn run_job(
     base: &Scenario,
-    workload: &WorkloadSpec,
+    plan: &SweepPlan<ProtocolKind>,
     job: &TrialJob<ProtocolKind>,
 ) -> TrialSummary {
-    let scenario = job_scenario(base, workload, job);
+    let scenario = job_scenario(base, plan, job);
     World::new(&scenario, job.protocol, job.seed).run()
 }
 
@@ -40,7 +42,7 @@ pub fn run_job(
 /// (and the template invariants re-checked — see [`run_job`]).
 fn job_scenario(
     base: &Scenario,
-    workload: &WorkloadSpec,
+    plan: &SweepPlan<ProtocolKind>,
     job: &TrialJob<ProtocolKind>,
 ) -> Scenario {
     assert!(job.nodes >= 2, "sweep node count must be at least 2, got {}", job.nodes);
@@ -53,11 +55,15 @@ fn job_scenario(
             job.nodes
         );
     }
+    let workload: &WorkloadSpec = &plan.workloads[job.workload];
+    let faults = &plan.faults[job.faults];
+    faults.validate(job.nodes).expect("invalid fault plan for swept node count");
     let mut scenario = base.clone();
     scenario.nodes = job.nodes;
     scenario.mean_speed_kmh = job.speed_kmh;
     scenario.workload = workload.clone();
     scenario.channel.fidelity = job.fidelity;
+    scenario.faults = faults.clone();
     scenario
 }
 
@@ -66,8 +72,8 @@ fn job_scenario(
 /// and seed.
 ///
 /// The template's own `nodes`, `mean_speed_kmh`, `workload`,
-/// `channel.fidelity` and `seed` are ignored — the plan's axes are
-/// authoritative. (Per-flow workload
+/// `channel.fidelity`, `faults` and `seed` are ignored — the plan's axes
+/// are authoritative. (Per-flow workload
 /// overrides on explicit template flows still win over the plan axis,
 /// like every other per-flow field.)
 pub fn run_plan(
@@ -75,7 +81,7 @@ pub fn run_plan(
     base: &Scenario,
     opts: &ExecOptions,
 ) -> SweepResult<ProtocolKind> {
-    plan.run(opts, |job| run_job(base, &plan.workloads[job.workload], job))
+    plan.run(opts, |job| run_job(base, plan, job))
 }
 
 /// Like [`run_plan`], but jobs of cells marked by
@@ -99,11 +105,10 @@ pub fn run_plan_traced(
 ) -> SweepResult<ProtocolKind> {
     std::fs::create_dir_all(trace_dir).expect("create trace directory");
     plan.run(opts, |job| {
-        let workload = &plan.workloads[job.workload];
         if !plan.cell_traced(job.cell) {
-            return run_job(base, workload, job);
+            return run_job(base, plan, job);
         }
-        let scenario = job_scenario(base, workload, job);
+        let scenario = job_scenario(base, plan, job);
         let mut world = World::new(&scenario, job.protocol, job.seed);
         let path = trace_dir.join(format!("trace_c{}_t{}.jsonl", job.cell, job.trial));
         match JsonlSink::create(&path) {
@@ -262,6 +267,40 @@ mod tests {
         let doc = rica_exec::sweep_json(&result, |k| k.name().to_string(), &[]);
         assert!(doc.contains("\"fidelities\":[\"exact\",\"approx\"]"), "{doc}");
         assert!(doc.contains("\"fidelity\":\"approx\""), "{doc}");
+    }
+
+    #[test]
+    fn fault_axis_overrides_template() {
+        use rica_faults::FaultPlan;
+        // Dense enough that flows actually deliver, so churn has traffic
+        // to disrupt.
+        let base = Scenario::builder()
+            .nodes(12)
+            .flows(3)
+            .rate_pps(10.0)
+            .duration_secs(30.0)
+            .mean_speed_kmh(18.0)
+            .seed(42)
+            .build();
+        let plan = SweepPlan::new(vec![ProtocolKind::Rica], vec![18.0], vec![12], 1, 7)
+            .with_faults(vec![FaultPlan::none(), FaultPlan::none().with_churn(12.0, 4.0, 2.0)]);
+        let result = run_plan(&plan, &base, &ExecOptions::serial());
+        assert_eq!(result.cells.len(), 2);
+        // Cell 0 ran fault-free: same bytes as a direct legacy run, no
+        // recovery accounting.
+        let direct = base.run_seeded(ProtocolKind::Rica, 7);
+        assert_eq!(result.cells[0].trials[0], direct);
+        assert_eq!(result.cells[0].trials[0].recovery, None);
+        // Cell 1 ran under churn: recovery accounting present, crashes
+        // observed, paired seed.
+        let churned = &result.cells[1].trials[0];
+        let r = churned.recovery.expect("churned trial records recovery");
+        assert!(r.crashes > 0, "30 s of churn(up12,down4) should crash someone: {r:?}");
+        assert_ne!(*churned, direct, "churn should perturb the realisation");
+        // The artifact names the axis and the cells.
+        let doc = rica_exec::sweep_json(&result, |k| k.name().to_string(), &[]);
+        assert!(doc.contains("\"faults\":[\"none\",\"churn(up12s,down4s,from2s)\"]"), "{doc}");
+        assert!(doc.contains("\"recovery\":{\"crashes\":"), "{doc}");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use rica_channel::{ChannelClass, ChannelFidelity, ChannelModel};
+use rica_faults::{FaultSchedule, TrafficPolicy};
 use rica_mac::{backoff_delay, CommonMedium, TxId};
-use rica_metrics::{Metrics, TrialSummary, WorldDiagnostics};
+use rica_metrics::{FaultKind, Metrics, TrialSummary, WorldDiagnostics};
 use rica_mobility::{kmh_to_ms, SpatialGrid, Vec2, Waypoint};
 use rica_net::{
     ControlPacket, DataPacket, DropReason, FlowId, KeyMap, LinkQueue, NodeCtx, NodeId,
@@ -39,11 +40,12 @@ enum Event {
     /// A flow generates its next packet.
     Traffic { flow: usize },
     /// A node attempts to transmit the head of its control queue (CSMA).
-    MacAttempt { node: usize },
+    /// `inc` is the scheduling node's incarnation (see `World::incarnation`).
+    MacAttempt { node: usize, inc: u32 },
     /// A common-channel transmission finished.
-    MacTxEnd { node: usize, tx: TxId },
+    MacTxEnd { node: usize, tx: TxId, inc: u32 },
     /// A data-plane transmission on the PN link `from → to` finished.
-    DataTxEnd { from: usize, to: usize },
+    DataTxEnd { from: usize, to: usize, inc: u32 },
     /// A protocol timer fires.
     ProtoTimer { node: usize, timer: Timer, token: u64 },
     /// Failure injection: the node crashes.
@@ -51,12 +53,29 @@ enum Event {
     /// Fixed-interval time-series sample (only scheduled when the trial
     /// enabled the sampler; reads state, draws no randomness).
     Sample,
+    /// Failure injection: a crashed node powers back on, cold.
+    Reboot { node: usize },
+    /// Fault injection: partition episode `idx` starts (links across the
+    /// group boundary go dark).
+    PartitionStart { idx: usize },
+    /// Fault injection: partition episode `idx` heals.
+    PartitionHeal { idx: usize },
 }
 
 /// Stable labels for [`Event`] kinds, in discriminant order (profiling
 /// rows and reports).
-const EVENT_KIND_NAMES: [&str; 7] =
-    ["traffic", "mac_attempt", "mac_tx_end", "data_tx_end", "proto_timer", "crash", "sample"];
+const EVENT_KIND_NAMES: [&str; 10] = [
+    "traffic",
+    "mac_attempt",
+    "mac_tx_end",
+    "data_tx_end",
+    "proto_timer",
+    "crash",
+    "sample",
+    "reboot",
+    "partition_start",
+    "partition_heal",
+];
 
 impl Event {
     /// Index into [`EVENT_KIND_NAMES`].
@@ -69,6 +88,9 @@ impl Event {
             Event::ProtoTimer { .. } => 4,
             Event::Crash { .. } => 5,
             Event::Sample => 6,
+            Event::Reboot { .. } => 7,
+            Event::PartitionStart { .. } => 8,
+            Event::PartitionHeal { .. } => 9,
         }
     }
 }
@@ -129,6 +151,24 @@ pub struct World<'s> {
     timers: TimerSlab,
     /// Crashed terminals (failure injection).
     dead: Vec<bool>,
+    /// The scenario's fault plan resolved against this trial: concrete
+    /// crash/reboot points and partition episodes (empty when no faults).
+    faults: FaultSchedule,
+    /// Which partition episodes are currently in effect.
+    partition_active: Vec<bool>,
+    /// Per-node partition signature: the OR of each active episode's
+    /// membership bit. A link is cut exactly when its endpoints'
+    /// signatures differ; all-zeros (no active partition) cuts nothing.
+    partition_sig: Vec<u32>,
+    /// Whether each flow's traffic renewal chain is still scheduled; a
+    /// chain stops when its source is found dead and — under
+    /// [`TrafficPolicy::ResumeOnReboot`] — restarts at the reboot.
+    traffic_live: Vec<bool>,
+    /// Per-node life counter, bumped at every crash. In-flight
+    /// MAC/data events carry the incarnation they were scheduled under
+    /// and turn into no-ops when it no longer matches, so a rebooted
+    /// node never services its previous life's pipeline events.
+    incarnation: Vec<u32>,
     end: SimTime,
     /// Safety valve against pathological event storms.
     max_events: u64,
@@ -210,7 +250,9 @@ struct TimeseriesState {
 /// replaces, with O(1) re-usable slots and zero steady-state allocation.
 #[derive(Debug, Default)]
 struct TimerSlab {
-    slots: Vec<(u32, Option<EventToken>)>,
+    /// `(generation, bound event, owner node)` per slot. The owner tag
+    /// exists solely for crash-time cancellation sweeps.
+    slots: Vec<(u32, Option<EventToken>, u32)>,
     free: Vec<u32>,
 }
 
@@ -219,17 +261,18 @@ impl TimerSlab {
     /// event with [`TimerSlab::bind`].
     fn reserve(&mut self) -> u64 {
         let slot = self.free.pop().unwrap_or_else(|| {
-            self.slots.push((0, None));
+            self.slots.push((0, None, 0));
             (self.slots.len() - 1) as u32
         });
         let gen = self.slots[slot as usize].0;
         ((gen as u64) << 32) | slot as u64
     }
 
-    fn bind(&mut self, token: u64, ev: EventToken) {
+    fn bind(&mut self, token: u64, ev: EventToken, owner: u32) {
         let slot = (token & u64::from(u32::MAX)) as usize;
         debug_assert_eq!(self.slots[slot].0, (token >> 32) as u32, "bind of stale token");
         self.slots[slot].1 = Some(ev);
+        self.slots[slot].2 = owner;
     }
 
     /// Frees the token's slot, returning its event if the token was live.
@@ -246,6 +289,25 @@ impl TimerSlab {
             }
             _ => None,
         }
+    }
+
+    /// Frees every live slot owned by `owner` (a crashed node), invoking
+    /// `cancel` with each bound event, and returns how many were swept.
+    /// Slot-index order keeps the sweep deterministic.
+    fn cancel_owned(&mut self, owner: u32, mut cancel: impl FnMut(EventToken)) -> usize {
+        let mut swept = 0;
+        for slot in 0..self.slots.len() {
+            let s = &mut self.slots[slot];
+            if s.2 == owner {
+                if let Some(ev) = s.1.take() {
+                    s.0 = s.0.wrapping_add(1);
+                    self.free.push(slot as u32);
+                    cancel(ev);
+                    swept += 1;
+                }
+            }
+        }
+        swept
     }
 }
 
@@ -327,6 +389,16 @@ impl<'s> World<'s> {
         {
             metrics.enable_workload(flows.len());
         }
+        // Resolve the fault plan once, up front: churn draws come from
+        // their own per-node streams (5000+), and an empty plan forks
+        // nothing, so fault-free trials keep their exact RNG usage.
+        // Recovery accounting follows the same opt-in discipline as
+        // workload accounting — fault-free summaries keep their shape.
+        let faults =
+            scenario.faults.resolve(scenario.nodes, scenario.duration.as_secs_f64(), &master);
+        if !scenario.faults.is_empty() {
+            metrics.enable_recovery(flows.len());
+        }
         // Pinned topologies never move regardless of the configured speed.
         // Mobile ones move at least at the waypoint model's clamp floor,
         // even when the configured speed is smaller — the grid's staleness
@@ -349,6 +421,7 @@ impl<'s> World<'s> {
             scenario.mac.range_m,
             scenario.channel.tx_range_m,
         );
+        let n_flows = flows.len();
         World {
             scenario,
             sim: Simulator::new(),
@@ -366,6 +439,11 @@ impl<'s> World<'s> {
             traffic,
             timers: TimerSlab::default(),
             dead: vec![false; scenario.nodes],
+            partition_active: vec![false; faults.partitions.len()],
+            partition_sig: vec![0; scenario.nodes],
+            traffic_live: vec![true; n_flows],
+            incarnation: vec![0; scenario.nodes],
+            faults,
             end: SimTime::ZERO + scenario.duration,
             max_events: 500_000_000,
             max_speed_ms: grid_speed,
@@ -466,7 +544,7 @@ impl<'s> World<'s> {
     /// (when tracing) the packet's lifecycle end. Every drop path funnels
     /// through here — no silent discards.
     fn drop_data_at(&mut self, node: usize, pkt: DataPacket, reason: DropReason) {
-        self.metrics.on_dropped(reason);
+        self.metrics.on_dropped_flow(pkt.flow.0, reason, self.sim.now());
         self.trace(|t| TraceEvent::DataDropped {
             t,
             node: NodeId(node as u32),
@@ -551,6 +629,9 @@ impl<'s> World<'s> {
     }
 
     fn link_class(&mut self, a: usize, b: usize) -> Option<ChannelClass> {
+        if self.partition_sig[a] != self.partition_sig[b] {
+            return None; // an active partition cuts every link across the boundary
+        }
         let now = self.sim.now();
         let pa = self.position(a);
         let pb = self.position(b);
@@ -577,9 +658,25 @@ impl<'s> World<'s> {
             let snap = snapshot.clone();
             self.dispatch(i, move |proto, ctx| proto.on_topology_snapshot(ctx, &snap));
         }
-        // Schedule injected failures.
+        // Schedule injected failures (the legacy permanent-crash list).
         for &(secs, node) in &self.scenario.node_failures {
             self.sim.schedule_at(SimTime::from_secs_f64(secs), Event::Crash { node: node.index() });
+        }
+        // Schedule the resolved fault plan. Empty plans schedule nothing,
+        // so fault-free trials keep their exact event sequence.
+        for i in 0..self.faults.crashes.len() {
+            let (at, node) = self.faults.crashes[i];
+            self.sim.schedule_at(at, Event::Crash { node: node as usize });
+        }
+        for i in 0..self.faults.reboots.len() {
+            let (at, node) = self.faults.reboots[i];
+            self.sim.schedule_at(at, Event::Reboot { node: node as usize });
+        }
+        for idx in 0..self.faults.partitions.len() {
+            let (start, heal) =
+                (self.faults.partitions[idx].start, self.faults.partitions[idx].heal);
+            self.sim.schedule_at(start, Event::PartitionStart { idx });
+            self.sim.schedule_at(heal, Event::PartitionHeal { idx });
         }
         // Prime the traffic processes.
         for f in 0..self.flows.len() {
@@ -689,9 +786,9 @@ impl<'s> World<'s> {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Traffic { flow } => self.on_traffic(flow),
-            Event::MacAttempt { node } => self.on_mac_attempt(node),
-            Event::MacTxEnd { node, tx } => self.on_mac_tx_end(node, tx),
-            Event::DataTxEnd { from, to } => self.on_data_tx_end(from, to),
+            Event::MacAttempt { node, inc } => self.on_mac_attempt(node, inc),
+            Event::MacTxEnd { node, tx, inc } => self.on_mac_tx_end(node, tx, inc),
+            Event::DataTxEnd { from, to, inc } => self.on_data_tx_end(from, to, inc),
             Event::ProtoTimer { node, timer, token } => {
                 self.timers.remove(token);
                 self.trace(|t| TraceEvent::TimerFired {
@@ -703,18 +800,38 @@ impl<'s> World<'s> {
             }
             Event::Crash { node } => self.on_crash(node),
             Event::Sample => self.on_sample(),
+            Event::Reboot { node } => self.on_reboot(node),
+            Event::PartitionStart { idx } => self.on_partition(idx, true),
+            Event::PartitionHeal { idx } => self.on_partition(idx, false),
         }
     }
 
     /// Failure injection: the radio goes silent. Queued control traffic
-    /// dies with the node; data links are torn down with every held
-    /// packet (queued or mid-transmission) accounted as a
-    /// [`DropReason::NodeCrashed`] loss — this used to be a silent
-    /// discard. Upstream neighbours discover the break through their own
-    /// retransmissions.
+    /// dies with the node (counted, not silently discarded), its pending
+    /// protocol timers are cancelled — a later cold reboot must never
+    /// receive timers armed by the previous life — and data links are
+    /// torn down with every held packet (queued or mid-transmission)
+    /// accounted as a [`DropReason::NodeCrashed`] loss. Upstream
+    /// neighbours discover the break through their own retransmissions.
     fn on_crash(&mut self, node: usize) {
+        if self.dead[node] {
+            return; // overlapping schedules (explicit crash + churn): already down
+        }
+        let now = self.sim.now();
         self.dead[node] = true;
-        self.nodes[node].ctrl_queue.clear();
+        // Invalidate the node's in-flight MAC/data pipeline events: each
+        // carries the incarnation it was scheduled under and no-ops once
+        // the counter moves on.
+        self.incarnation[node] = self.incarnation[node].wrapping_add(1);
+        let st = &mut self.nodes[node];
+        let dropped_ctrl = st.ctrl_queue.len();
+        st.ctrl_queue.clear();
+        st.mac_scheduled = false;
+        st.mac_attempts = 0;
+        let sim = &mut self.sim;
+        let cancelled_timers = self.timers.cancel_owned(node as u32, |ev| {
+            sim.cancel(ev);
+        });
         let links = std::mem::take(&mut self.nodes[node].links);
         let mut dropped_data = 0usize;
         for (_, mut link) in links {
@@ -727,7 +844,70 @@ impl<'s> World<'s> {
                 dropped_data += 1;
             }
         }
-        self.trace(|t| TraceEvent::NodeCrashed { t, node: NodeId(node as u32), dropped_data });
+        self.metrics.on_fault(FaultKind::Crash, now);
+        self.trace(|t| TraceEvent::NodeCrashed {
+            t,
+            node: NodeId(node as u32),
+            dropped_data,
+            dropped_ctrl,
+            cancelled_timers,
+        });
+    }
+
+    /// Failure injection: a crashed terminal powers back on with no
+    /// memory of its previous life. The protocol restarts cold
+    /// ([`RoutingProtocol::on_reboot`]) and must re-join routing like a
+    /// late joiner; under [`TrafficPolicy::ResumeOnReboot`], flows
+    /// sourced here whose renewal chains stopped at the crash draw a
+    /// fresh inter-arrival gap and start generating again.
+    fn on_reboot(&mut self, node: usize) {
+        if !self.dead[node] {
+            return; // overlapping schedules: already up
+        }
+        let now = self.sim.now();
+        self.dead[node] = false;
+        // Queues, links and MAC flags were reset at crash time; the
+        // incarnation bump keeps any still-pending old events inert.
+        self.dispatch(node, |proto, ctx| proto.on_reboot(ctx));
+        let mut resumed_flows = 0usize;
+        if self.scenario.faults.traffic == TrafficPolicy::ResumeOnReboot {
+            for f in 0..self.flows.len() {
+                if self.flows[f].src.index() == node && !self.traffic_live[f] {
+                    self.traffic_live[f] = true;
+                    let gap = self.traffic[f].next_gap();
+                    self.sim.schedule_in(gap, Event::Traffic { flow: f });
+                    resumed_flows += 1;
+                }
+            }
+        }
+        self.metrics.on_fault(FaultKind::Reboot, now);
+        self.trace(|t| TraceEvent::NodeRebooted { t, node: NodeId(node as u32), resumed_flows });
+    }
+
+    /// Fault injection: partition episode `idx` starts (`start = true`)
+    /// or heals. Signatures are recomputed over every active episode, so
+    /// overlapping partitions compose: a link is cut while *any* active
+    /// episode separates its endpoints.
+    fn on_partition(&mut self, idx: usize, start: bool) {
+        let now = self.sim.now();
+        self.partition_active[idx] = start;
+        for i in 0..self.partition_sig.len() {
+            let mut sig = 0u32;
+            for (e, ep) in self.faults.partitions.iter().enumerate() {
+                if self.partition_active[e] && ep.group[i] {
+                    sig |= 1 << (e % 32);
+                }
+            }
+            self.partition_sig[i] = sig;
+        }
+        let group_size = self.faults.partitions[idx].group.iter().filter(|&&g| g).count();
+        let kind = if start { FaultKind::PartitionStart } else { FaultKind::PartitionHeal };
+        self.metrics.on_fault(kind, now);
+        if start {
+            self.trace(|t| TraceEvent::PartitionStart { t, episode: idx, group_size });
+        } else {
+            self.trace(|t| TraceEvent::PartitionHealed { t, episode: idx, group_size });
+        }
     }
 
     /// One time-series sample: pure reads of queue depths, event-queue
@@ -769,7 +949,10 @@ impl<'s> World<'s> {
         let now = self.sim.now();
         let (src, dst) = (self.flows[flow].src, self.flows[flow].dst);
         if self.dead[src.index()] {
-            return; // a crashed source generates nothing, ever again
+            // A crashed source stops generating; the renewal chain ends
+            // here and (policy permitting) restarts at the reboot.
+            self.traffic_live[flow] = false;
+            return;
         }
         // Per emitted packet the workload model draws size first, then
         // the gap to the next packet — the default (fixed-size Poisson)
@@ -816,12 +999,16 @@ impl<'s> World<'s> {
             };
             let jitter =
                 SimDuration::from_nanos(st.rng.u64_below(jitter_max.as_nanos().max(1)) + 1);
-            self.sim.schedule_in(jitter, Event::MacAttempt { node });
+            let inc = self.incarnation[node];
+            self.sim.schedule_in(jitter, Event::MacAttempt { node, inc });
         }
     }
 
-    fn on_mac_attempt(&mut self, node: usize) {
+    fn on_mac_attempt(&mut self, node: usize, inc: u32) {
         let now = self.sim.now();
+        if inc != self.incarnation[node] {
+            return; // scheduled by a previous life; the crash reset the pipeline
+        }
         if self.dead[node] {
             self.nodes[node].mac_scheduled = false;
             self.nodes[node].mac_attempts = 0;
@@ -847,11 +1034,11 @@ impl<'s> World<'s> {
                 self.metrics.on_ctrl_queue_drop();
                 let kind = abandoned.pkt.kind();
                 self.trace(|t| TraceEvent::MacAbandon { t, node: NodeId(node as u32), kind });
-                self.sim.schedule_in(self.scenario.mac.ifs, Event::MacAttempt { node });
+                self.sim.schedule_in(self.scenario.mac.ifs, Event::MacAttempt { node, inc });
             } else {
                 let delay = backoff_delay(mac, attempts - 1, &mut st.rng);
                 self.trace(|t| TraceEvent::MacBusy { t, node: NodeId(node as u32), attempts });
-                self.sim.schedule_in(delay, Event::MacAttempt { node });
+                self.sim.schedule_in(delay, Event::MacAttempt { node, inc });
             }
             return;
         }
@@ -864,11 +1051,17 @@ impl<'s> World<'s> {
         let tx = self.medium.begin_tx(node as u32, pos, now, now + dur);
         self.metrics.on_control_tx(kind, bits);
         self.trace(|t| TraceEvent::CtrlTx { t, node: NodeId(node as u32), kind, bits, target });
-        self.sim.schedule_in(dur, Event::MacTxEnd { node, tx });
+        self.sim.schedule_in(dur, Event::MacTxEnd { node, tx, inc });
     }
 
-    fn on_mac_tx_end(&mut self, node: usize, tx: TxId) {
+    fn on_mac_tx_end(&mut self, node: usize, tx: TxId, inc: u32) {
         let now = self.sim.now();
+        if inc != self.incarnation[node] {
+            // The transmitter crashed mid-transmission: the queue head this
+            // event would complete died with the node. (The medium keeps
+            // the aborted transmission's busy window until it is pruned.)
+            return;
+        }
         let out = self.nodes[node].ctrl_queue.pop_front().expect("tx had a head packet");
         self.nodes[node].mac_attempts = 0;
         let range = self.scenario.mac.range_m;
@@ -902,6 +1095,7 @@ impl<'s> World<'s> {
             let World {
                 nodes,
                 dead,
+                partition_sig,
                 pos_cache,
                 pos_stamp,
                 medium,
@@ -912,11 +1106,15 @@ impl<'s> World<'s> {
                 scratch_classes,
                 ..
             } = self;
+            // Partition cut: endpoints with differing signatures hear
+            // nothing from each other. All-zero signatures (no active
+            // partition, the default) filter nobody.
+            let sig_tx = partition_sig[node];
             let approx = channel.config().fidelity == ChannelFidelity::Approx;
             if !approx {
                 for &cand in &candidates {
                     let j = cand as usize;
-                    if dead[j] {
+                    if dead[j] || partition_sig[j] != sig_tx {
                         continue;
                     }
                     // Inlined `World::position`: one evaluation per node per
@@ -972,7 +1170,7 @@ impl<'s> World<'s> {
                 scratch_survivors.clear();
                 for &cand in &candidates {
                     let j = cand as usize;
-                    if dead[j] {
+                    if dead[j] || partition_sig[j] != sig_tx {
                         continue;
                     }
                     let pj = if pos_stamp[j] == now {
@@ -1051,7 +1249,7 @@ impl<'s> World<'s> {
             self.nodes[node].mac_scheduled = false;
         } else {
             let ifs = self.scenario.mac.ifs;
-            self.sim.schedule_in(ifs, Event::MacAttempt { node });
+            self.sim.schedule_in(ifs, Event::MacAttempt { node, inc });
         }
         // Deliver to the receiving protocols: every receiver borrows the
         // same packet buffer (no per-receiver clone).
@@ -1119,7 +1317,8 @@ impl<'s> World<'s> {
             class,
             tries: 0,
         });
-        self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
+        let inc = self.incarnation[from];
+        self.sim.schedule_in(dur, Event::DataTxEnd { from, to, inc });
     }
 
     fn attempt_duration(pkt: &DataPacket, class: Option<ChannelClass>) -> SimDuration {
@@ -1133,13 +1332,15 @@ impl<'s> World<'s> {
         }
     }
 
-    fn on_data_tx_end(&mut self, from: usize, to: usize) {
-        if self.dead[from] {
-            return; // link state was cleared at crash time
+    fn on_data_tx_end(&mut self, from: usize, to: usize, inc: u32) {
+        if inc != self.incarnation[from] || self.dead[from] {
+            return; // link state was cleared when the sender crashed
         }
         let p_from = self.position(from);
         let p_to = self.position(to);
-        let in_range = self.channel.in_range(p_from, p_to) && !self.dead[to];
+        let in_range = self.partition_sig[from] == self.partition_sig[to]
+            && self.channel.in_range(p_from, p_to)
+            && !self.dead[to];
         let Some(link) = self.nodes[from].links.get_mut(&to) else { return };
         let Some(inflight) = link.in_flight.take() else { return };
         match inflight.class {
@@ -1193,7 +1394,7 @@ impl<'s> World<'s> {
                         seq,
                         tries,
                     });
-                    self.sim.schedule_in(dur, Event::DataTxEnd { from, to });
+                    self.sim.schedule_in(dur, Event::DataTxEnd { from, to, inc });
                 }
             }
         }
@@ -1204,7 +1405,7 @@ impl<'s> World<'s> {
     fn set_timer(&mut self, node: usize, delay: SimDuration, timer: Timer) -> TimerToken {
         let token = self.timers.reserve();
         let ev = self.sim.schedule_in(delay, Event::ProtoTimer { node, timer, token });
-        self.timers.bind(token, ev);
+        self.timers.bind(token, ev, node as u32);
         TimerToken(token)
     }
 

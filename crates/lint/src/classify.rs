@@ -37,6 +37,7 @@ pub const SIM_DETERMINISTIC_CRATES: &[&str] = &[
     "protocols",
     "harness",
     "traffic",
+    "faults",
     "metrics",
     "trace",
     "exec",

@@ -211,6 +211,7 @@ mod tests {
             link_breaks: 2,
             ctrl_queue_drops: 0,
             workload: None,
+            recovery: None,
             diagnostics: None,
         }
     }
@@ -365,6 +366,7 @@ mod proptests {
             link_breaks: generated % 5,
             ctrl_queue_drops: 0,
             workload: None,
+            recovery: None,
             diagnostics: None,
         }
     }

@@ -34,7 +34,9 @@ mod welford;
 pub use aggregate::Aggregate;
 pub use csv::csv_document;
 pub use diagnostics::{EventKindStats, EventProfile, WorldDiagnostics};
-pub use recorder::{FlowSummary, Metrics, TrialSummary, WorkloadSummary};
+pub use recorder::{
+    FaultKind, FlowSummary, Metrics, RecoverySummary, TrialSummary, WorkloadSummary,
+};
 pub use stream::{fmt_f64, parse_json, push_f64, JsonValue, TrialRecord, TRIAL_RECORD_SCHEMA};
 pub use table::{format_table, Align};
 pub use welford::Welford;

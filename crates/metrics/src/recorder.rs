@@ -40,6 +40,58 @@ pub struct Metrics {
     /// for every non-default workload, keeping default trials — and their
     /// pinned golden summaries — untouched).
     workload: Option<WorkloadAcc>,
+    /// Fault/recovery accumulators; `None` until
+    /// [`Metrics::enable_recovery`] opts the trial in (the harness does so
+    /// whenever a non-empty fault plan is attached, keeping fault-free
+    /// trials and their pinned goldens untouched).
+    recovery: Option<RecoveryAcc>,
+}
+
+/// Kind of fault event reported to [`Metrics::on_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A node crashed (state lost, radios off).
+    Crash,
+    /// A crashed node rebooted cold.
+    Reboot,
+    /// A partition episode started (links across the cut went dark).
+    PartitionStart,
+    /// A partition episode healed.
+    PartitionHeal,
+}
+
+#[derive(Debug, Default)]
+struct RecoveryAcc {
+    crashes: u64,
+    reboots: u64,
+    partitions: u64,
+    heals: u64,
+    /// Time of the most recent fault onset or recovery event — drops after
+    /// this instant are attributed to it when they open a disruption window.
+    last_fault_t: Option<SimTime>,
+    /// Crashes/partitions currently in effect (reboot/heal decrement);
+    /// deliveries while positive count as `delivered_disrupted`.
+    active_disturbances: u32,
+    delivered_intact: u64,
+    delivered_disrupted: u64,
+    /// Per-flow open disruption window: `(fault_t, first_drop_t)`.
+    windows: Vec<Option<(SimTime, SimTime)>>,
+    windows_opened: u64,
+    windows_closed: u64,
+    disruption: Welford,
+    disruption_max_ms: f64,
+    reroute: Welford,
+    reroute_max_ms: f64,
+}
+
+impl RecoveryAcc {
+    fn window(&mut self, flow: u32) -> &mut Option<(SimTime, SimTime)> {
+        let idx = flow as usize;
+        if self.windows.len() <= idx {
+            self.windows.resize(idx + 1, None);
+        }
+        &mut self.windows[idx]
+    }
 }
 
 #[derive(Debug, Default)]
@@ -83,6 +135,42 @@ impl Metrics {
         self.workload = Some(acc);
     }
 
+    /// Opts the trial into fault-recovery accounting: disruption windows,
+    /// time-to-reroute, and the intact/disrupted delivery split, frozen
+    /// into [`TrialSummary::recovery`]. Expected flow count `flows`
+    /// pre-sizes the window table (flows beyond it still record).
+    pub fn enable_recovery(&mut self, flows: usize) {
+        let mut acc = RecoveryAcc::default();
+        acc.windows.resize(flows, None);
+        self.recovery = Some(acc);
+    }
+
+    /// A fault event fired at `now` (only meaningful after
+    /// [`Metrics::enable_recovery`]; a no-op otherwise).
+    pub fn on_fault(&mut self, kind: FaultKind, now: SimTime) {
+        if let Some(r) = &mut self.recovery {
+            r.last_fault_t = Some(now);
+            match kind {
+                FaultKind::Crash => {
+                    r.crashes += 1;
+                    r.active_disturbances += 1;
+                }
+                FaultKind::Reboot => {
+                    r.reboots += 1;
+                    r.active_disturbances = r.active_disturbances.saturating_sub(1);
+                }
+                FaultKind::PartitionStart => {
+                    r.partitions += 1;
+                    r.active_disturbances += 1;
+                }
+                FaultKind::PartitionHeal => {
+                    r.heals += 1;
+                    r.active_disturbances = r.active_disturbances.saturating_sub(1);
+                }
+            }
+        }
+    }
+
     /// A source generated a data packet.
     pub fn on_generated(&mut self) {
         self.generated += 1;
@@ -120,11 +208,44 @@ impl Metrics {
             f.delivered_bits += pkt.size_bits();
             f.delay.push(delay_ms);
         }
+        if let Some(r) = &mut self.recovery {
+            if r.active_disturbances > 0 {
+                r.delivered_disrupted += 1;
+            } else {
+                r.delivered_intact += 1;
+            }
+            if let Some((fault_t, first_drop_t)) = r.window(pkt.flow.0).take() {
+                let disruption_ms = now.saturating_since(first_drop_t).as_secs_f64() * 1e3;
+                let reroute_ms = now.saturating_since(fault_t).as_secs_f64() * 1e3;
+                r.windows_closed += 1;
+                r.disruption.push(disruption_ms);
+                r.disruption_max_ms = r.disruption_max_ms.max(disruption_ms);
+                r.reroute.push(reroute_ms);
+                r.reroute_max_ms = r.reroute_max_ms.max(reroute_ms);
+            }
+        }
     }
 
     /// A data packet was dropped.
     pub fn on_dropped(&mut self, reason: DropReason) {
         self.drops[reason as usize] += 1;
+    }
+
+    /// A data packet of `flow` was dropped at `now`
+    /// ([`Metrics::on_dropped`] plus disruption-window accounting when
+    /// recovery recording is enabled: the first drop on a flow after a
+    /// fault opens a window that the flow's next delivery closes).
+    pub fn on_dropped_flow(&mut self, flow: u32, reason: DropReason, now: SimTime) {
+        self.drops[reason as usize] += 1;
+        if let Some(r) = &mut self.recovery {
+            if let Some(fault_t) = r.last_fault_t {
+                let slot = r.window(flow);
+                if slot.is_none() {
+                    *slot = Some((fault_t, now));
+                    r.windows_opened += 1;
+                }
+            }
+        }
     }
 
     /// A control packet of `kind` was transmitted on the common channel
@@ -243,9 +364,62 @@ impl Metrics {
                     })
                     .collect(),
             }),
+            recovery: self.recovery.map(|r| RecoverySummary {
+                crashes: r.crashes,
+                reboots: r.reboots,
+                partitions: r.partitions,
+                heals: r.heals,
+                delivered_intact: r.delivered_intact,
+                delivered_disrupted: r.delivered_disrupted,
+                disrupted_flows: r.windows_opened,
+                recovered_flows: r.windows_closed,
+                unrecovered_flows: r.windows.iter().filter(|w| w.is_some()).count() as u64,
+                disruption_mean_ms: r.disruption.mean(),
+                disruption_max_ms: r.disruption_max_ms,
+                reroute_mean_ms: r.reroute.mean(),
+                reroute_max_ms: r.reroute_max_ms,
+            }),
             diagnostics: None,
         }
     }
+}
+
+/// Fault-recovery observables of one trial, present only when the trial
+/// opted in via [`Metrics::enable_recovery`] (the harness does so
+/// whenever a non-empty fault plan is attached).
+///
+/// A *disruption window* opens at a flow's first drop after a fault and
+/// closes at that flow's next delivery: the window length is the
+/// user-visible service gap, and the span from the fault itself to the
+/// closing delivery is the protocol's *time to reroute*.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoverySummary {
+    /// Node crashes injected (explicit and churn).
+    pub crashes: u64,
+    /// Node reboots injected.
+    pub reboots: u64,
+    /// Partition episodes started.
+    pub partitions: u64,
+    /// Partition episodes healed.
+    pub heals: u64,
+    /// Packets delivered while no disturbance was in effect.
+    pub delivered_intact: u64,
+    /// Packets delivered while at least one crash/partition was in effect.
+    pub delivered_disrupted: u64,
+    /// Disruption windows opened (flows that dropped a packet post-fault).
+    pub disrupted_flows: u64,
+    /// Disruption windows closed by a later delivery on the same flow.
+    pub recovered_flows: u64,
+    /// Windows still open when the trial ended (service never resumed).
+    pub unrecovered_flows: u64,
+    /// Mean closed-window length: first post-fault drop → next delivery (ms).
+    pub disruption_mean_ms: f64,
+    /// Worst closed-window length (ms).
+    pub disruption_max_ms: f64,
+    /// Mean fault → next delivery span over closed windows (ms).
+    pub reroute_mean_ms: f64,
+    /// Worst fault → next delivery span (ms).
+    pub reroute_max_ms: f64,
 }
 
 /// Offered-load and per-flow breakdowns of one trial, present only when
@@ -354,6 +528,9 @@ pub struct TrialSummary {
     /// Offered-load / per-flow workload breakdown; `None` unless the
     /// trial enabled workload accounting (non-default workloads only).
     pub workload: Option<WorkloadSummary>,
+    /// Fault-recovery observables; `None` unless the trial enabled
+    /// recovery accounting (non-empty fault plans only).
+    pub recovery: Option<RecoverySummary>,
     /// Simulator-internals diagnostics (event profile, queue/cache
     /// health); `None` unless the run enabled profiling. See
     /// [`WorldDiagnostics`](crate::WorldDiagnostics).
@@ -390,6 +567,9 @@ impl std::fmt::Debug for TrialSummary {
             .field("ctrl_queue_drops", &self.ctrl_queue_drops);
         if let Some(workload) = &self.workload {
             s.field("workload", workload);
+        }
+        if let Some(recovery) = &self.recovery {
+            s.field("recovery", recovery);
         }
         if let Some(diagnostics) = &self.diagnostics {
             s.field("diagnostics", diagnostics);
@@ -563,6 +743,41 @@ mod tests {
         assert_eq!(w.flows[3].offered_bits, 100);
         assert_eq!(w.flows[3].delivery_ratio(), 0.0);
         assert_eq!(w.flows[0].delivery_ratio(), 1.0, "idle flow generated nothing");
+    }
+
+    #[test]
+    fn recovery_accounting_is_opt_in() {
+        // Disabled (the default): no recovery block, no `recovery` field
+        // in the Debug rendering (load-bearing for the golden hashes), and
+        // fault hooks are no-ops.
+        let mut m = Metrics::new();
+        m.on_fault(FaultKind::Crash, SimTime::from_secs_f64(1.0));
+        let plain = m.finish(SimDuration::from_secs(10));
+        assert_eq!(plain.recovery, None);
+        assert!(!format!("{plain:?}").contains("recovery"));
+
+        // Enabled: a crash, then flow 0 drops at 11s, recovers at 13s.
+        let mut m = Metrics::new();
+        m.enable_recovery(2);
+        let p = pkt_with_hops(&[ChannelClass::A], 0.5);
+        m.on_generated_flow(0, 4288);
+        m.on_delivered(&p, SimTime::from_secs_f64(1.0)); // pre-fault: intact
+        m.on_fault(FaultKind::Crash, SimTime::from_secs_f64(10.0));
+        m.on_dropped_flow(0, DropReason::NoRoute, SimTime::from_secs_f64(11.0));
+        m.on_dropped_flow(0, DropReason::NoRoute, SimTime::from_secs_f64(11.5)); // same window
+        m.on_delivered(&p, SimTime::from_secs_f64(13.0)); // closes the window, disrupted
+        m.on_fault(FaultKind::Reboot, SimTime::from_secs_f64(14.0));
+        m.on_delivered(&p, SimTime::from_secs_f64(15.0)); // post-reboot: intact
+        m.on_dropped_flow(1, DropReason::NoRoute, SimTime::from_secs_f64(16.0)); // never recovers
+        let s = m.finish(SimDuration::from_secs(20));
+        let r = s.recovery.expect("recovery enabled");
+        assert_eq!((r.crashes, r.reboots), (1, 1));
+        assert_eq!((r.delivered_intact, r.delivered_disrupted), (2, 1));
+        assert_eq!((r.disrupted_flows, r.recovered_flows, r.unrecovered_flows), (2, 1, 1));
+        assert!((r.disruption_mean_ms - 2000.0).abs() < 1e-9, "11s drop → 13s delivery");
+        assert!((r.reroute_mean_ms - 3000.0).abs() < 1e-9, "10s fault → 13s delivery");
+        assert_eq!(s.dropped(), 3);
+        assert!(format!("{s:?}").contains("recovery: RecoverySummary"));
     }
 
     #[test]

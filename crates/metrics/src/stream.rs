@@ -36,7 +36,7 @@ use std::fmt::Write as _;
 use rica_net::{ControlKind, DropReason};
 use rica_sim::SimDuration;
 
-use crate::{FlowSummary, TrialSummary, WorkloadSummary};
+use crate::{FlowSummary, RecoverySummary, TrialSummary, WorkloadSummary};
 
 /// Schema version stamped into every record line.
 pub const TRIAL_RECORD_SCHEMA: u32 = 1;
@@ -221,6 +221,33 @@ fn summary_json(out: &mut String, s: &TrialSummary) {
         }
         out.push_str("]}");
     }
+    if let Some(r) = &s.recovery {
+        let _ = write!(
+            out,
+            ",\"recovery\":{{\"crashes\":{},\"reboots\":{},\"partitions\":{},\"heals\":{},\
+             \"delivered_intact\":{},\"delivered_disrupted\":{},\"disrupted_flows\":{},\
+             \"recovered_flows\":{},\"unrecovered_flows\":{}",
+            r.crashes,
+            r.reboots,
+            r.partitions,
+            r.heals,
+            r.delivered_intact,
+            r.delivered_disrupted,
+            r.disrupted_flows,
+            r.recovered_flows,
+            r.unrecovered_flows
+        );
+        for (key, v) in [
+            ("disruption_mean_ms", r.disruption_mean_ms),
+            ("disruption_max_ms", r.disruption_max_ms),
+            ("reroute_mean_ms", r.reroute_mean_ms),
+            ("reroute_max_ms", r.reroute_max_ms),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            num(out, v);
+        }
+        out.push('}');
+    }
     out.push('}');
 }
 
@@ -295,6 +322,36 @@ fn summary_from(v: &JsonValue) -> Result<TrialSummary, String> {
             })
         }
     };
+    let recovery = match v.get("recovery") {
+        None => None,
+        Some(r) => {
+            let ru = |key: &str| -> Result<u64, String> {
+                r.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("missing recovery {key}"))
+            };
+            let rf = |key: &str| -> Result<f64, String> {
+                r.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("missing recovery {key}"))
+            };
+            Some(RecoverySummary {
+                crashes: ru("crashes")?,
+                reboots: ru("reboots")?,
+                partitions: ru("partitions")?,
+                heals: ru("heals")?,
+                delivered_intact: ru("delivered_intact")?,
+                delivered_disrupted: ru("delivered_disrupted")?,
+                disrupted_flows: ru("disrupted_flows")?,
+                recovered_flows: ru("recovered_flows")?,
+                unrecovered_flows: ru("unrecovered_flows")?,
+                disruption_mean_ms: rf("disruption_mean_ms")?,
+                disruption_max_ms: rf("disruption_max_ms")?,
+                reroute_mean_ms: rf("reroute_mean_ms")?,
+                reroute_max_ms: rf("reroute_max_ms")?,
+            })
+        }
+    };
     Ok(TrialSummary {
         duration: SimDuration::from_nanos(u("duration_ns")?),
         generated: u("generated")?,
@@ -316,6 +373,7 @@ fn summary_from(v: &JsonValue) -> Result<TrialSummary, String> {
         link_breaks: u("link_breaks")?,
         ctrl_queue_drops: u("ctrl_queue_drops")?,
         workload,
+        recovery,
         diagnostics: None,
     })
 }
@@ -624,6 +682,7 @@ mod tests {
             link_breaks: 3,
             ctrl_queue_drops: 1,
             workload: None,
+            recovery: None,
             diagnostics: None,
         }
     }
@@ -658,6 +717,32 @@ mod tests {
         let rec = TrialRecord { job: 0, cell: 0, trial: 4, seed: 11, summary: s };
         let back = TrialRecord::parse(&rec.to_line()).expect("parse back");
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn recovery_block_round_trips() {
+        let mut s = fiddly_summary();
+        s.recovery = Some(RecoverySummary {
+            crashes: 3,
+            reboots: 2,
+            partitions: 1,
+            heals: 1,
+            delivered_intact: 511,
+            delivered_disrupted: 42,
+            disrupted_flows: 6,
+            recovered_flows: 5,
+            unrecovered_flows: 1,
+            disruption_mean_ms: 812.5,
+            disruption_max_ms: 2_431.062_5,
+            reroute_mean_ms: 1.0 / 3.0,
+            reroute_max_ms: 9_007.25,
+        });
+        let rec = TrialRecord { job: 2, cell: 1, trial: 3, seed: 19, summary: s };
+        let line = rec.to_line();
+        assert!(line.contains("\"recovery\":{\"crashes\":3"));
+        let back = TrialRecord::parse(&line).expect("parse back");
+        assert_eq!(back, rec);
+        assert_eq!(back.to_line(), line);
     }
 
     #[test]

@@ -233,6 +233,41 @@ pub enum TraceEvent {
         node: NodeId,
         /// Data packets (queued + in flight) that died with it.
         dropped_data: usize,
+        /// Control packets still queued at the MAC that died with it.
+        dropped_ctrl: usize,
+        /// Pending protocol timers cancelled at crash time (they would
+        /// otherwise fire into the void at the dead terminal).
+        cancelled_timers: usize,
+    },
+    /// A crashed terminal rebooted cold (fault injection): protocol and
+    /// queue state are gone; it must re-join routing from nothing.
+    NodeRebooted {
+        /// Sim time of the observation.
+        t: SimTime,
+        /// The rebooted terminal.
+        node: NodeId,
+        /// Traffic flows sourced at the terminal whose generation was
+        /// restarted by the reboot (under `TrafficPolicy::ResumeOnReboot`).
+        resumed_flows: usize,
+    },
+    /// A partition episode began: links crossing the group boundary go
+    /// dark (fault injection).
+    PartitionStart {
+        /// Sim time of the observation.
+        t: SimTime,
+        /// Episode index within the fault plan.
+        episode: usize,
+        /// Terminals on the separated side.
+        group_size: usize,
+    },
+    /// A partition episode healed: cross-boundary links carry again.
+    PartitionHealed {
+        /// Sim time of the observation.
+        t: SimTime,
+        /// Episode index within the fault plan.
+        episode: usize,
+        /// Terminals on the separated side.
+        group_size: usize,
     },
 }
 
@@ -258,7 +293,10 @@ impl TraceEvent {
             | TimerFired { t, .. }
             | RoutePhase { t, .. }
             | ClassTransition { t, .. }
-            | NodeCrashed { t, .. } => *t,
+            | NodeCrashed { t, .. }
+            | NodeRebooted { t, .. }
+            | PartitionStart { t, .. }
+            | PartitionHealed { t, .. } => *t,
         }
     }
 
@@ -284,11 +322,14 @@ impl TraceEvent {
             RoutePhase { .. } => "route_phase",
             ClassTransition { .. } => "class_transition",
             NodeCrashed { .. } => "node_crashed",
+            NodeRebooted { .. } => "node_rebooted",
+            PartitionStart { .. } => "partition_start",
+            PartitionHealed { .. } => "partition_healed",
         }
     }
 
     /// Every event name, for schema validation.
-    pub const NAMES: [&'static str; 18] = [
+    pub const NAMES: [&'static str; 21] = [
         "data_generated",
         "data_enqueued",
         "data_tx_start",
@@ -307,6 +348,9 @@ impl TraceEvent {
         "route_phase",
         "class_transition",
         "node_crashed",
+        "node_rebooted",
+        "partition_start",
+        "partition_healed",
     ];
 
     /// Renders the event as one JSON object (no trailing newline).
@@ -431,8 +475,20 @@ impl TraceEvent {
                     a.0, b.0
                 );
             }
-            NodeCrashed { node, dropped_data, .. } => {
-                let _ = write!(out, ",\"node\":{},\"dropped_data\":{dropped_data}", node.0);
+            NodeCrashed { node, dropped_data, dropped_ctrl, cancelled_timers, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"dropped_data\":{dropped_data},\"dropped_ctrl\":{dropped_ctrl},\
+                     \"cancelled_timers\":{cancelled_timers}",
+                    node.0
+                );
+            }
+            NodeRebooted { node, resumed_flows, .. } => {
+                let _ = write!(out, ",\"node\":{},\"resumed_flows\":{resumed_flows}", node.0);
+            }
+            PartitionStart { episode, group_size, .. }
+            | PartitionHealed { episode, group_size, .. } => {
+                let _ = write!(out, ",\"episode\":{episode},\"group_size\":{group_size}");
             }
         }
         out.push('}');
@@ -478,7 +534,16 @@ mod tests {
                 from: ChannelClass::A,
                 to: ChannelClass::B,
             },
-            TraceEvent::NodeCrashed { t, node: n, dropped_data: 0 },
+            TraceEvent::NodeCrashed {
+                t,
+                node: n,
+                dropped_data: 0,
+                dropped_ctrl: 0,
+                cancelled_timers: 0,
+            },
+            TraceEvent::NodeRebooted { t, node: n, resumed_flows: 1 },
+            TraceEvent::PartitionStart { t, episode: 0, group_size: 25 },
+            TraceEvent::PartitionHealed { t, episode: 0, group_size: 25 },
         ];
         assert_eq!(samples.len(), TraceEvent::NAMES.len());
         for (ev, name) in samples.iter().zip(TraceEvent::NAMES) {

@@ -54,9 +54,7 @@ fn main() {
     )
     .with_workloads(vec![WorkloadSpec::default(), bursty]);
     let base = Scenario::builder().nodes(20).flows(4).rate_pps(6.0).duration_secs(10.0).build();
-    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| {
-        run_job(&base, &plan.workloads[job.workload], job)
-    };
+    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| run_job(&base, &plan, job);
 
     // --- 1. sharded, streaming run --------------------------------------
     let dir = std::path::PathBuf::from("fleet_sweep_out");

@@ -14,6 +14,8 @@
 //! * [`net`] — packet vocabulary, link queues, traffic, routing traits
 //! * [`traffic`] — declarative workload generation (arrival processes ×
 //!   packet-size distributions)
+//! * [`faults`] — deterministic fault injection (crash–reboot churn,
+//!   partition-and-heal episodes) with recovery metrics
 //! * [`metrics`] — simulation metrics (delay, delivery, overhead, …)
 //! * [`exec`] — parallel deterministic experiment-execution engine
 //! * [`fleet`] — sharded, streaming, resumable sweep orchestration with
@@ -45,6 +47,7 @@
 pub use rica_channel as channel;
 pub use rica_core as rica;
 pub use rica_exec as exec;
+pub use rica_faults as faults;
 pub use rica_fleet as fleet;
 pub use rica_harness as harness;
 pub use rica_mac as mac;
@@ -60,6 +63,7 @@ pub use rica_traffic as traffic;
 pub mod prelude {
     pub use rica_channel::{ChannelClass, ChannelConfig};
     pub use rica_exec::{ExecOptions, Progress, SweepPlan, SweepResult};
+    pub use rica_faults::{FaultPlan, NodeGroup, TrafficPolicy};
     pub use rica_harness::{ProtocolKind, Scenario, ScenarioBuilder, TrialReport};
     pub use rica_net::{NodeId, RoutingProtocol};
     pub use rica_sim::{Rng, SimTime};

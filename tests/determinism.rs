@@ -139,6 +139,42 @@ fn bursty_overload_sweep_is_worker_count_invariant() {
     }
 }
 
+/// The fault axis keeps the hard invariant: a sweep over a fault-free
+/// baseline, a churn regime and a crash+partition regime renders
+/// byte-identical `sweep_results.json` artifacts with 1, 2 and 8
+/// workers — fault schedules are pre-resolved from forked seed streams,
+/// so worker scheduling can never reorder them.
+#[test]
+fn faulted_sweep_is_worker_count_invariant() {
+    use rica_repro::faults::{FaultPlan, NodeGroup, NodeId};
+    let base =
+        Scenario::builder().nodes(15).flows(3).rate_pps(10.0).duration_secs(12.0).seed(29).build();
+    let faults = vec![
+        FaultPlan::none(),
+        FaultPlan::none().with_churn(8.0, 3.0, 2.0),
+        FaultPlan::none().with_crash(NodeId(4), 3.0, Some(2.5)).with_partition(
+            5.0,
+            9.0,
+            NodeGroup::IdBelow(7),
+        ),
+    ];
+    let plan =
+        SweepPlan::new(vec![ProtocolKind::Rica, ProtocolKind::Aodv], vec![36.0], vec![15], 2, 29)
+            .with_faults(faults);
+    let render = |workers| {
+        let mut result = sweep::run_plan(&plan, &base, &ExecOptions::with_workers(workers));
+        result.wall_secs = 0.0;
+        result.workers = 0;
+        rica_repro::exec::sweep_json(&result, |k| k.name().to_string(), &[])
+    };
+    let reference = render(1);
+    assert!(reference.contains("\"faults\":["), "axis must be named in the artifact");
+    assert!(reference.contains("\"recovery\":{"), "faulted cells must report recovery");
+    for workers in [2, 8] {
+        assert_eq!(render(workers), reference, "{workers} workers changed the artifact");
+    }
+}
+
 #[test]
 fn protocol_does_not_perturb_other_seeds() {
     // The trial for seed k is independent of which other seeds ran before.

@@ -1,7 +1,9 @@
 //! Failure injection: terminals crash mid-run; routing must degrade
 //! gracefully (detect the silent neighbour, reroute if physically possible,
-//! account for every packet).
+//! account for every packet). The second half exercises the declarative
+//! `rica-faults` plans: crash–reboot recovery, partition-and-heal, churn.
 
+use rica_repro::faults::{FaultPlan, NodeGroup};
 use rica_repro::harness::{Flow, ProtocolKind, Scenario};
 use rica_repro::mobility::Vec2;
 use rica_repro::net::NodeId;
@@ -87,4 +89,136 @@ fn crashed_source_stops_generating() {
 fn crash_is_deterministic() {
     let s = two_relay_diamond(vec![(12.5, NodeId(2))]);
     assert_eq!(s.run(ProtocolKind::Bgca), s.run(ProtocolKind::Bgca));
+}
+
+// ---------------------------------------------------------------------
+// Declarative fault plans (`rica-faults`): recovery, not just survival.
+
+/// Chain 0 — 1 — 2 with no alternative path, as a builder closure so
+/// each test can attach its own fault plan.
+fn three_node_chain(faults: FaultPlan) -> Scenario {
+    Scenario::builder()
+        .nodes(3)
+        .mean_speed_kmh(0.0)
+        .duration_secs(40.0)
+        .seed(8)
+        .pinned_positions(vec![
+            Vec2::new(100.0, 500.0),
+            Vec2::new(300.0, 500.0),
+            Vec2::new(500.0, 500.0),
+        ])
+        .explicit_flows(vec![Flow::new(NodeId(0), NodeId(2), 8.0, 512)])
+        .faults(faults)
+        .build()
+}
+
+/// A crashed-then-rebooted relay must let delivery resume: the cold
+/// rejoin re-forms the route and the post-reboot window delivers far
+/// more than the pre-crash window alone ever could.
+#[test]
+fn reboot_resumes_delivery() {
+    for kind in ProtocolKind::ALL {
+        let permanent = three_node_chain(FaultPlan::none().with_crash(NodeId(1), 10.0, None));
+        let rebooted = three_node_chain(FaultPlan::none().with_crash(NodeId(1), 10.0, Some(5.0)));
+        let dead = permanent.run(kind);
+        let back = rebooted.run(kind);
+        let r = back.recovery.expect("faulted trial records recovery");
+        assert_eq!((r.crashes, r.reboots), (1, 1), "{kind}: schedule should fire once each");
+        assert!(
+            back.delivered > dead.delivered + 50,
+            "{kind}: reboot should resume delivery ({} vs {} permanent)",
+            back.delivered,
+            dead.delivered
+        );
+        assert!(
+            back.delivered + back.dropped() <= back.generated,
+            "{kind}: accounting broken across reboot"
+        );
+    }
+}
+
+/// A healed partition must let the cross-partition flow recover: the
+/// disruption window opened by the first post-cut drop closes on the
+/// first post-heal delivery.
+#[test]
+fn heal_recovers_cross_partition_flow() {
+    for kind in ProtocolKind::ALL {
+        // The cut isolates the source (node 0) from relay and sink.
+        let healed =
+            three_node_chain(FaultPlan::none().with_partition(10.0, 22.0, NodeGroup::IdBelow(1)));
+        let r = healed.run(kind);
+        let rec = r.recovery.expect("faulted trial records recovery");
+        assert_eq!((rec.partitions, rec.heals), (1, 1), "{kind}: episode should fire once each");
+        assert!(
+            rec.disrupted_flows >= 1,
+            "{kind}: the cut should disrupt the cross-partition flow"
+        );
+        assert_eq!(
+            rec.unrecovered_flows, 0,
+            "{kind}: every disrupted flow should recover after the heal ({rec:?})"
+        );
+        assert!(
+            rec.delivered_intact > 0,
+            "{kind}: deliveries should land outside the episode ({rec:?})"
+        );
+        assert!(
+            rec.disruption_mean_ms > 0.0 && rec.reroute_mean_ms >= rec.disruption_mean_ms,
+            "{kind}: a 12 s cut should leave a measurable disruption window ({rec:?})"
+        );
+        assert!(r.delivered + r.dropped() <= r.generated, "{kind}: accounting broken across heal");
+    }
+}
+
+/// Churn conserves packets for every protocol: crash–reboot cycles must
+/// never mint or leak packets, and the recovery counters must be
+/// internally consistent.
+#[test]
+fn churn_conserves_packets() {
+    let s = Scenario::builder()
+        .nodes(12)
+        .flows(3)
+        .rate_pps(10.0)
+        .duration_secs(30.0)
+        .mean_speed_kmh(36.0)
+        .seed(7)
+        .faults(FaultPlan::none().with_churn(10.0, 4.0, 3.0))
+        .build();
+    for kind in ProtocolKind::ALL {
+        let r = s.run(kind);
+        let rec = r.recovery.expect("churned trial records recovery");
+        assert!(rec.crashes > 0, "{kind}: 30 s of churn(up10,down4) should crash someone");
+        assert!(rec.reboots <= rec.crashes, "{kind}: a reboot needs a prior crash ({rec:?})");
+        assert!(
+            r.delivered + r.dropped() <= r.generated,
+            "{kind}: churn broke packet conservation ({} + {} > {})",
+            r.delivered,
+            r.dropped(),
+            r.generated
+        );
+        assert_eq!(
+            rec.recovered_flows + rec.unrecovered_flows,
+            rec.disrupted_flows,
+            "{kind}: disruption-window bookkeeping inconsistent ({rec:?})"
+        );
+    }
+}
+
+/// Fault plans are part of the deterministic contract: same plan, same
+/// seed, same bytes.
+#[test]
+fn fault_plans_are_deterministic() {
+    let s = Scenario::builder()
+        .nodes(12)
+        .flows(3)
+        .rate_pps(10.0)
+        .duration_secs(20.0)
+        .mean_speed_kmh(36.0)
+        .seed(9)
+        .faults(FaultPlan::none().with_churn(8.0, 3.0, 2.0).with_partition(
+            6.0,
+            12.0,
+            NodeGroup::IdBelow(6),
+        ))
+        .build();
+    assert_eq!(s.run(ProtocolKind::Rica), s.run(ProtocolKind::Rica));
 }

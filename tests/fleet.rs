@@ -43,8 +43,7 @@ fn tmp_dir(tag: &str) -> std::path::PathBuf {
 /// The reference artifact: a single-shot in-process sweep, normalised
 /// the way merged results are (execution metadata zeroed).
 fn reference_doc(p: &SweepPlan<ProtocolKind>, s: &Scenario) -> String {
-    let mut direct =
-        p.run(&ExecOptions::serial(), |job| run_job(s, &p.workloads[job.workload], job));
+    let mut direct = p.run(&ExecOptions::serial(), |job| run_job(s, p, job));
     direct.workers = 0;
     direct.wall_secs = 0.0;
     sweep_json(&direct, label, &[])
@@ -59,7 +58,7 @@ fn any_shard_cut_and_worker_count_merges_byte_identical() {
         for workers in [1, 4] {
             let dir = tmp_dir(&format!("cut{shards}w{workers}"));
             run_fleet(&p, label, &dir, shards, &ExecOptions::with_workers(workers), |job| {
-                run_job(&s, &p.workloads[job.workload], job)
+                run_job(&s, &p, job)
             })
             .expect("fleet run");
             let merged = merge_fleet(&p, label, &dir).expect("merge");
@@ -78,9 +77,7 @@ fn kill_and_resume_runs_only_damaged_shards_and_reproduces_bytes() {
     let p = plan();
     let s = base();
     let dir = tmp_dir("resume");
-    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| {
-        run_job(&s, &p.workloads[job.workload], job)
-    };
+    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| run_job(&s, &p, job);
     let first = run_fleet(&p, label, &dir, 4, &ExecOptions::serial(), runner).expect("first run");
     assert_eq!(first.ran.len(), 4);
     let want = sweep_json(&merge_fleet(&p, label, &dir).expect("merge"), label, &[]);
@@ -105,10 +102,8 @@ fn merge_refuses_incomplete_directories() {
     let p = plan();
     let s = base();
     let dir = tmp_dir("incomplete");
-    let report = run_fleet(&p, label, &dir, 2, &ExecOptions::serial(), |job| {
-        run_job(&s, &p.workloads[job.workload], job)
-    })
-    .expect("fleet run");
+    let report = run_fleet(&p, label, &dir, 2, &ExecOptions::serial(), |job| run_job(&s, &p, job))
+        .expect("fleet run");
     std::fs::remove_file(report.manifest.shard_path(&dir, 0)).unwrap();
     let err = merge_fleet(&p, label, &dir).unwrap_err();
     assert!(err.contains("shard 0"), "{err}");
@@ -155,9 +150,7 @@ fn adaptive_stopping_converges_and_records_realised_counts() {
         max_trials: 24,
         ..AdaptiveConfig::default()
     };
-    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| {
-        run_job(&s, &p.workloads[job.workload], job)
-    };
+    let runner = |job: &rica_repro::exec::TrialJob<ProtocolKind>| run_job(&s, &p, job);
     let report = run_adaptive(&p, &ExecOptions::serial(), &config, runner);
     assert!(report.all_converged(), "target should be reachable before the cap");
     let cell = &report.cells[0];

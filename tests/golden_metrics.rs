@@ -130,6 +130,57 @@ fn bursty_bimodal_12_node_summaries_are_pinned() {
     check(&s, GOLDEN, "bursty12");
 }
 
+/// 12 mobile nodes under seed-forked crash–reboot churn — pins the
+/// fault subsystem end to end: schedule resolution from the trial
+/// master seed, cold reboots (`on_reboot`), traffic resumption and the
+/// recovery block in the summary Debug rendering.
+#[test]
+fn churn_12_node_summaries_are_pinned() {
+    use rica_repro::faults::FaultPlan;
+    const GOLDEN: &[GoldenRow] = &[
+        (ProtocolKind::Rica, 0xbfa04f8c1a56324c, 803, 227),
+        (ProtocolKind::Bgca, 0xeef9b46f10106cbb, 803, 95),
+        (ProtocolKind::Abr, 0x151e218db7ff36cb, 803, 96),
+        (ProtocolKind::Aodv, 0x57220fc0136f17f3, 803, 98),
+        (ProtocolKind::LinkState, 0xb6bb3e176c65d7f5, 803, 189),
+    ];
+    let s = Scenario::builder()
+        .nodes(12)
+        .flows(3)
+        .rate_pps(10.0)
+        .duration_secs(30.0)
+        .mean_speed_kmh(36.0)
+        .seed(7)
+        .faults(FaultPlan::none().with_churn(12.0, 4.0, 5.0))
+        .build();
+    check(&s, GOLDEN, "churn12");
+}
+
+/// 12 mobile nodes with a timed partition-and-heal episode — pins the
+/// link-level blackout (both MAC and routing see the cut), the heal,
+/// and the cross-partition recovery accounting.
+#[test]
+fn partition_heal_12_node_summaries_are_pinned() {
+    use rica_repro::faults::{FaultPlan, NodeGroup};
+    const GOLDEN: &[GoldenRow] = &[
+        (ProtocolKind::Rica, 0x9ef676515139c2c7, 866, 259),
+        (ProtocolKind::Bgca, 0x88b7be77c63b682c, 866, 252),
+        (ProtocolKind::Abr, 0x97a64b402f27c9c3, 866, 250),
+        (ProtocolKind::Aodv, 0xbc057208e3c1fa52, 866, 239),
+        (ProtocolKind::LinkState, 0x5570635da4da97a9, 866, 236),
+    ];
+    let s = Scenario::builder()
+        .nodes(12)
+        .flows(3)
+        .rate_pps(10.0)
+        .duration_secs(30.0)
+        .mean_speed_kmh(36.0)
+        .seed(7)
+        .faults(FaultPlan::none().with_partition(10.0, 20.0, NodeGroup::IdBelow(6)))
+        .build();
+    check(&s, GOLDEN, "partition12");
+}
+
 /// The full `sweep_results.json` artifact through `rica-exec` must stay
 /// byte-identical (modulo the informational wall-clock/worker fields).
 #[test]

@@ -9,6 +9,10 @@
 # Runs the trial on both channel fidelity tiers (`--approx` re-routes
 # every OU draw through the ziggurat/quantised path), so schema drift in
 # an approx-only emission path can't hide behind the exact-tier default.
+# A third faulted pass (`--faults`) injects the combined crash–reboot /
+# churn / partition-and-heal preset and additionally requires the fault
+# lifecycle events (node_crashed, node_rebooted, partition_start,
+# partition_healed) to actually appear in the trace.
 #
 #   tools/trace_lint.sh [protocol] [secs]     defaults: rica, 10 s
 set -euo pipefail
@@ -23,6 +27,7 @@ names='data_generated|data_enqueued|data_tx_start|data_hop|data_retry'
 names+='|data_delivered|data_dropped|ctrl_tx|ctrl_queue_drop|mac_busy'
 names+='|mac_abandon|mac_collision|ctrl_unicast_gave_up|link_break'
 names+='|timer_fired|route_phase|class_transition|node_crashed'
+names+='|node_rebooted|partition_start|partition_healed'
 
 # Lint one traced trial; $1 is the fidelity label ("exact"/"approx") and
 # the remaining arguments are extra `inspect` flags.
@@ -72,6 +77,17 @@ lint_tier() {
 
 lint_tier exact
 lint_tier approx --approx
+lint_tier faulted --faults
+
+# The faulted pass must exercise every fault lifecycle event: the preset
+# is scaled to the trial duration, so even a 10 s trial crashes, reboots,
+# partitions and heals well inside the run.
+for ev in node_crashed node_rebooted partition_start partition_healed; do
+  if ! grep -q "\"ev\":\"$ev\"" "$dir/trace.jsonl"; then
+    echo "trace_lint[faulted]: no $ev event in the faulted trial trace" >&2
+    exit 1
+  fi
+done
 
 # The sweep artifact names the fidelity axis only when it is non-default
 # (mirroring the workload-axis pattern), so a legacy plan's bytes — and
